@@ -1,0 +1,122 @@
+// Command providerd runs the SafetyPin service provider as a network
+// daemon: it stores recovery ciphertexts, hosts every HSM's outsourced key
+// array, maintains the distributed log, and relays recovery traffic.
+//
+// A minimal local fleet:
+//
+//	providerd -listen 127.0.0.1:7000 -hsms 4 -cluster 2 -threshold 1 &
+//	for i in 0 1 2 3; do hsmd -provider 127.0.0.1:7000 -id $i & done
+//	# wait for "fleet complete"; then use cmd/safetypin to back up/recover.
+//
+// The provider is untrusted: every security property is enforced by clients
+// and HSM daemons.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"safetypin/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7000", "address to listen on")
+	hsms := flag.Int("hsms", 4, "fleet size N")
+	cluster := flag.Int("cluster", 0, "cluster size n (default min(40,N))")
+	threshold := flag.Int("threshold", 0, "recovery threshold t (default n/2)")
+	bfeM := flag.Int("bfe-m", 1024, "Bloom-filter positions per HSM key")
+	bfeK := flag.Int("bfe-k", 4, "Bloom-filter positions per ciphertext")
+	chunks := flag.Int("log-chunks", 0, "audit chunks per epoch (default N)")
+	audits := flag.Int("log-audits", 0, "chunks audited per HSM (default cover-all)")
+	quorum := flag.Float64("quorum", 0.75, "fraction of fleet that must co-sign epochs")
+	guesses := flag.Int("guess-limit", 1, "recovery attempts allowed per user")
+	scheme := flag.String("scheme", "bls12381-multisig", "aggregate signature scheme (bls12381-multisig | ecdsa-concat)")
+	det := flag.Bool("deterministic-audit", false, "use Appendix B.3 deterministic chunk assignment")
+	flag.Parse()
+
+	n := *hsms
+	cl := *cluster
+	if cl == 0 {
+		cl = 40
+		if cl > n {
+			cl = n
+		}
+	}
+	th := *threshold
+	if th == 0 {
+		th = cl / 2
+		if th < 1 {
+			th = 1
+		}
+	}
+	ch := *chunks
+	if ch == 0 {
+		ch = n
+	}
+	au := *audits
+	if au == 0 {
+		au = 2 * (ch + n - 1) / n
+		if au > ch {
+			au = ch
+		}
+	}
+	cfg := transport.FleetConfig{
+		NumHSMs:       n,
+		ClusterSize:   cl,
+		Threshold:     th,
+		BFEM:          *bfeM,
+		BFEK:          *bfeK,
+		LogChunks:     ch,
+		AuditsPerHSM:  au,
+		MinSignerFrac: *quorum,
+		GuessLimit:    *guesses,
+		SchemeName:    *scheme,
+		Deterministic: *det,
+	}
+	d, err := transport.NewProviderDaemon(cfg)
+	if err != nil {
+		log.Fatalf("providerd: %v", err)
+	}
+	ln, addr, err := transport.Serve("Provider", d.Service(), *listen)
+	if err != nil {
+		log.Fatalf("providerd: %v", err)
+	}
+	defer ln.Close()
+	log.Printf("providerd: listening on %s (fleet %d, cluster %d-of-%d, scheme %s)",
+		addr, n, th, cl, cfg.SchemeName)
+
+	// Announce fleet completion and push rosters once every HSM registers.
+	go func() {
+		rp, err := transport.DialProvider(addr)
+		if err != nil {
+			return
+		}
+		defer rp.Close()
+		for {
+			time.Sleep(500 * time.Millisecond)
+			st, err := rp.Status()
+			if err != nil {
+				continue
+			}
+			if st.RosterSent {
+				return
+			}
+			if len(st.Registered) == st.Expected {
+				if err := rp.InstallRosters(); err != nil {
+					log.Printf("providerd: roster install: %v", err)
+					continue
+				}
+				log.Printf("providerd: fleet complete, rosters installed")
+				return
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("providerd: shutting down")
+}

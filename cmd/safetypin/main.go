@@ -1,0 +1,103 @@
+// Command safetypin is the client CLI: back up data under a PIN, recover it
+// later, and audit the provider's public log.
+//
+//	echo "my disk image" | safetypin -provider 127.0.0.1:7000 -user alice -pin 123456 backup
+//	safetypin -provider 127.0.0.1:7000 -user alice -pin 123456 recover
+//	safetypin -provider 127.0.0.1:7000 audit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"safetypin/internal/client"
+	"safetypin/internal/dlog"
+	"safetypin/internal/lhe"
+	"safetypin/internal/transport"
+)
+
+func main() {
+	providerAddr := flag.String("provider", "127.0.0.1:7000", "provider daemon address")
+	user := flag.String("user", "", "account username")
+	pin := flag.String("pin", "", "human-memorable PIN")
+	flag.Parse()
+
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		fmt.Fprintln(os.Stderr, "usage: safetypin [flags] backup|recover|audit")
+		os.Exit(2)
+	}
+	rp, err := transport.DialProvider(*providerAddr)
+	if err != nil {
+		log.Fatalf("safetypin: %v", err)
+	}
+	defer rp.Close()
+
+	switch cmd {
+	case "audit":
+		entries, err := rp.LogEntries()
+		if err != nil {
+			log.Fatalf("safetypin: fetching log: %v", err)
+		}
+		digest, err := rp.LogDigest()
+		if err != nil {
+			log.Fatalf("safetypin: fetching digest: %v", err)
+		}
+		if err := dlog.Replay(entries, digest); err != nil {
+			log.Fatalf("safetypin: AUDIT FAILED: %v", err)
+		}
+		fmt.Printf("log audit OK: %d entries, digest %x\n", len(entries), digest[:8])
+		for _, e := range entries {
+			fmt.Printf("  %s\n", e.ID)
+		}
+		return
+	case "backup", "recover":
+		if *user == "" || *pin == "" {
+			log.Fatal("safetypin: -user and -pin are required")
+		}
+	default:
+		log.Fatalf("safetypin: unknown command %q", cmd)
+	}
+
+	cfg, err := rp.Config()
+	if err != nil {
+		log.Fatalf("safetypin: fetching fleet config: %v", err)
+	}
+	fleet, err := rp.Fleet()
+	if err != nil {
+		log.Fatalf("safetypin: fetching fleet keys: %v", err)
+	}
+	params, err := lhe.NewParams(cfg.NumHSMs, cfg.ClusterSize, cfg.Threshold)
+	if err != nil {
+		log.Fatalf("safetypin: %v", err)
+	}
+	c, err := client.New(*user, *pin, params, fleet, rp)
+	if err != nil {
+		log.Fatalf("safetypin: %v", err)
+	}
+
+	switch cmd {
+	case "backup":
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			log.Fatalf("safetypin: reading stdin: %v", err)
+		}
+		if err := c.Backup(data); err != nil {
+			log.Fatalf("safetypin: backup failed: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "backed up %d bytes for %s (cluster hidden among %d HSMs)\n",
+			len(data), *user, cfg.NumHSMs)
+	case "recover":
+		data, err := c.Recover("")
+		if err != nil {
+			log.Fatalf("safetypin: recovery failed: %v", err)
+		}
+		if _, err := os.Stdout.Write(data); err != nil {
+			log.Fatalf("safetypin: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "recovered %d bytes for %s\n", len(data), *user)
+	}
+}

@@ -1,0 +1,252 @@
+// Package aggsig abstracts the aggregate-signature scheme HSMs use to
+// co-sign log updates (§6.2). The production scheme is BLS multisignatures
+// (package bls): the provider adds all online HSMs' signatures into one
+// constant-size signature that every HSM verifies with two pairings,
+// independent of the fleet size.
+//
+// A second backend — plain ECDSA with concatenation — exists as the ablation
+// the paper's scalability argument is measured against: verification work
+// grows linearly in the number of signers, which is exactly what the BLS
+// choice avoids. Both backends satisfy the same interface so the distributed
+// log can run (and be benchmarked) over either.
+package aggsig
+
+import (
+	"crypto/ecdsa"
+	cryptoRand "crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"safetypin/internal/bls"
+	"safetypin/internal/ecgroup"
+	"safetypin/internal/meter"
+)
+
+// PublicKey is an opaque verification key.
+type PublicKey interface {
+	Bytes() []byte
+}
+
+// Signer is the HSM-side signing handle.
+type Signer interface {
+	Sign(msg []byte) ([]byte, error)
+	PublicKey() PublicKey
+}
+
+// Scheme bundles key generation, aggregation, and verification.
+type Scheme interface {
+	// Name identifies the scheme in benchmarks and logs.
+	Name() string
+	// KeyGen creates a signer.
+	KeyGen(rng io.Reader) (Signer, error)
+	// ParsePublicKey decodes a serialized public key.
+	ParsePublicKey(b []byte) (PublicKey, error)
+	// Aggregate combines signatures produced over the same msg by the
+	// signers whose public keys will be passed, in the same order, to
+	// VerifyAggregate.
+	Aggregate(sigs [][]byte) ([]byte, error)
+	// VerifyAggregate checks the aggregate signature over msg against the
+	// ordered signer set.
+	VerifyAggregate(pks []PublicKey, msg, aggSig []byte) (bool, error)
+	// MeterVerify charges one aggregate verification (with the given signer
+	// count) to m, using the device-op vocabulary of package meter.
+	MeterVerify(m *meter.Meter, numSigners int)
+	// MeterSign charges one signing operation to m.
+	MeterSign(m *meter.Meter)
+}
+
+// --- BLS multisignature backend ---
+
+// BLS returns the BLS12-381 multisignature scheme.
+func BLS() Scheme { return blsScheme{} }
+
+type blsScheme struct{}
+
+type blsSigner struct {
+	sk *bls.SecretKey
+	pk *bls.PublicKey
+}
+
+type blsPub struct{ pk *bls.PublicKey }
+
+func (blsScheme) Name() string { return "bls12381-multisig" }
+
+func (blsScheme) KeyGen(rng io.Reader) (Signer, error) {
+	sk, pk, err := bls.GenerateKey(rng)
+	if err != nil {
+		return nil, err
+	}
+	return &blsSigner{sk: sk, pk: pk}, nil
+}
+
+func (s *blsSigner) Sign(msg []byte) ([]byte, error) {
+	return s.sk.Sign(msg).Bytes(), nil
+}
+
+func (s *blsSigner) PublicKey() PublicKey { return blsPub{s.pk} }
+
+func (p blsPub) Bytes() []byte { return p.pk.Bytes() }
+
+func (blsScheme) ParsePublicKey(b []byte) (PublicKey, error) {
+	pk, err := bls.PublicKeyFromBytes(b)
+	if err != nil {
+		return nil, err
+	}
+	return blsPub{pk}, nil
+}
+
+func (blsScheme) Aggregate(sigs [][]byte) ([]byte, error) {
+	parsed := make([]*bls.Signature, len(sigs))
+	for i, raw := range sigs {
+		s, err := bls.SignatureFromBytes(raw)
+		if err != nil {
+			return nil, fmt.Errorf("aggsig: signature %d: %w", i, err)
+		}
+		parsed[i] = s
+	}
+	agg, err := bls.AggregateSignatures(parsed)
+	if err != nil {
+		return nil, err
+	}
+	return agg.Bytes(), nil
+}
+
+func (blsScheme) VerifyAggregate(pks []PublicKey, msg, aggSig []byte) (bool, error) {
+	if len(pks) == 0 {
+		return false, errors.New("aggsig: empty signer set")
+	}
+	keys := make([]*bls.PublicKey, len(pks))
+	for i, pk := range pks {
+		bp, ok := pk.(blsPub)
+		if !ok {
+			return false, fmt.Errorf("aggsig: key %d is not a BLS key", i)
+		}
+		keys[i] = bp.pk
+	}
+	apk, err := bls.AggregatePublicKeys(keys)
+	if err != nil {
+		return false, err
+	}
+	sig, err := bls.SignatureFromBytes(aggSig)
+	if err != nil {
+		return false, err
+	}
+	return apk.Verify(msg, sig)
+}
+
+func (blsScheme) MeterVerify(m *meter.Meter, numSigners int) {
+	// key aggregation is cheap G2 addition; verification is two pairings.
+	m.Add(meter.OpPairing, 2)
+}
+
+func (blsScheme) MeterSign(m *meter.Meter) {
+	m.Add(meter.OpBLSSign, 1)
+}
+
+// --- ECDSA concatenation backend (ablation) ---
+
+// ECDSAConcat returns the trivial "aggregate" scheme: signatures are
+// concatenated and verified one by one. Same interface, linear cost.
+func ECDSAConcat() Scheme { return ecdsaScheme{} }
+
+type ecdsaScheme struct{}
+
+type ecdsaSigner struct {
+	kp ecgroup.KeyPair
+}
+
+type ecdsaPub struct{ p ecgroup.Point }
+
+func (ecdsaScheme) Name() string { return "ecdsa-concat" }
+
+func (ecdsaScheme) KeyGen(rng io.Reader) (Signer, error) {
+	kp, err := ecgroup.GenerateKeyPair(rng)
+	if err != nil {
+		return nil, err
+	}
+	return &ecdsaSigner{kp: kp}, nil
+}
+
+// ecdsaSigSize is the fixed encoding: r ‖ s, 32 bytes each.
+const ecdsaSigSize = 64
+
+func (s *ecdsaSigner) Sign(msg []byte) ([]byte, error) {
+	h := sha256.Sum256(msg)
+	r, sv, err := ecdsa.Sign(randReader{}, s.kp.ToECDSA(), h[:])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, ecdsaSigSize)
+	r.FillBytes(out[:32])
+	sv.FillBytes(out[32:])
+	return out, nil
+}
+
+func (s *ecdsaSigner) PublicKey() PublicKey { return ecdsaPub{s.kp.PK} }
+
+func (p ecdsaPub) Bytes() []byte { return p.p.Bytes() }
+
+func (ecdsaScheme) ParsePublicKey(b []byte) (PublicKey, error) {
+	pt, err := ecgroup.PointFromBytes(b)
+	if err != nil {
+		return nil, err
+	}
+	return ecdsaPub{pt}, nil
+}
+
+func (ecdsaScheme) Aggregate(sigs [][]byte) ([]byte, error) {
+	if len(sigs) == 0 {
+		return nil, errors.New("aggsig: nothing to aggregate")
+	}
+	out := make([]byte, 0, len(sigs)*ecdsaSigSize)
+	for i, s := range sigs {
+		if len(s) != ecdsaSigSize {
+			return nil, fmt.Errorf("aggsig: signature %d has length %d", i, len(s))
+		}
+		out = append(out, s...)
+	}
+	return out, nil
+}
+
+func (ecdsaScheme) VerifyAggregate(pks []PublicKey, msg, aggSig []byte) (bool, error) {
+	if len(aggSig) != len(pks)*ecdsaSigSize {
+		return false, nil
+	}
+	h := sha256.Sum256(msg)
+	for i, pk := range pks {
+		ep, ok := pk.(ecdsaPub)
+		if !ok {
+			return false, fmt.Errorf("aggsig: key %d is not an ECDSA key", i)
+		}
+		pub, err := ep.p.ECDSAPublic()
+		if err != nil {
+			return false, err
+		}
+		raw := aggSig[i*ecdsaSigSize : (i+1)*ecdsaSigSize]
+		r := new(big.Int).SetBytes(raw[:32])
+		s := new(big.Int).SetBytes(raw[32:])
+		if !ecdsa.Verify(pub, h[:], r, s) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (ecdsaScheme) MeterVerify(m *meter.Meter, numSigners int) {
+	m.Add(meter.OpECDSAVerify, int64(numSigners))
+}
+
+func (ecdsaScheme) MeterSign(m *meter.Meter) {
+	m.Add(meter.OpECDSASign, 1)
+}
+
+// randReader adapts crypto/rand for ecdsa.Sign without importing it at each
+// call site.
+type randReader struct{}
+
+func (randReader) Read(p []byte) (int, error) { return readRand(p) }
+
+func readRand(p []byte) (int, error) { return cryptoRand.Read(p) }

@@ -1,0 +1,224 @@
+package aggsig
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"safetypin/internal/meter"
+)
+
+func schemes() []Scheme { return []Scheme{BLS(), ECDSAConcat()} }
+
+func TestAggregateRoundTripBothSchemes(t *testing.T) {
+	for _, sc := range schemes() {
+		t.Run(sc.Name(), func(t *testing.T) {
+			msg := []byte("epoch tuple (d, d', R)")
+			var sigs [][]byte
+			var pks []PublicKey
+			for i := 0; i < 5; i++ {
+				signer, err := sc.KeyGen(rand.Reader)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sig, err := signer.Sign(msg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sigs = append(sigs, sig)
+				pks = append(pks, signer.PublicKey())
+			}
+			agg, err := sc.Aggregate(sigs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok, err := sc.VerifyAggregate(pks, msg, agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatal("aggregate rejected")
+			}
+		})
+	}
+}
+
+func TestAggregateWrongMessageRejected(t *testing.T) {
+	for _, sc := range schemes() {
+		t.Run(sc.Name(), func(t *testing.T) {
+			var sigs [][]byte
+			var pks []PublicKey
+			for i := 0; i < 3; i++ {
+				signer, err := sc.KeyGen(rand.Reader)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sig, err := signer.Sign([]byte("honest tuple"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sigs = append(sigs, sig)
+				pks = append(pks, signer.PublicKey())
+			}
+			agg, err := sc.Aggregate(sigs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok, err := sc.VerifyAggregate(pks, []byte("forged tuple"), agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				t.Fatal("aggregate verified under wrong message")
+			}
+		})
+	}
+}
+
+func TestMissingSignerRejected(t *testing.T) {
+	for _, sc := range schemes() {
+		t.Run(sc.Name(), func(t *testing.T) {
+			msg := []byte("tuple")
+			var sigs [][]byte
+			var pks []PublicKey
+			for i := 0; i < 3; i++ {
+				signer, err := sc.KeyGen(rand.Reader)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sig, err := signer.Sign(msg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sigs = append(sigs, sig)
+				pks = append(pks, signer.PublicKey())
+			}
+			agg, err := sc.Aggregate(sigs[:2])
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok, err := sc.VerifyAggregate(pks, msg, agg)
+			if err != nil && sc.Name() == "bls12381-multisig" {
+				t.Fatal(err)
+			}
+			if ok {
+				t.Fatal("aggregate missing one signer verified against full key set")
+			}
+		})
+	}
+}
+
+func TestPublicKeySerialization(t *testing.T) {
+	for _, sc := range schemes() {
+		t.Run(sc.Name(), func(t *testing.T) {
+			signer, err := sc.KeyGen(rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw := signer.PublicKey().Bytes()
+			parsed, err := sc.ParsePublicKey(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg := []byte("m")
+			sig, err := signer.Sign(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg, err := sc.Aggregate([][]byte{sig})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok, err := sc.VerifyAggregate([]PublicKey{parsed}, msg, agg)
+			if err != nil || !ok {
+				t.Fatalf("parsed key failed verification: %v", err)
+			}
+			if _, err := sc.ParsePublicKey([]byte{1, 2, 3}); err == nil {
+				t.Fatal("garbage public key parsed")
+			}
+		})
+	}
+}
+
+func TestEmptyAggregateRejected(t *testing.T) {
+	for _, sc := range schemes() {
+		if _, err := sc.Aggregate(nil); err == nil {
+			t.Fatalf("%s: empty aggregate accepted", sc.Name())
+		}
+	}
+}
+
+func TestMeterCosts(t *testing.T) {
+	// BLS verification cost must be independent of the signer count;
+	// ECDSA-concat must be linear. This is the ablation of §6.2.
+	mBLS10 := meter.New()
+	BLS().MeterVerify(mBLS10, 10)
+	mBLS1000 := meter.New()
+	BLS().MeterVerify(mBLS1000, 1000)
+	if mBLS10.Get(meter.OpPairing) != mBLS1000.Get(meter.OpPairing) {
+		t.Fatal("BLS verify cost depends on signer count")
+	}
+	mE := meter.New()
+	ECDSAConcat().MeterVerify(mE, 1000)
+	if mE.Get(meter.OpECDSAVerify) != 1000 {
+		t.Fatal("ECDSA-concat verify cost not linear")
+	}
+}
+
+func TestCrossSchemeKeysRejected(t *testing.T) {
+	blsSigner, err := BLS().KeyGen(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := blsSigner.Sign([]byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := BLS().Aggregate([][]byte{sig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eSigner, err := ECDSAConcat().KeyGen(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BLS().VerifyAggregate([]PublicKey{eSigner.PublicKey()}, []byte("m"), agg); err == nil {
+		t.Fatal("ECDSA key accepted by BLS verifier")
+	}
+}
+
+func BenchmarkBLSAggregateVerify16(b *testing.B) {
+	benchVerify(b, BLS(), 16)
+}
+
+func BenchmarkECDSAConcatVerify16(b *testing.B) {
+	benchVerify(b, ECDSAConcat(), 16)
+}
+
+func benchVerify(b *testing.B, sc Scheme, n int) {
+	msg := []byte("tuple")
+	var sigs [][]byte
+	var pks []PublicKey
+	for i := 0; i < n; i++ {
+		signer, err := sc.KeyGen(rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sig, err := signer.Sign(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sigs = append(sigs, sig)
+		pks = append(pks, signer.PublicKey())
+	}
+	agg, err := sc.Aggregate(sigs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := sc.VerifyAggregate(pks, msg, agg)
+		if err != nil || !ok {
+			b.Fatal("verify failed")
+		}
+	}
+}

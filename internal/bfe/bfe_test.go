@@ -1,0 +1,395 @@
+package bfe
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"safetypin/internal/meter"
+	"safetypin/internal/securestore"
+)
+
+var testParams = Params{M: 256, K: 8}
+
+func keygen(t testing.TB) (*PrivateKey, *PublicKey) {
+	t.Helper()
+	sk, pk, err := KeyGen(testParams, securestore.NewMemOracle(), rand.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk, pk
+}
+
+func TestRoundTrip(t *testing.T) {
+	sk, pk := keygen(t)
+	msg := []byte("key share")
+	ad := []byte("user=alice")
+	ct, err := pk.Encrypt(msg, ad, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(ct, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("round-trip mismatch")
+	}
+}
+
+func TestPunctureKillsCiphertext(t *testing.T) {
+	sk, pk := keygen(t)
+	ct, err := pk.Encrypt([]byte("secret"), nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.DecryptAndPuncture(ct, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "secret" {
+		t.Fatal("decrypt-and-puncture returned wrong plaintext")
+	}
+	if _, err := sk.Decrypt(ct, nil); !errors.Is(err, ErrPunctured) {
+		t.Fatalf("punctured ciphertext still decrypts: %v", err)
+	}
+}
+
+func TestPunctureWithoutDecrypt(t *testing.T) {
+	sk, pk := keygen(t)
+	ct, err := pk.Encrypt([]byte("secret"), nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sk.Puncture(ct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.Decrypt(ct, nil); err == nil {
+		t.Fatal("punctured ciphertext decrypted")
+	}
+}
+
+func TestOtherCiphertextsSurvivePuncture(t *testing.T) {
+	sk, pk := keygen(t)
+	var cts [][]byte
+	for i := 0; i < 10; i++ {
+		ct, err := pk.Encrypt([]byte{byte(i)}, nil, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts = append(cts, ct)
+	}
+	if _, err := sk.DecryptAndPuncture(cts[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	// With M=256, K=8 and one puncture (8 deletions), other ciphertexts
+	// overwhelmingly still decrypt (each would need all 8 of its positions
+	// deleted).
+	survived := 0
+	for i := 1; i < 10; i++ {
+		if got, err := sk.Decrypt(cts[i], nil); err == nil && got[0] == byte(i) {
+			survived++
+		}
+	}
+	if survived < 8 {
+		t.Fatalf("only %d/9 unrelated ciphertexts survived one puncture", survived)
+	}
+}
+
+func TestForwardSecrecyAfterPuncture(t *testing.T) {
+	// The attacker captures the HSM root key and the full provider store
+	// after puncture: the punctured ciphertext must stay dead. Decryption
+	// via the captured state is exactly sk.Decrypt, which reads the same
+	// store, so ErrPunctured here witnesses the property end-to-end
+	// (securestore tests cover rollback of old provider state).
+	oracle := securestore.NewMemOracle()
+	sk, pk, err := KeyGen(testParams, oracle, rand.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := pk.Encrypt([]byte("backup"), nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.DecryptAndPuncture(ct, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.Decrypt(ct, nil); !errors.Is(err, ErrPunctured) {
+		t.Fatal("forward secrecy violated")
+	}
+}
+
+func TestWrongADFails(t *testing.T) {
+	sk, pk := keygen(t)
+	ct, err := pk.Encrypt([]byte("m"), []byte("ctx-a"), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.Decrypt(ct, []byte("ctx-b")); err == nil {
+		t.Fatal("wrong ad decrypted")
+	}
+}
+
+func TestWrongKeyFails(t *testing.T) {
+	sk2, _, err := KeyGen(testParams, securestore.NewMemOracle(), rand.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pk1 := keygen(t)
+	ct, err := pk1.Encrypt([]byte("m"), nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk2.Decrypt(ct, nil); err == nil {
+		t.Fatal("wrong key decrypted")
+	}
+}
+
+func TestCorruptCiphertextRejected(t *testing.T) {
+	sk, pk := keygen(t)
+	ct, err := pk.Encrypt([]byte("m"), nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.Decrypt(ct[:10], nil); err == nil {
+		t.Fatal("truncated ciphertext accepted")
+	}
+	// Tampering the tag rebinds the ciphertext to different positions and
+	// different piece ADs: every piece must fail.
+	mut := append([]byte{}, ct...)
+	mut[3] ^= 1
+	if _, err := sk.Decrypt(mut, nil); err == nil {
+		t.Fatal("ciphertext with tampered tag accepted")
+	}
+	// Tampering a single piece must NOT kill the ciphertext: any other
+	// intact piece still decrypts (this is BFE's redundancy, which the
+	// fault-tolerance analysis relies on).
+	mut2 := append([]byte{}, ct...)
+	mut2[TagSize+10] ^= 1
+	if _, err := sk.Decrypt(mut2, nil); err != nil {
+		t.Fatalf("single tampered piece killed the whole ciphertext: %v", err)
+	}
+	if _, err := sk.Decrypt(append(ct, 0), nil); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestRotationCounter(t *testing.T) {
+	p := Params{M: 64, K: 8}
+	sk, pk, err := KeyGen(p, securestore.NewMemOracle(), rand.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.NeedsRotation() {
+		t.Fatal("fresh key needs rotation")
+	}
+	if got := p.MaxPunctures(); got != 4 {
+		t.Fatalf("MaxPunctures = %d, want 4", got)
+	}
+	// Punctures delete at most K fresh positions each (fewer on overlap),
+	// so rotation must trigger after at least MaxPunctures punctures and
+	// within a small multiple of it.
+	punctures := 0
+	for !sk.NeedsRotation() {
+		if punctures > 8*p.MaxPunctures() {
+			t.Fatalf("rotation never triggered after %d punctures (count=%d)",
+				punctures, sk.PuncturedCount())
+		}
+		ct, err := pk.Encrypt([]byte("m"), nil, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sk.DecryptAndPuncture(ct, nil); err != nil && !errors.Is(err, ErrPunctured) {
+			t.Fatal(err)
+		}
+		punctures++
+	}
+	if punctures < p.MaxPunctures() {
+		t.Fatalf("rotation triggered after only %d punctures", punctures)
+	}
+	if sk.PuncturedCount() < p.M/2 {
+		t.Fatalf("rotation flagged at count %d < M/2", sk.PuncturedCount())
+	}
+}
+
+func TestParamsForPunctures(t *testing.T) {
+	p := ParamsForPunctures(1000, 16)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxPunctures() < 1000 {
+		t.Fatalf("budget %d < requested 1000", p.MaxPunctures())
+	}
+	if p.K != 16 {
+		t.Fatalf("K = %d", p.K)
+	}
+	// degenerate inputs still validate
+	if err := ParamsForPunctures(0, 0).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicKeySerialization(t *testing.T) {
+	_, pk := keygen(t)
+	parsed, err := PublicKeyFromBytes(pk.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.M != pk.M || parsed.K != pk.K || len(parsed.Points) != len(pk.Points) {
+		t.Fatal("parsed params mismatch")
+	}
+	for i := range pk.Points {
+		if !parsed.Points[i].Equal(pk.Points[i]) {
+			t.Fatalf("point %d mismatch", i)
+		}
+	}
+	if _, err := PublicKeyFromBytes(pk.Bytes()[:40]); err == nil {
+		t.Fatal("truncated public key accepted")
+	}
+	if _, err := PublicKeyFromBytes(nil); err == nil {
+		t.Fatal("empty public key accepted")
+	}
+}
+
+func TestKeyGenSecretOnlyAndPublicKeyAt(t *testing.T) {
+	p := Params{M: 64, K: 4}
+	sk, err := KeyGenSecretOnly(p, securestore.NewMemOracle(), rand.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the public key position-by-position via PublicKeyAt and
+	// round-trip a message through it.
+	full := &PublicKey{Params: p}
+	for i := 0; i < p.M; i++ {
+		pt, err := sk.PublicKeyAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full.Points = append(full.Points, pt)
+	}
+	ct, err := full.Encrypt([]byte("sparse"), nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.DecryptAndPuncture(ct, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "sparse" {
+		t.Fatal("sparse round-trip failed")
+	}
+}
+
+func TestMeterChargesRotationCost(t *testing.T) {
+	m := meter.New()
+	p := Params{M: 128, K: 4}
+	if _, _, err := KeyGen(p, securestore.NewMemOracle(), rand.Reader, m); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Get(meter.OpECMul); got != 128 {
+		t.Fatalf("KeyGen charged %d EC mults, want 128", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{{M: 0, K: 1}, {M: 10, K: 0}, {M: 10, K: 11}}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("params %+v validated", p)
+		}
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	_, pk := keygen(b)
+	msg := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.Encrypt(msg, nil, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecryptAndPuncture(b *testing.B) {
+	p := Params{M: 1 << 14, K: 8}
+	sk, pk, err := KeyGen(p, securestore.NewMemOracle(), rand.Reader, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cts := make([][]byte, b.N)
+	for i := range cts {
+		ct, err := pk.Encrypt([]byte("m"), nil, rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cts[i] = ct
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.DecryptAndPuncture(cts[i], nil); err != nil && !errors.Is(err, ErrPunctured) {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDeterministicTagSharedPuncture(t *testing.T) {
+	// Two ciphertexts created with the same tag (a client's same-salt
+	// backup series) die together on one puncture — the §8 semantics.
+	sk, pk := keygen(t)
+	tag := bytes.Repeat([]byte{9}, TagSize)
+	ct1, err := pk.EncryptWithTag(tag, []byte("backup-1"), []byte("ad"), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := pk.EncryptWithTag(tag, []byte("backup-2"), []byte("ad"), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.DecryptAndPuncture(ct2, []byte("ad")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.Decrypt(ct1, []byte("ad")); !errors.Is(err, ErrPunctured) {
+		t.Fatalf("earlier same-tag ciphertext survived puncture: %v", err)
+	}
+}
+
+func TestEncryptWithTagValidatesLength(t *testing.T) {
+	_, pk := keygen(t)
+	if _, err := pk.EncryptWithTag([]byte{1, 2}, []byte("m"), nil, rand.Reader); err == nil {
+		t.Fatal("short tag accepted")
+	}
+}
+
+func TestFleetTagStability(t *testing.T) {
+	// Fleet encryptions with identical ad reuse positions (same tag), so
+	// puncturing one kills the other; different ad gives independent tags.
+	sk, pk, err := KeyGen(testParams, securestore.NewMemOracle(), rand.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFleet([]*PublicKey{pk})
+	ad := []byte("user|salt|pos0|hsm0")
+	ct1, err := f.EncryptTo(0, []byte("m1"), ad, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := f.EncryptTo(0, []byte("m2"), ad, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctOther, err := f.EncryptTo(0, []byte("m3"), []byte("other-ad"), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.DecryptAndPuncture(ct1, ad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.Decrypt(ct2, ad); !errors.Is(err, ErrPunctured) {
+		t.Fatal("same-ad ciphertext survived puncture")
+	}
+	if got, err := sk.Decrypt(ctOther, []byte("other-ad")); err != nil || string(got) != "m3" {
+		t.Fatalf("unrelated-ad ciphertext damaged: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package bls
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// BLS multisignatures with public-key aggregation [14]: signatures are G1
+// points, public keys are G2 points. All HSMs sign the same message (the
+// log-update tuple), the service provider adds the signatures together, and
+// every HSM verifies the single aggregate against the sum of the public
+// keys. Rogue-key attacks are prevented by proofs of possession, checked
+// once when a public key is registered.
+
+const (
+	sigDomain = "safetypin/bls/sig/v1"
+	popDomain = "safetypin/bls/pop/v1"
+)
+
+// SecretKey is a BLS signing key.
+type SecretKey struct {
+	s *big.Int
+}
+
+// PublicKey is a BLS verification key.
+type PublicKey struct {
+	p G2
+}
+
+// Signature is a BLS signature (or aggregate of signatures).
+type Signature struct {
+	p G1
+}
+
+// GenerateKey samples a keypair from rng.
+func GenerateKey(rng io.Reader) (*SecretKey, *PublicKey, error) {
+	for {
+		s, err := rand.Int(rng, rOrder)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bls: sampling key: %w", err)
+		}
+		if s.Sign() == 0 {
+			continue
+		}
+		return &SecretKey{s: s}, &PublicKey{p: G2Generator().Mul(s)}, nil
+	}
+}
+
+// Sign signs msg.
+func (sk *SecretKey) Sign(msg []byte) *Signature {
+	return &Signature{p: HashToG1(sigDomain, msg).Mul(sk.s)}
+}
+
+// Verify checks a (possibly aggregate) signature on msg under pk (possibly
+// an aggregate public key).
+func (pk *PublicKey) Verify(msg []byte, sig *Signature) (bool, error) {
+	if sig == nil || sig.p.IsInfinity() || pk.p.IsInfinity() {
+		return false, nil
+	}
+	// e(σ, G2) == e(H(m), pk)  ⇔  e(−σ, G2)·e(H(m), pk) == 1
+	return PairingCheck(
+		[]G1{sig.p.Neg(), HashToG1(sigDomain, msg)},
+		[]G2{G2Generator(), pk.p},
+	)
+}
+
+// ProvePossession returns a proof of possession for the keypair, which
+// registrars verify to block rogue-key aggregation attacks.
+func (sk *SecretKey) ProvePossession(pk *PublicKey) *Signature {
+	return &Signature{p: HashToG1(popDomain, pk.Bytes()).Mul(sk.s)}
+}
+
+// VerifyPossession checks a proof of possession for pk.
+func VerifyPossession(pk *PublicKey, pop *Signature) (bool, error) {
+	if pop == nil || pop.p.IsInfinity() || pk.p.IsInfinity() {
+		return false, nil
+	}
+	return PairingCheck(
+		[]G1{pop.p.Neg(), HashToG1(popDomain, pk.Bytes())},
+		[]G2{G2Generator(), pk.p},
+	)
+}
+
+// AggregateSignatures sums signatures on the same message into one.
+func AggregateSignatures(sigs []*Signature) (*Signature, error) {
+	if len(sigs) == 0 {
+		return nil, errors.New("bls: nothing to aggregate")
+	}
+	acc := g1Infinity()
+	for i, s := range sigs {
+		if s == nil {
+			return nil, fmt.Errorf("bls: nil signature at %d", i)
+		}
+		acc = acc.Add(s.p)
+	}
+	return &Signature{p: acc}, nil
+}
+
+// AggregatePublicKeys sums public keys into the aggregate verification key.
+func AggregatePublicKeys(pks []*PublicKey) (*PublicKey, error) {
+	if len(pks) == 0 {
+		return nil, errors.New("bls: nothing to aggregate")
+	}
+	acc := g2Infinity()
+	for i, pk := range pks {
+		if pk == nil {
+			return nil, fmt.Errorf("bls: nil public key at %d", i)
+		}
+		acc = acc.Add(pk.p)
+	}
+	return &PublicKey{p: acc}, nil
+}
+
+// Bytes serializes the public key.
+func (pk *PublicKey) Bytes() []byte { return pk.p.Bytes() }
+
+// PublicKeyFromBytes decodes and validates a public key.
+func PublicKeyFromBytes(b []byte) (*PublicKey, error) {
+	p, err := G2FromBytes(b)
+	if err != nil {
+		return nil, err
+	}
+	return &PublicKey{p: p}, nil
+}
+
+// Bytes serializes the signature.
+func (s *Signature) Bytes() []byte { return s.p.Bytes() }
+
+// SignatureFromBytes decodes and validates a signature.
+func SignatureFromBytes(b []byte) (*Signature, error) {
+	p, err := G1FromBytes(b)
+	if err != nil {
+		return nil, err
+	}
+	return &Signature{p: p}, nil
+}
+
+// Equal reports public-key equality.
+func (pk *PublicKey) Equal(other *PublicKey) bool {
+	return other != nil && pk.p.Equal(other.p)
+}

@@ -1,0 +1,213 @@
+package bls
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+func TestSignVerify(t *testing.T) {
+	sk, pk, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("log update: d -> d'")
+	sig := sk.Sign(msg)
+	ok, err := pk.Verify(msg, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("valid signature rejected")
+	}
+}
+
+func TestVerifyRejectsWrongMessage(t *testing.T) {
+	sk, pk, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := sk.Sign([]byte("msg-a"))
+	ok, err := pk.Verify([]byte("msg-b"), sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("signature verified under wrong message")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	sk, _, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pk2, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := sk.Sign([]byte("msg"))
+	ok, err := pk2.Verify([]byte("msg"), sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("signature verified under wrong key")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	msg := []byte("the shared log-update tuple")
+	const n = 4
+	var sigs []*Signature
+	var pks []*PublicKey
+	for i := 0; i < n; i++ {
+		sk, pk, err := GenerateKey(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs = append(sigs, sk.Sign(msg))
+		pks = append(pks, pk)
+	}
+	agg, err := AggregateSignatures(sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apk, err := AggregatePublicKeys(pks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := apk.Verify(msg, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("aggregate signature rejected")
+	}
+}
+
+func TestAggregateMissingSignerFails(t *testing.T) {
+	msg := []byte("tuple")
+	var sigs []*Signature
+	var pks []*PublicKey
+	for i := 0; i < 3; i++ {
+		sk, pk, err := GenerateKey(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs = append(sigs, sk.Sign(msg))
+		pks = append(pks, pk)
+	}
+	// Aggregate only two signatures but all three keys.
+	agg, err := AggregateSignatures(sigs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	apk, err := AggregatePublicKeys(pks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := apk.Verify(msg, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("aggregate missing a signer verified")
+	}
+}
+
+func TestProofOfPossession(t *testing.T) {
+	sk, pk, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := sk.ProvePossession(pk)
+	ok, err := VerifyPossession(pk, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("valid PoP rejected")
+	}
+	// A PoP for a different key must not transfer.
+	_, pk2, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = VerifyPossession(pk2, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("PoP verified for foreign key")
+	}
+}
+
+func TestSignatureSerialization(t *testing.T) {
+	sk, pk, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := sk.Sign([]byte("m"))
+	parsed, err := SignatureFromBytes(sig.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := pk.Verify([]byte("m"), parsed)
+	if err != nil || !ok {
+		t.Fatal("serialized signature failed to verify")
+	}
+	pkParsed, err := PublicKeyFromBytes(pk.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pkParsed.Equal(pk) {
+		t.Fatal("public key round-trip failed")
+	}
+}
+
+func TestNilAndInfinityRejected(t *testing.T) {
+	_, pk, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := pk.Verify([]byte("m"), nil); ok {
+		t.Fatal("nil signature verified")
+	}
+	if ok, _ := pk.Verify([]byte("m"), &Signature{p: g1Infinity()}); ok {
+		t.Fatal("infinity signature verified")
+	}
+	if _, err := AggregateSignatures(nil); err == nil {
+		t.Fatal("empty aggregation accepted")
+	}
+	if _, err := AggregatePublicKeys(nil); err == nil {
+		t.Fatal("empty key aggregation accepted")
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	sk, _, err := GenerateKey(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := []byte("log tuple")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Sign(msg)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	sk, pk, err := GenerateKey(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := []byte("log tuple")
+	sig := sk.Sign(msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := pk.Verify(msg, sig)
+		if err != nil || !ok {
+			b.Fatal("verify failed")
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package bls
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// G1 is a point on E(Fp): y² = x³ + 4, in affine coordinates. The zero value
+// is the point at infinity.
+type G1 struct {
+	x, y *big.Int
+	inf  bool
+}
+
+// G2 is a point on the twist E'(Fp2): y² = x³ + 4(u+1). The zero value is
+// the point at infinity.
+type G2 struct {
+	x, y fp2
+	inf  bool
+}
+
+// g1Infinity and g2Infinity constructors.
+func g1Infinity() G1 { return G1{inf: true} }
+func g2Infinity() G2 { return G2{inf: true} }
+
+// G1Generator returns the standard G1 base point.
+func G1Generator() G1 {
+	return G1{
+		x: mustBig("17f1d3a73197d7942695638c4fa9ac0fc3688c4f9774b905a14e3a3f171bac586c55e83ff97a1aeffb3af00adb22c6bb"),
+		y: mustBig("08b3f481e3aaa0f1a09e30ed741d8ae4fcf5e095d5d00af600db18cb2c04b3edd03cc744a2888ae40caa232946c5e7e1"),
+	}
+}
+
+// G2Generator returns the standard G2 base point.
+func G2Generator() G2 {
+	return G2{
+		x: fp2{
+			mustBig("024aa2b2f08f0a91260805272dc51051c6e47ad4fa403b02b4510b647ae3d1770bac0326a805bbefd48056c8c121bdb8"),
+			mustBig("13e02b6052719f607dacd3a088274f65596bd0d09920b61ab5da61bbdc7f5049334cf11213945d57e5ac7d055d042b7e"),
+		},
+		y: fp2{
+			mustBig("0ce5d527727d6e118cc9cdc6da2e351aadfd9baa8cbdd3a76d429a695160d12c923ac9cc3baca289e193548608b82801"),
+			mustBig("0606c4a02ea734cc32acd2b02bc28b99cb3e287e85a763af267492ab572e99ab3f370d275cec1da1aaa9075ff05f79be"),
+		},
+	}
+}
+
+// Order returns a copy of the group order r.
+func Order() *big.Int { return new(big.Int).Set(rOrder) }
+
+// --- G1 arithmetic ---
+
+// IsInfinity reports whether the point is the identity.
+func (p G1) IsInfinity() bool { return p.inf }
+
+// OnCurve reports whether the point satisfies y² = x³ + 4.
+func (p G1) OnCurve() bool {
+	if p.inf {
+		return true
+	}
+	lhs := fpMul(p.y, p.y)
+	rhs := fpAdd(fpMul(fpMul(p.x, p.x), p.x), big4)
+	return lhs.Cmp(rhs) == 0
+}
+
+// Equal reports point equality.
+func (p G1) Equal(q G1) bool {
+	if p.inf || q.inf {
+		return p.inf == q.inf
+	}
+	return p.x.Cmp(q.x) == 0 && p.y.Cmp(q.y) == 0
+}
+
+// Neg returns −p.
+func (p G1) Neg() G1 {
+	if p.inf {
+		return p
+	}
+	return G1{x: new(big.Int).Set(p.x), y: fpNeg(p.y)}
+}
+
+// Add returns p + q.
+func (p G1) Add(q G1) G1 {
+	if p.inf {
+		return q
+	}
+	if q.inf {
+		return p
+	}
+	if p.x.Cmp(q.x) == 0 {
+		if fpAdd(p.y, q.y).Sign() == 0 {
+			return g1Infinity()
+		}
+		return p.double()
+	}
+	lambda := fpMul(fpSub(q.y, p.y), fpInv(fpSub(q.x, p.x)))
+	return p.chord(q, lambda)
+}
+
+func (p G1) double() G1 {
+	if p.inf || p.y.Sign() == 0 {
+		return g1Infinity()
+	}
+	lambda := fpMul(fpMul(big3, fpMul(p.x, p.x)), fpInv(fpAdd(p.y, p.y)))
+	return p.chord(p, lambda)
+}
+
+func (p G1) chord(q G1, lambda *big.Int) G1 {
+	x3 := fpSub(fpSub(fpMul(lambda, lambda), p.x), q.x)
+	y3 := fpSub(fpMul(lambda, fpSub(p.x, x3)), p.y)
+	return G1{x: x3, y: y3}
+}
+
+// Mul returns k·p for k ≥ 0 (k is reduced mod r).
+func (p G1) Mul(k *big.Int) G1 {
+	k = new(big.Int).Mod(k, rOrder)
+	out := g1Infinity()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		out = out.Add(out)
+		if k.Bit(i) == 1 {
+			out = out.Add(p)
+		}
+	}
+	return out
+}
+
+// mulRaw multiplies by an arbitrary non-negative integer without reducing
+// mod r (needed for cofactor clearing, where the factor exceeds r's range
+// semantics).
+func (p G1) mulRaw(k *big.Int) G1 {
+	out := g1Infinity()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		out = out.Add(out)
+		if k.Bit(i) == 1 {
+			out = out.Add(p)
+		}
+	}
+	return out
+}
+
+// InSubgroup reports whether p lies in the order-r subgroup.
+func (p G1) InSubgroup() bool {
+	return p.OnCurve() && p.mulRaw(rOrder).IsInfinity()
+}
+
+// --- G2 arithmetic ---
+
+// IsInfinity reports whether the point is the identity.
+func (p G2) IsInfinity() bool { return p.inf }
+
+// OnCurve reports whether the point satisfies y² = x³ + 4(u+1).
+func (p G2) OnCurve() bool {
+	if p.inf {
+		return true
+	}
+	lhs := p.y.square()
+	b := fp2{big4, big4} // 4 + 4u = 4(1+u) = 4ξ
+	rhs := p.x.square().mul(p.x).add(b)
+	return lhs.equal(rhs)
+}
+
+// Equal reports point equality.
+func (p G2) Equal(q G2) bool {
+	if p.inf || q.inf {
+		return p.inf == q.inf
+	}
+	return p.x.equal(q.x) && p.y.equal(q.y)
+}
+
+// Neg returns −p.
+func (p G2) Neg() G2 {
+	if p.inf {
+		return p
+	}
+	return G2{x: p.x, y: p.y.neg()}
+}
+
+// Add returns p + q.
+func (p G2) Add(q G2) G2 {
+	if p.inf {
+		return q
+	}
+	if q.inf {
+		return p
+	}
+	if p.x.equal(q.x) {
+		if p.y.add(q.y).isZero() {
+			return g2Infinity()
+		}
+		return p.double()
+	}
+	lambda := q.y.sub(p.y).mul(q.x.sub(p.x).inv())
+	return p.chord(q, lambda)
+}
+
+func (p G2) double() G2 {
+	if p.inf || p.y.isZero() {
+		return g2Infinity()
+	}
+	three := fp2{big.NewInt(3), new(big.Int)}
+	lambda := three.mul(p.x.square()).mul(p.y.add(p.y).inv())
+	return p.chord(p, lambda)
+}
+
+func (p G2) chord(q G2, lambda fp2) G2 {
+	x3 := lambda.square().sub(p.x).sub(q.x)
+	y3 := lambda.mul(p.x.sub(x3)).sub(p.y)
+	return G2{x: x3, y: y3}
+}
+
+// Mul returns k·p for k reduced mod r.
+func (p G2) Mul(k *big.Int) G2 {
+	k = new(big.Int).Mod(k, rOrder)
+	out := g2Infinity()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		out = out.Add(out)
+		if k.Bit(i) == 1 {
+			out = out.Add(p)
+		}
+	}
+	return out
+}
+
+func (p G2) mulRaw(k *big.Int) G2 {
+	out := g2Infinity()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		out = out.Add(out)
+		if k.Bit(i) == 1 {
+			out = out.Add(p)
+		}
+	}
+	return out
+}
+
+// InSubgroup reports whether p lies in the order-r subgroup of the twist.
+func (p G2) InSubgroup() bool {
+	return p.OnCurve() && p.mulRaw(rOrder).IsInfinity()
+}
+
+// --- hashing to G1 ---
+
+// HashToG1 maps a message (with domain-separation tag) onto the order-r
+// subgroup of G1 using try-and-increment plus cofactor clearing. Not
+// constant time — acceptable for this simulator, as hash inputs (log
+// digests) are public.
+func HashToG1(domain string, msg []byte) G1 {
+	for ctr := uint32(0); ; ctr++ {
+		h := sha256.New()
+		h.Write([]byte("BLS12381-H2G1|"))
+		h.Write([]byte(domain))
+		h.Write([]byte{0})
+		var cb [4]byte
+		binary.BigEndian.PutUint32(cb[:], ctr)
+		h.Write(cb[:])
+		h.Write(msg)
+		d1 := h.Sum(nil)
+		h.Reset()
+		h.Write([]byte("ext|"))
+		h.Write(d1)
+		d2 := h.Sum(nil)
+		// 64 bytes → x mod p with negligible bias.
+		x := new(big.Int).SetBytes(append(d1, d2...))
+		x.Mod(x, pMod)
+		rhs := fpAdd(fpMul(fpMul(x, x), x), big4)
+		y := new(big.Int).Exp(rhs, sqrtExp, pMod)
+		if fpMul(y, y).Cmp(rhs) != 0 {
+			continue // not a quadratic residue; try next counter
+		}
+		if d1[0]&1 == 1 {
+			y = fpNeg(y)
+		}
+		p := G1{x: x, y: y}.mulRaw(g1CofactorH)
+		if p.IsInfinity() {
+			continue
+		}
+		return p
+	}
+}
+
+// --- encodings ---
+
+const fpSize = 48
+
+// G1Size is the encoded size of a G1 point.
+const G1Size = 1 + 2*fpSize
+
+// G2Size is the encoded size of a G2 point.
+const G2Size = 1 + 4*fpSize
+
+// Bytes encodes the point (0x00 = infinity, 0x04 ‖ x ‖ y otherwise).
+func (p G1) Bytes() []byte {
+	out := make([]byte, G1Size)
+	if p.inf {
+		return out
+	}
+	out[0] = 0x04
+	p.x.FillBytes(out[1 : 1+fpSize])
+	p.y.FillBytes(out[1+fpSize:])
+	return out
+}
+
+// G1FromBytes decodes a point, enforcing curve and subgroup membership.
+func G1FromBytes(b []byte) (G1, error) {
+	if len(b) != G1Size {
+		return G1{}, fmt.Errorf("bls: G1 encoding must be %d bytes, got %d", G1Size, len(b))
+	}
+	if b[0] == 0 {
+		return g1Infinity(), nil
+	}
+	if b[0] != 0x04 {
+		return G1{}, errors.New("bls: bad G1 tag byte")
+	}
+	p := G1{x: new(big.Int).SetBytes(b[1 : 1+fpSize]), y: new(big.Int).SetBytes(b[1+fpSize:])}
+	if p.x.Cmp(pMod) >= 0 || p.y.Cmp(pMod) >= 0 {
+		return G1{}, errors.New("bls: G1 coordinate out of range")
+	}
+	if !p.InSubgroup() {
+		return G1{}, errors.New("bls: G1 point not in subgroup")
+	}
+	return p, nil
+}
+
+// Bytes encodes the point (0x00 = infinity, 0x04 ‖ x0 ‖ x1 ‖ y0 ‖ y1).
+func (p G2) Bytes() []byte {
+	out := make([]byte, G2Size)
+	if p.inf {
+		return out
+	}
+	out[0] = 0x04
+	p.x.c0.FillBytes(out[1 : 1+fpSize])
+	p.x.c1.FillBytes(out[1+fpSize : 1+2*fpSize])
+	p.y.c0.FillBytes(out[1+2*fpSize : 1+3*fpSize])
+	p.y.c1.FillBytes(out[1+3*fpSize:])
+	return out
+}
+
+// G2FromBytes decodes a point, enforcing curve and subgroup membership.
+func G2FromBytes(b []byte) (G2, error) {
+	if len(b) != G2Size {
+		return G2{}, fmt.Errorf("bls: G2 encoding must be %d bytes, got %d", G2Size, len(b))
+	}
+	if b[0] == 0 {
+		return g2Infinity(), nil
+	}
+	if b[0] != 0x04 {
+		return G2{}, errors.New("bls: bad G2 tag byte")
+	}
+	coords := make([]*big.Int, 4)
+	for i := range coords {
+		coords[i] = new(big.Int).SetBytes(b[1+i*fpSize : 1+(i+1)*fpSize])
+		if coords[i].Cmp(pMod) >= 0 {
+			return G2{}, errors.New("bls: G2 coordinate out of range")
+		}
+	}
+	p := G2{x: fp2{coords[0], coords[1]}, y: fp2{coords[2], coords[3]}}
+	if !p.InSubgroup() {
+		return G2{}, errors.New("bls: G2 point not in subgroup")
+	}
+	return p, nil
+}

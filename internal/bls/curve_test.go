@@ -1,0 +1,162 @@
+package bls
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func TestGeneratorsOnCurve(t *testing.T) {
+	if !G1Generator().OnCurve() {
+		t.Fatal("G1 generator off curve")
+	}
+	if !G2Generator().OnCurve() {
+		t.Fatal("G2 generator off curve")
+	}
+}
+
+func TestGeneratorsInSubgroup(t *testing.T) {
+	if !G1Generator().InSubgroup() {
+		t.Fatal("G1 generator not in subgroup (r·G != ∞)")
+	}
+	if !G2Generator().InSubgroup() {
+		t.Fatal("G2 generator not in subgroup")
+	}
+}
+
+func TestG1GroupLaws(t *testing.T) {
+	g := G1Generator()
+	a, _ := rand.Int(rand.Reader, rOrder)
+	b, _ := rand.Int(rand.Reader, rOrder)
+	P, Q := g.Mul(a), g.Mul(b)
+	if !P.Add(Q).Equal(Q.Add(P)) {
+		t.Fatal("G1 addition not commutative")
+	}
+	sum := new(big.Int).Add(a, b)
+	if !g.Mul(sum).Equal(P.Add(Q)) {
+		t.Fatal("G1 scalar homomorphism broken")
+	}
+	if !P.Add(P.Neg()).IsInfinity() {
+		t.Fatal("P + (-P) != ∞")
+	}
+	if !P.Add(g1Infinity()).Equal(P) {
+		t.Fatal("P + ∞ != P")
+	}
+	if !P.OnCurve() {
+		t.Fatal("scalar multiple off curve")
+	}
+}
+
+func TestG2GroupLaws(t *testing.T) {
+	g := G2Generator()
+	a, _ := rand.Int(rand.Reader, rOrder)
+	b, _ := rand.Int(rand.Reader, rOrder)
+	P, Q := g.Mul(a), g.Mul(b)
+	if !P.Add(Q).Equal(Q.Add(P)) {
+		t.Fatal("G2 addition not commutative")
+	}
+	sum := new(big.Int).Add(a, b)
+	if !g.Mul(sum).Equal(P.Add(Q)) {
+		t.Fatal("G2 scalar homomorphism broken")
+	}
+	if !P.Add(P.Neg()).IsInfinity() {
+		t.Fatal("P + (-P) != ∞")
+	}
+	if !P.OnCurve() {
+		t.Fatal("scalar multiple off curve")
+	}
+}
+
+func TestG1DoubleMatchesAdd(t *testing.T) {
+	g := G1Generator()
+	if !g.Add(g).Equal(g.Mul(big.NewInt(2))) {
+		t.Fatal("2G mismatch")
+	}
+	if !g.Add(g).Add(g).Equal(g.Mul(big.NewInt(3))) {
+		t.Fatal("3G mismatch")
+	}
+}
+
+func TestHashToG1(t *testing.T) {
+	p := HashToG1("test", []byte("message"))
+	if !p.InSubgroup() {
+		t.Fatal("hashed point not in subgroup")
+	}
+	q := HashToG1("test", []byte("message"))
+	if !p.Equal(q) {
+		t.Fatal("hash-to-curve not deterministic")
+	}
+	r := HashToG1("test", []byte("other"))
+	if p.Equal(r) {
+		t.Fatal("different messages hash to same point")
+	}
+	s := HashToG1("other-domain", []byte("message"))
+	if p.Equal(s) {
+		t.Fatal("different domains hash to same point")
+	}
+}
+
+func TestG1Serialization(t *testing.T) {
+	p := G1Generator().Mul(big.NewInt(987654321))
+	got, err := G1FromBytes(p.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(p) {
+		t.Fatal("G1 round-trip failed")
+	}
+	inf, err := G1FromBytes(g1Infinity().Bytes())
+	if err != nil || !inf.IsInfinity() {
+		t.Fatal("G1 infinity round-trip failed")
+	}
+	if _, err := G1FromBytes(make([]byte, 5)); err == nil {
+		t.Fatal("short encoding accepted")
+	}
+	bad := p.Bytes()
+	bad[10] ^= 1
+	if _, err := G1FromBytes(bad); err == nil {
+		t.Fatal("off-curve point accepted")
+	}
+}
+
+func TestG2Serialization(t *testing.T) {
+	p := G2Generator().Mul(big.NewInt(123456789))
+	got, err := G2FromBytes(p.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(p) {
+		t.Fatal("G2 round-trip failed")
+	}
+	inf, err := G2FromBytes(g2Infinity().Bytes())
+	if err != nil || !inf.IsInfinity() {
+		t.Fatal("G2 infinity round-trip failed")
+	}
+	bad := p.Bytes()
+	bad[20] ^= 1
+	if _, err := G2FromBytes(bad); err == nil {
+		t.Fatal("corrupted G2 point accepted")
+	}
+}
+
+func TestSubgroupRejection(t *testing.T) {
+	// A point on the curve but outside the r-order subgroup must be
+	// rejected by deserialization. Construct one by finding an x whose
+	// curve point has full cofactor order: hash points *before* cofactor
+	// clearing are overwhelmingly outside the subgroup.
+	x := big.NewInt(5)
+	for {
+		rhs := fpAdd(fpMul(fpMul(x, x), x), big4)
+		y := new(big.Int).Exp(rhs, sqrtExp, pMod)
+		if fpMul(y, y).Cmp(rhs) == 0 {
+			p := G1{x: x, y: y}
+			if p.OnCurve() && !p.InSubgroup() {
+				if _, err := G1FromBytes(p.Bytes()); err == nil {
+					t.Fatal("non-subgroup point accepted")
+				}
+				return
+			}
+		}
+		x.Add(x, big.NewInt(1))
+	}
+}

@@ -1,0 +1,165 @@
+package bls
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func randFp(t testing.TB) *big.Int {
+	t.Helper()
+	v, err := rand.Int(rand.Reader, pMod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func randFp2(t testing.TB) fp2 { return fp2{randFp(t), randFp(t)} }
+
+func randFp6(t testing.TB) fp6 { return fp6{randFp2(t), randFp2(t), randFp2(t)} }
+
+func randFp12(t testing.TB) fp12 { return fp12{randFp6(t), randFp6(t)} }
+
+func TestFpInverse(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		a := randFp(t)
+		if a.Sign() == 0 {
+			continue
+		}
+		if fpMul(a, fpInv(a)).Cmp(big.NewInt(1)) != 0 {
+			t.Fatal("fp inverse broken")
+		}
+	}
+}
+
+func TestFp2FieldLaws(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		a, b, c := randFp2(t), randFp2(t), randFp2(t)
+		if !a.mul(b).equal(b.mul(a)) {
+			t.Fatal("fp2 mul not commutative")
+		}
+		if !a.mul(b.mul(c)).equal(a.mul(b).mul(c)) {
+			t.Fatal("fp2 mul not associative")
+		}
+		if !a.mul(b.add(c)).equal(a.mul(b).add(a.mul(c))) {
+			t.Fatal("fp2 not distributive")
+		}
+		if a.isZero() {
+			continue
+		}
+		if !a.mul(a.inv()).equal(fp2One()) {
+			t.Fatal("fp2 inverse broken")
+		}
+	}
+}
+
+func TestFp2NonResidue(t *testing.T) {
+	// u² = −1
+	u := fp2{new(big.Int), big.NewInt(1)}
+	minus1 := fp2{fpNeg(big.NewInt(1)), new(big.Int)}
+	if !u.mul(u).equal(minus1) {
+		t.Fatal("u² != -1")
+	}
+	// mulByXi is multiplication by 1+u
+	xi := fp2{big.NewInt(1), big.NewInt(1)}
+	a := randFp2(t)
+	if !a.mulByXi().equal(a.mul(xi)) {
+		t.Fatal("mulByXi mismatch")
+	}
+}
+
+func TestFp6FieldLaws(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		a, b, c := randFp6(t), randFp6(t), randFp6(t)
+		if !a.mul(b).equal(b.mul(a)) {
+			t.Fatal("fp6 mul not commutative")
+		}
+		if !a.mul(b.mul(c)).equal(a.mul(b).mul(c)) {
+			t.Fatal("fp6 mul not associative")
+		}
+		if !a.mul(b.add(c)).equal(a.mul(b).add(a.mul(c))) {
+			t.Fatal("fp6 not distributive")
+		}
+		if a.isZero() {
+			continue
+		}
+		if !a.mul(a.inv()).equal(fp6One()) {
+			t.Fatal("fp6 inverse broken")
+		}
+	}
+}
+
+func TestFp6VCubed(t *testing.T) {
+	// v³ = ξ: multiplying three times by v equals multiplying by ξ embedded.
+	a := randFp6(t)
+	byV3 := a.mulByV().mulByV().mulByV()
+	xiEmbedded := fp6{a.b0.mulByXi(), a.b1.mulByXi(), a.b2.mulByXi()}
+	if !byV3.equal(xiEmbedded) {
+		t.Fatal("v³ != ξ")
+	}
+}
+
+func TestFp12FieldLaws(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		a, b := randFp12(t), randFp12(t)
+		if !a.mul(b).equal(b.mul(a)) {
+			t.Fatal("fp12 mul not commutative")
+		}
+		if !a.mul(a.inv()).isOne() {
+			t.Fatal("fp12 inverse broken")
+		}
+		if !a.mul(fp12One()).equal(a) {
+			t.Fatal("fp12 identity broken")
+		}
+	}
+}
+
+func TestFp12WSquaredIsV(t *testing.T) {
+	w := fp12W()
+	w2 := w.mul(w)
+	// w² should be v: the fp6 element (0, 1, 0) in the a0 slot.
+	want := fp12{fp6{fp2Zero(), fp2One(), fp2Zero()}, fp6Zero()}
+	if !w2.equal(want) {
+		t.Fatal("w² != v")
+	}
+}
+
+func TestFp12ExpHomomorphism(t *testing.T) {
+	a := randFp12(t)
+	e1, e2 := big.NewInt(12345), big.NewInt(67890)
+	sum := new(big.Int).Add(e1, e2)
+	if !a.exp(e1).mul(a.exp(e2)).equal(a.exp(sum)) {
+		t.Fatal("a^e1 · a^e2 != a^(e1+e2)")
+	}
+}
+
+func TestConjIsFrobenius6(t *testing.T) {
+	// conj(a) must equal a^{p⁶} — the identity the final exponentiation
+	// relies on.
+	a := randFp12(t)
+	p6 := new(big.Int).Exp(pMod, big.NewInt(6), nil)
+	if !a.conj().equal(a.exp(p6)) {
+		t.Fatal("conj != Frobenius^6")
+	}
+}
+
+func TestHardExpWellFormed(t *testing.T) {
+	// (p⁴ − p² + 1) = hardExp · r exactly (checked at init; re-check here).
+	p2 := new(big.Int).Mul(pMod, pMod)
+	p4 := new(big.Int).Mul(p2, p2)
+	e := new(big.Int).Sub(p4, p2)
+	e.Add(e, big.NewInt(1))
+	if new(big.Int).Mul(hardExp, rOrder).Cmp(e) != 0 {
+		t.Fatal("hardExp · r != p⁴ − p² + 1")
+	}
+}
+
+func TestFpInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fpInv(new(big.Int))
+}

@@ -1,0 +1,154 @@
+package bls
+
+import "errors"
+
+// The pairing is the optimal-ate pairing e: G1 × G2 → GT ⊂ Fp12*. For
+// clarity (and to avoid the notoriously error-prone sparse-line algebra of
+// twisted coordinates) we untwist G2 points into E(Fp12) once per pairing
+// and run a textbook Miller loop with generic Fp12 arithmetic. The final
+// exponentiation splits into the Frobenius-free easy part
+// f^{(p⁶−1)(p²+1)} — using conj(f) = f^{p⁶} and a plain exponentiation by
+// p² — and the hard part f^{(p⁴−p²+1)/r} as one big exponentiation.
+
+// g1Fp12 is a G1 or untwisted G2 point with coordinates in Fp12.
+type g1Fp12 struct {
+	x, y fp12
+	inf  bool
+}
+
+// untwist maps a twist point into E(Fp12): (x, y) → (x/w², y/w³), which
+// satisfies y² = x³ + 4 because w⁶ = ξ.
+func untwist(q G2) g1Fp12 {
+	if q.inf {
+		return g1Fp12{inf: true}
+	}
+	w := fp12W()
+	wInv := w.inv()
+	w2Inv := wInv.mul(wInv)
+	w3Inv := w2Inv.mul(wInv)
+	return g1Fp12{
+		x: fp12FromFp2(q.x).mul(w2Inv),
+		y: fp12FromFp2(q.y).mul(w3Inv),
+	}
+}
+
+// embedG1 lifts a G1 point into Fp12 coordinates.
+func embedG1(p G1) g1Fp12 {
+	if p.inf {
+		return g1Fp12{inf: true}
+	}
+	return g1Fp12{x: fp12Scalar(p.x), y: fp12Scalar(p.y)}
+}
+
+// lineDouble evaluates the tangent line at t through p and returns (2t,
+// line value).
+func lineDouble(t, p g1Fp12) (g1Fp12, fp12) {
+	three := fp12Scalar(fpFromInt(3))
+	two := fp12Scalar(fpFromInt(2))
+	lambda := three.mul(t.x.square()).mul(two.mul(t.y).inv())
+	x3 := lambda.square().sub2(t.x).sub2(t.x)
+	y3 := lambda.mul(t.x.sub2(x3)).sub2(t.y)
+	// line: l(P) = (yP − yT) − λ(xP − xT)
+	l := p.y.sub2(t.y).sub2(lambda.mul(p.x.sub2(t.x)))
+	return g1Fp12{x: x3, y: y3}, l
+}
+
+// lineAdd evaluates the chord through t and q at p and returns (t+q, line
+// value).
+func lineAdd(t, q, p g1Fp12) (g1Fp12, fp12, error) {
+	if t.x.equal(q.x) {
+		if t.y.equal(q.y) {
+			r, l := lineDouble(t, p)
+			return r, l, nil
+		}
+		// vertical line: l(P) = xP − xT
+		return g1Fp12{inf: true}, p.x.sub2(t.x), nil
+	}
+	lambda := q.y.sub2(t.y).mul(q.x.sub2(t.x).inv())
+	x3 := lambda.square().sub2(t.x).sub2(q.x)
+	y3 := lambda.mul(t.x.sub2(x3)).sub2(t.y)
+	l := p.y.sub2(t.y).sub2(lambda.mul(p.x.sub2(t.x)))
+	return g1Fp12{x: x3, y: y3}, l, nil
+}
+
+// sub2 is fp12 subtraction (named to avoid clashing with field helpers).
+func (a fp12) sub2(b fp12) fp12 { return fp12{a.a0.sub(b.a0), a.a1.sub(b.a1)} }
+
+// miller runs the Miller loop over |x| and conjugates at the end (x < 0).
+func miller(p G1, q G2) (fp12, error) {
+	if p.IsInfinity() || q.IsInfinity() {
+		return fp12One(), nil
+	}
+	pe := embedG1(p)
+	qe := untwist(q)
+	f := fp12One()
+	t := qe
+	for i := blsXAbs.BitLen() - 2; i >= 0; i-- {
+		var l fp12
+		t, l = lineDouble(t, pe)
+		f = f.square().mul(l)
+		if blsXAbs.Bit(i) == 1 {
+			var err error
+			t, l, err = lineAdd(t, qe, pe)
+			if err != nil {
+				return fp12{}, err
+			}
+			f = f.mul(l)
+		}
+	}
+	// x is negative: replace f by its conjugate (valid up to final
+	// exponentiation, since conj(f) = f^{p⁶} and (p⁶+1)(p¹²−1)/r is a
+	// multiple of p¹²−1).
+	return f.conj(), nil
+}
+
+// finalExp maps a Miller-loop output into the order-r subgroup GT.
+func finalExp(f fp12) fp12 {
+	// easy part: f^{(p⁶−1)(p²+1)}
+	f1 := f.conj().mul(f.inv())    // f^{p⁶−1}
+	f2 := f1.exp(pSquared).mul(f1) // f1^{p²+1}
+	// hard part: ^(p⁴−p²+1)/r
+	return f2.exp(hardExp)
+}
+
+// Pair computes the pairing e(p, q). Inputs must be valid curve points;
+// infinity maps to the identity of GT.
+func Pair(p G1, q G2) (fp12, error) {
+	f, err := miller(p, q)
+	if err != nil {
+		return fp12{}, err
+	}
+	return finalExp(f), nil
+}
+
+// GT is an element of the pairing target group, comparable with Equal.
+type GT struct{ v fp12 }
+
+// PairGT is Pair returning an exported handle.
+func PairGT(p G1, q G2) (GT, error) {
+	v, err := Pair(p, q)
+	return GT{v}, err
+}
+
+// Equal reports GT equality.
+func (a GT) Equal(b GT) bool { return a.v.equal(b.v) }
+
+// IsOne reports whether a is the identity.
+func (a GT) IsOne() bool { return a.v.isOne() }
+
+// PairingCheck reports whether Π e(p_i, q_i) = 1. BLS verification calls it
+// with ((−σ, G2), (H(m), pk)).
+func PairingCheck(ps []G1, qs []G2) (bool, error) {
+	if len(ps) != len(qs) {
+		return false, errors.New("bls: mismatched pairing vector lengths")
+	}
+	acc := fp12One()
+	for i := range ps {
+		f, err := miller(ps[i], qs[i])
+		if err != nil {
+			return false, err
+		}
+		acc = acc.mul(f)
+	}
+	return finalExp(acc).isOne(), nil
+}

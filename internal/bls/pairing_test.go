@@ -1,0 +1,154 @@
+package bls
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func TestUntwistLandsOnCurve(t *testing.T) {
+	// untwisted G2 points must satisfy y² = x³ + 4 in Fp12.
+	q := untwist(G2Generator())
+	four := fp12Scalar(fpFromInt(4))
+	lhs := q.y.mul(q.y)
+	rhs := q.x.mul(q.x).mul(q.x).add2(four)
+	if !lhs.equal(rhs) {
+		t.Fatal("untwisted generator off curve in Fp12")
+	}
+}
+
+func TestPairingNonDegenerate(t *testing.T) {
+	e, err := Pair(G1Generator(), G2Generator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.isOne() {
+		t.Fatal("e(G1, G2) = 1: degenerate pairing")
+	}
+	// GT has order r: e^r == 1.
+	if !e.exp(rOrder).isOne() {
+		t.Fatal("pairing output not of order dividing r")
+	}
+}
+
+func TestBilinearity(t *testing.T) {
+	// e(aP, bQ) == e(P, Q)^{ab}: the defining property. A wrong Miller
+	// loop, untwist, or final exponentiation virtually cannot pass this.
+	a := big.NewInt(7)
+	b := big.NewInt(11)
+	P, Q := G1Generator(), G2Generator()
+	lhs, err := Pair(P.Mul(a), Q.Mul(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Pair(P, Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := new(big.Int).Mul(a, b)
+	if !lhs.equal(base.exp(ab)) {
+		t.Fatal("bilinearity failed: e(aP,bQ) != e(P,Q)^{ab}")
+	}
+}
+
+func TestBilinearityRandomScalars(t *testing.T) {
+	a, _ := rand.Int(rand.Reader, rOrder)
+	b, _ := rand.Int(rand.Reader, rOrder)
+	P, Q := G1Generator(), G2Generator()
+	lhs, err := Pair(P.Mul(a), Q.Mul(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs, err := Pair(P.Mul(new(big.Int).Mul(a, b)), Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lhs.equal(rhs) {
+		t.Fatal("e(aP, bQ) != e(abP, Q)")
+	}
+}
+
+func TestPairingLinearLeft(t *testing.T) {
+	// e(P1 + P2, Q) == e(P1, Q) · e(P2, Q): exactly the law aggregate
+	// signature verification relies on.
+	P1 := G1Generator().Mul(big.NewInt(3))
+	P2 := G1Generator().Mul(big.NewInt(5))
+	Q := G2Generator()
+	lhs, err := Pair(P1.Add(P2), Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := Pair(P1, Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Pair(P2, Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lhs.equal(e1.mul(e2)) {
+		t.Fatal("left linearity failed")
+	}
+}
+
+func TestPairingInfinity(t *testing.T) {
+	e, err := Pair(g1Infinity(), G2Generator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.isOne() {
+		t.Fatal("e(∞, Q) != 1")
+	}
+	e, err = Pair(G1Generator(), g2Infinity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.isOne() {
+		t.Fatal("e(P, ∞) != 1")
+	}
+}
+
+func TestPairingCheck(t *testing.T) {
+	// e(−P, Q)·e(P, Q) == 1
+	P, Q := G1Generator(), G2Generator()
+	ok, err := PairingCheck([]G1{P.Neg(), P}, []G2{Q, Q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("trivial pairing check failed")
+	}
+	ok, err = PairingCheck([]G1{P, P}, []G2{Q, Q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("e(P,Q)² = 1 should not hold")
+	}
+	if _, err := PairingCheck([]G1{P}, nil); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+// add2 is a test-local alias for fp12 addition (production code only needs
+// sub2/mul).
+func (a fp12) add2(b fp12) fp12 { return fp12{a.a0.add(b.a0), a.a1.add(b.a1)} }
+
+func BenchmarkPairing(b *testing.B) {
+	P, Q := G1Generator(), G2Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Pair(P, Q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkG1ScalarMul(b *testing.B) {
+	k, _ := rand.Int(rand.Reader, rOrder)
+	g := G1Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Mul(k)
+	}
+}

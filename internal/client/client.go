@@ -1,0 +1,344 @@
+// Package client implements the SafetyPin client: the mobile device that
+// backs up a disk image under its PIN (Figure 3 Ê) and later recovers it by
+// interacting with the service provider and its hidden cluster of HSMs
+// (Figure 3 Ë–Ð).
+//
+// The client trusts only its own PIN and the authenticity of the HSM public
+// keys it holds; the provider is untrusted. Extensions of §8 are included:
+// per-recovery ephemeral keys with provider-side escrow (crash during
+// recovery), salt reuse across backups (one puncture revokes all prior
+// ciphertexts), post-recovery salt refresh, and incremental backups under a
+// SafetyPin-protected master key.
+package client
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+
+	"safetypin/internal/aead"
+	"safetypin/internal/ecgroup"
+	"safetypin/internal/elgamal"
+	"safetypin/internal/lhe"
+	"safetypin/internal/logtree"
+	"safetypin/internal/protocol"
+	"safetypin/internal/shamir"
+)
+
+// ProviderAPI is the client's view of the service provider. The in-process
+// provider and the TCP transport both satisfy it.
+type ProviderAPI interface {
+	StoreCiphertext(user string, ct []byte) error
+	FetchCiphertext(user string) ([]byte, error)
+	AttemptCount(user string) int
+	LogRecoveryAttempt(user string, attempt int, commitment []byte) error
+	RunEpoch() error
+	FetchInclusionProof(user string, attempt int, commitment []byte) (*logtree.Trace, error)
+	RelayRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error)
+	FetchEscrowedReplies(user string) []*protocol.RecoveryReply
+	ClearEscrow(user string)
+}
+
+// Client is one user's device.
+type Client struct {
+	user     string
+	pin      string
+	params   lhe.Params
+	fleet    lhe.Encryptor
+	provider ProviderAPI
+	rng      io.Reader
+	salt     []byte
+}
+
+// New creates a client with a fresh random salt. fleet must hold the
+// authentic public keys of all N HSMs (the trust anchor of §2).
+func New(user, pin string, params lhe.Params, fleet lhe.Encryptor, p ProviderAPI) (*Client, error) {
+	c := &Client{user: user, pin: pin, params: params, fleet: fleet, provider: p, rng: rand.Reader}
+	if err := c.refreshSalt(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) refreshSalt() error {
+	salt := make([]byte, lhe.SaltSize)
+	if _, err := io.ReadFull(c.rng, salt); err != nil {
+		return fmt.Errorf("client: sampling salt: %w", err)
+	}
+	c.salt = salt
+	return nil
+}
+
+// User returns the client's username.
+func (c *Client) User() string { return c.user }
+
+// Salt returns the client's current backup salt (public).
+func (c *Client) Salt() []byte { return append([]byte(nil), c.salt...) }
+
+// Backup encrypts msg under the client's PIN and uploads the recovery
+// ciphertext. Successive backups reuse the same salt so they share one
+// cluster and die together on puncture (§8).
+func (c *Client) Backup(msg []byte) error {
+	ct, err := c.params.EncryptWithSalt(c.fleet, c.user, c.pin, c.salt, msg, c.rng)
+	if err != nil {
+		return err
+	}
+	return c.provider.StoreCiphertext(c.user, ct.Bytes())
+}
+
+// Session carries the state of one in-flight recovery so that tests (and
+// the crash-recovery flow) can exercise partial executions.
+type Session struct {
+	client   *Client
+	ct       *lhe.Ciphertext
+	ctBlob   []byte
+	cluster  []int
+	attempt  int
+	nonce    []byte
+	trace    *logtree.Trace
+	ReplyKey ecgroup.KeyPair
+	shares   []lhe.DecryptedShare
+}
+
+// ErrTooFewShares is returned when fewer than t HSMs produced usable
+// shares.
+var ErrTooFewShares = errors.New("client: too few shares recovered")
+
+// Begin runs steps Ë–Î of Figure 3: fetch the ciphertext, derive the
+// cluster from the PIN, log the recovery attempt, and obtain the inclusion
+// proof. pin overrides the client's stored PIN when non-empty (modelling a
+// user typing a guess on a fresh device).
+func (c *Client) Begin(pin string) (*Session, error) {
+	if pin == "" {
+		pin = c.pin
+	}
+	blob, err := c.provider.FetchCiphertext(c.user)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := lhe.CiphertextFromBytes(blob)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := c.params.Select(ct.Salt, pin)
+	if err != nil {
+		return nil, err
+	}
+	replyKP, err := ecgroup.GenerateKeyPair(c.rng)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, protocol.CommitNonceSize)
+	if _, err := io.ReadFull(c.rng, nonce); err != nil {
+		return nil, err
+	}
+	attempt := c.provider.AttemptCount(c.user)
+	commit := protocol.Commitment(c.user, ct.Salt, protocol.HashCiphertext(blob), cluster, nonce)
+	if err := c.provider.LogRecoveryAttempt(c.user, attempt, commit); err != nil {
+		return nil, err
+	}
+	// The provider batches insertions and runs the log-update protocol
+	// periodically (every ~10 minutes in the paper); we trigger it
+	// synchronously here, standing in for the client's wait.
+	if err := c.provider.RunEpoch(); err != nil {
+		return nil, fmt.Errorf("client: log epoch failed: %w", err)
+	}
+	trace, err := c.provider.FetchInclusionProof(c.user, attempt, commit)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		client:   c,
+		ct:       ct,
+		ctBlob:   blob,
+		cluster:  cluster,
+		attempt:  attempt,
+		nonce:    nonce,
+		trace:    trace,
+		ReplyKey: replyKP,
+	}, nil
+}
+
+// Cluster returns the HSM indices this session will contact.
+func (s *Session) Cluster() []int { return append([]int(nil), s.cluster...) }
+
+// BuildRequest assembles the recovery request for cluster position j;
+// exposed so transports and fault-injection tests can manipulate requests
+// before relaying them.
+func (s *Session) BuildRequest(j int) *protocol.RecoveryRequest {
+	return s.request(j)
+}
+
+// request builds the recovery request for cluster position j.
+func (s *Session) request(j int) *protocol.RecoveryRequest {
+	return &protocol.RecoveryRequest{
+		User:        s.client.user,
+		Salt:        s.ct.Salt,
+		Attempt:     s.attempt,
+		SharePos:    j,
+		Cluster:     s.cluster,
+		CommitNonce: s.nonce,
+		CtHash:      protocol.HashCiphertext(s.ctBlob),
+		ShareCt:     s.ct.Shares[j],
+		LogTrace:    s.trace,
+		ReplyPK:     s.ReplyKey.PK,
+	}
+}
+
+// RequestShare contacts the cluster member at position j (step Ï) and
+// stores the decrypted share on success.
+func (s *Session) RequestShare(j int) error {
+	if j < 0 || j >= len(s.cluster) {
+		return fmt.Errorf("client: share position %d out of range", j)
+	}
+	reply, err := s.client.provider.RelayRecover(s.request(j))
+	if err != nil {
+		return err
+	}
+	ds, err := s.client.decryptReply(s.ReplyKey, s.ct.Salt, reply)
+	if err != nil {
+		return err
+	}
+	s.shares = append(s.shares, ds)
+	return nil
+}
+
+// decryptReply opens one escrowable HSM reply with the ephemeral key.
+func (c *Client) decryptReply(kp ecgroup.KeyPair, salt []byte, reply *protocol.RecoveryReply) (lhe.DecryptedShare, error) {
+	box, err := elgamal.CiphertextFromBytes(reply.Box)
+	if err != nil {
+		return lhe.DecryptedShare{}, err
+	}
+	pt, err := elgamal.Decrypt(kp.SK, kp.PK, box, protocol.ReplyAD(c.user, salt, reply.SharePos))
+	if err != nil {
+		return lhe.DecryptedShare{}, fmt.Errorf("client: opening HSM reply: %w", err)
+	}
+	share, err := shamir.ShareFromBytes(pt)
+	if err != nil {
+		return lhe.DecryptedShare{}, err
+	}
+	return lhe.DecryptedShare{Pos: reply.SharePos, Share: share}, nil
+}
+
+// SharesHeld returns how many usable shares the session has collected.
+func (s *Session) SharesHeld() int { return len(s.shares) }
+
+// Finish reconstructs the backed-up message from the collected shares
+// (step Ð + Reconstruct), clears the escrow, and rotates the client's salt
+// so future backups select a fresh cluster (§8).
+func (s *Session) Finish() ([]byte, error) {
+	if len(s.shares) < s.client.params.Threshold() {
+		return nil, fmt.Errorf("%w: have %d, need %d",
+			ErrTooFewShares, len(s.shares), s.client.params.Threshold())
+	}
+	msg, err := s.client.params.Reconstruct(s.client.user, s.ct, s.shares)
+	if err != nil {
+		return nil, err
+	}
+	s.client.provider.ClearEscrow(s.client.user)
+	if err := s.client.refreshSalt(); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// Recover runs the complete recovery flow: Begin, contact every cluster
+// member, Finish. Individual HSM failures are tolerated as long as t
+// shares come back (Property 3, fault tolerance).
+func (c *Client) Recover(pin string) ([]byte, error) {
+	s, err := c.Begin(pin)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for j := range s.cluster {
+		if err := s.RequestShare(j); err != nil {
+			lastErr = err
+		}
+	}
+	msg, err := s.Finish()
+	if err != nil {
+		if lastErr != nil {
+			return nil, fmt.Errorf("%w (last HSM error: %v)", err, lastErr)
+		}
+		return nil, err
+	}
+	return msg, nil
+}
+
+// CompleteFromEscrow finishes an interrupted recovery on a replacement
+// device (§8): given the recovered ephemeral keypair (itself restored via a
+// nested SafetyPin backup), decrypt the provider-escrowed HSM replies and
+// reconstruct. The original ciphertext is already punctured, so this is the
+// only remaining path to the data.
+func (c *Client) CompleteFromEscrow(replyKP ecgroup.KeyPair) ([]byte, error) {
+	blob, err := c.provider.FetchCiphertext(c.user)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := lhe.CiphertextFromBytes(blob)
+	if err != nil {
+		return nil, err
+	}
+	replies := c.provider.FetchEscrowedReplies(c.user)
+	if len(replies) == 0 {
+		return nil, errors.New("client: no escrowed replies")
+	}
+	var shares []lhe.DecryptedShare
+	for _, r := range replies {
+		ds, err := c.decryptReply(replyKP, ct.Salt, r)
+		if err != nil {
+			continue
+		}
+		shares = append(shares, ds)
+	}
+	if len(shares) < c.params.Threshold() {
+		return nil, fmt.Errorf("%w: escrow yielded %d of %d",
+			ErrTooFewShares, len(shares), c.params.Threshold())
+	}
+	msg, err := c.params.Reconstruct(c.user, ct, shares)
+	if err != nil {
+		return nil, err
+	}
+	c.provider.ClearEscrow(c.user)
+	return msg, nil
+}
+
+// --- incremental backups (§8) ---
+
+// incrUser namespaces a user's incremental blobs at the provider.
+func (c *Client) incrUser() string { return c.user + "/incremental" }
+
+// EnableIncrementalBackups creates a master AES key, protects it with a
+// full SafetyPin backup, and returns it for local use.
+func (c *Client) EnableIncrementalBackups() ([]byte, error) {
+	key, err := aead.NewKey(c.rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Backup(key); err != nil {
+		return nil, err
+	}
+	return key, nil
+}
+
+// IncrementalBackup encrypts one incremental image under the master key and
+// uploads it. No HSM interaction occurs.
+func (c *Client) IncrementalBackup(masterKey, data []byte) error {
+	blob, err := aead.Seal(masterKey, data, []byte("safetypin/incremental/v1|"+c.user))
+	if err != nil {
+		return err
+	}
+	return c.provider.StoreCiphertext(c.incrUser(), blob)
+}
+
+// FetchIncremental decrypts the latest incremental blob with the (possibly
+// just-recovered) master key.
+func (c *Client) FetchIncremental(masterKey []byte) ([]byte, error) {
+	blob, err := c.provider.FetchCiphertext(c.incrUser())
+	if err != nil {
+		return nil, err
+	}
+	return aead.Open(masterKey, blob, []byte("safetypin/incremental/v1|"+c.user))
+}

@@ -1,0 +1,544 @@
+package dlog
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"safetypin/internal/aggsig"
+	"safetypin/internal/logtree"
+	"safetypin/internal/meter"
+)
+
+// fixture builds a provider plus fleet of auditors sharing a roster.
+type fixture struct {
+	cfg      Config
+	provider *Provider
+	auditors []*Auditor
+}
+
+func newFixture(t testing.TB, cfg Config, fleet int) *fixture {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	signers := make([]aggsig.Signer, fleet)
+	roster := make([]aggsig.PublicKey, fleet)
+	for i := 0; i < fleet; i++ {
+		s, err := cfg.Scheme.KeyGen(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		signers[i] = s
+		roster[i] = s.PublicKey()
+	}
+	f := &fixture{cfg: cfg, provider: NewProvider(cfg)}
+	for i := 0; i < fleet; i++ {
+		a, err := NewAuditor(cfg, i, roster, signers[i], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.auditors = append(f.auditors, a)
+	}
+	return f
+}
+
+// runEpoch drives one full epoch through every live auditor.
+func (f *fixture) runEpoch(t testing.TB, live []int) error {
+	t.Helper()
+	hdr, err := f.provider.BuildEpoch()
+	if err != nil {
+		return err
+	}
+	var sigs [][]byte
+	var signers []int
+	for _, id := range live {
+		a := f.auditors[id]
+		chunks, err := a.ChooseChunks(hdr)
+		if err != nil {
+			return err
+		}
+		pkg, err := f.provider.AuditPackageFor(chunks)
+		if err != nil {
+			return err
+		}
+		sig, err := a.HandleAudit(pkg)
+		if err != nil {
+			return err
+		}
+		sigs = append(sigs, sig)
+		signers = append(signers, id)
+	}
+	cm, err := f.provider.Commit(sigs, signers)
+	if err != nil {
+		return err
+	}
+	for _, id := range live {
+		if err := f.auditors[id].HandleCommit(cm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func testCfg() Config {
+	return Config{
+		NumChunks:     4,
+		AuditsPerHSM:  4, // small fleet: audit everything for certainty
+		MinSignerFrac: 0.5,
+		Scheme:        aggsig.ECDSAConcat(), // fast scheme for most tests
+	}
+}
+
+func allLive(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestEpochHappyPath(t *testing.T) {
+	f := newFixture(t, testCfg(), 4)
+	for i := 0; i < 10; i++ {
+		if err := f.provider.Append([]byte(fmt.Sprintf("user-%d", i)), []byte("h")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.runEpoch(t, allLive(4)); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range f.auditors {
+		if a.Digest() != f.provider.Digest() {
+			t.Fatal("auditor digest diverged from provider")
+		}
+	}
+}
+
+func TestInclusionAfterEpoch(t *testing.T) {
+	f := newFixture(t, testCfg(), 4)
+	if err := f.provider.Append([]byte("alice"), []byte("commitment")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.runEpoch(t, allLive(4)); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := f.provider.ProveInclusion([]byte("alice"), []byte("commitment"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range f.auditors {
+		if !a.VerifyInclusion([]byte("alice"), []byte("commitment"), trace) {
+			t.Fatal("HSM rejected valid inclusion proof")
+		}
+		if a.VerifyInclusion([]byte("alice"), []byte("forged"), trace) {
+			t.Fatal("HSM accepted forged value")
+		}
+	}
+}
+
+func TestMultipleEpochs(t *testing.T) {
+	f := newFixture(t, testCfg(), 4)
+	for e := 0; e < 5; e++ {
+		for i := 0; i < 6; i++ {
+			if err := f.provider.Append([]byte(fmt.Sprintf("e%d-u%d", e, i)), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.runEpoch(t, allLive(4)); err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+	}
+	// everything from every epoch provable
+	trace, err := f.provider.ProveInclusion([]byte("e2-u3"), []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.auditors[0].VerifyInclusion([]byte("e2-u3"), []byte("v"), trace) {
+		t.Fatal("old-epoch entry not provable")
+	}
+}
+
+func TestDuplicateAppendRejected(t *testing.T) {
+	f := newFixture(t, testCfg(), 2)
+	if err := f.provider.Append([]byte("u"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.provider.Append([]byte("u"), []byte("v2")); err == nil {
+		t.Fatal("duplicate pending append accepted")
+	}
+	if err := f.runEpoch(t, allLive(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.provider.Append([]byte("u"), []byte("v2")); err == nil {
+		t.Fatal("duplicate committed append accepted")
+	}
+}
+
+func TestMaliciousProviderCannotMutate(t *testing.T) {
+	// A provider that swaps in a different tree (mutating an entry) cannot
+	// produce a passing audit: the extension chain from the old digest
+	// cannot exist, so staged headers either fail to build or fail audits.
+	f := newFixture(t, testCfg(), 4)
+	if err := f.provider.Append([]byte("victim"), []byte("honest-value")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.runEpoch(t, allLive(4)); err != nil {
+		t.Fatal(err)
+	}
+	// The attack: provider rebuilds its log with a mutated value and tries
+	// to push an epoch from that state.
+	evil := NewProvider(f.cfg)
+	if err := evil.Append([]byte("victim"), []byte("evil-value")); err != nil {
+		t.Fatal(err)
+	}
+	if err := evil.Append([]byte("new-user"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := evil.BuildEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f.auditors[0]
+	chunks, err := a.ChooseChunks(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := evil.AuditPackageFor(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.HandleAudit(pkg); err == nil {
+		t.Fatal("auditor signed an epoch rooted at a forged digest")
+	}
+}
+
+func TestForgedCommitRejected(t *testing.T) {
+	f := newFixture(t, testCfg(), 4)
+	if err := f.provider.Append([]byte("u"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := f.provider.BuildEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Provider skips auditing and fabricates a commit with garbage sig.
+	cm := &CommitMessage{Header: hdr, AggSig: make([]byte, 64), Signers: []int{0, 1}}
+	if err := f.auditors[0].HandleCommit(cm); err == nil {
+		t.Fatal("forged commit accepted")
+	}
+}
+
+func TestQuorumEnforced(t *testing.T) {
+	cfg := testCfg()
+	cfg.MinSignerFrac = 0.75
+	f := newFixture(t, cfg, 4)
+	if err := f.provider.Append([]byte("u"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := f.provider.BuildEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one auditor signs — below the 3-of-4 quorum.
+	a := f.auditors[0]
+	chunks, _ := a.ChooseChunks(hdr)
+	pkg, err := f.provider.AuditPackageFor(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := a.HandleAudit(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := f.provider.Commit([][]byte{sig}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.auditors[1].HandleCommit(cm); err == nil {
+		t.Fatal("commit below quorum accepted")
+	}
+}
+
+func TestFailStopHSMsDoNotBlockProgress(t *testing.T) {
+	// With MinSignerFrac = 0.5, the epoch commits with half the fleet.
+	f := newFixture(t, testCfg(), 4)
+	if err := f.provider.Append([]byte("u"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.runEpoch(t, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The failed HSMs (2, 3) can still catch up by processing the commit?
+	// They refused nothing; their digest is just stale. A fresh epoch with
+	// all four requires them to resync — here we just assert the live ones
+	// advanced.
+	if f.auditors[0].Digest() == logtree.EmptyDigest() {
+		t.Fatal("live auditor did not advance")
+	}
+	if f.auditors[2].Digest() != logtree.EmptyDigest() {
+		t.Fatal("dead auditor advanced")
+	}
+}
+
+func TestDeterministicAuditTakeover(t *testing.T) {
+	// B.3: chunk duty is a public function of (root, hsmID), so anyone can
+	// compute which chunks a failed HSM should have audited.
+	cfg := testCfg()
+	cfg.Deterministic = true
+	cfg.NumChunks = 8
+	cfg.AuditsPerHSM = 3
+	f := newFixture(t, cfg, 4)
+	for i := 0; i < 16; i++ {
+		if err := f.provider.Append([]byte(fmt.Sprintf("u%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hdr, err := f.provider.BuildEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Auditor 1's duty is recomputable by anyone:
+	duty, err := DeterministicChunks(hdr.Root, 1, hdr.NumChunks, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen, err := f.auditors[1].ChooseChunks(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(duty) != fmt.Sprint(chosen) {
+		t.Fatalf("deterministic duty mismatch: %v vs %v", duty, chosen)
+	}
+	// And the package for that duty passes audit.
+	pkg, err := f.provider.AuditPackageFor(chosen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.auditors[1].HandleAudit(pkg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditRejectsWrongChunkSet(t *testing.T) {
+	f := newFixture(t, testCfg(), 2)
+	if err := f.provider.Append([]byte("u"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := f.provider.BuildEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f.auditors[0]
+	if _, err := a.ChooseChunks(hdr); err != nil {
+		t.Fatal(err)
+	}
+	// Provider sends evidence for fewer chunks than chosen.
+	pkg, err := f.provider.AuditPackageFor([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.HandleAudit(pkg); err == nil {
+		t.Fatal("short audit package accepted")
+	}
+}
+
+func TestAuditWithoutChoiceRejected(t *testing.T) {
+	f := newFixture(t, testCfg(), 2)
+	if err := f.provider.Append([]byte("u"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := f.provider.BuildEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = hdr
+	pkg, err := f.provider.AuditPackageFor([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.auditors[0].HandleAudit(pkg); err == nil {
+		t.Fatal("audit without recorded choice accepted")
+	}
+}
+
+func TestEmptyEpochRejected(t *testing.T) {
+	f := newFixture(t, testCfg(), 2)
+	if _, err := f.provider.BuildEpoch(); err == nil {
+		t.Fatal("empty epoch staged")
+	}
+}
+
+func TestAbortKeepsPending(t *testing.T) {
+	f := newFixture(t, testCfg(), 2)
+	if err := f.provider.Append([]byte("u"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.provider.BuildEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	f.provider.Abort()
+	if f.provider.PendingLen() != 1 {
+		t.Fatal("abort dropped pending entries")
+	}
+	if err := f.runEpoch(t, allLive(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.provider.Get([]byte("u")); !ok {
+		t.Fatal("entry lost after abort+retry")
+	}
+}
+
+func TestGarbageCollectionBudget(t *testing.T) {
+	cfg := testCfg()
+	cfg.GCBudget = 2
+	f := newFixture(t, cfg, 1)
+	a := f.auditors[0]
+	if err := a.GarbageCollect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.GarbageCollect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.GarbageCollect(); err == nil {
+		t.Fatal("GC beyond budget allowed")
+	}
+	if a.GCRemaining() != 0 {
+		t.Fatal("budget accounting wrong")
+	}
+}
+
+func TestGCEnablesFreshEpoch(t *testing.T) {
+	f := newFixture(t, testCfg(), 2)
+	if err := f.provider.Append([]byte("u"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.runEpoch(t, allLive(2)); err != nil {
+		t.Fatal(err)
+	}
+	f.provider.GarbageCollect()
+	for _, a := range f.auditors {
+		if err := a.GarbageCollect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same identifier is insertable again after GC (PIN attempt reset).
+	if err := f.provider.Append([]byte("u"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.runEpoch(t, allLive(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExternalReplay(t *testing.T) {
+	f := newFixture(t, testCfg(), 2)
+	for i := 0; i < 8; i++ {
+		if err := f.provider.Append([]byte(fmt.Sprintf("u%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.runEpoch(t, allLive(2)); err != nil {
+		t.Fatal(err)
+	}
+	old := f.provider.Entries()
+	if err := Replay(old, f.provider.Digest()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 8; i < 12; i++ {
+		if err := f.provider.Append([]byte(fmt.Sprintf("u%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.runEpoch(t, allLive(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckExtendsSnapshot(old, f.provider.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	// Mutated snapshot detected.
+	mutated := append([]logtree.Entry(nil), f.provider.Entries()...)
+	mutated[0].Val = []byte("evil")
+	if err := CheckExtendsSnapshot(old, mutated); err == nil {
+		t.Fatal("external auditor missed mutation")
+	}
+}
+
+func TestBLSBackendEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BLS pairing is slow in short mode")
+	}
+	cfg := testCfg()
+	cfg.Scheme = aggsig.BLS()
+	f := newFixture(t, cfg, 3)
+	for i := 0; i < 5; i++ {
+		if err := f.provider.Append([]byte(fmt.Sprintf("u%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.runEpoch(t, allLive(3)); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range f.auditors {
+		if a.Digest() != f.provider.Digest() {
+			t.Fatal("BLS epoch diverged")
+		}
+	}
+}
+
+func TestMeterRecordsAuditWork(t *testing.T) {
+	cfg := testCfg()
+	m := meter.New()
+	signers := make([]aggsig.Signer, 2)
+	roster := make([]aggsig.PublicKey, 2)
+	for i := range signers {
+		s, err := cfg.withDefaults().Scheme.KeyGen(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		signers[i] = s
+		roster[i] = s.PublicKey()
+	}
+	p := NewProvider(cfg)
+	a, err := NewAuditor(cfg, 0, roster, signers[0], m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Append([]byte("u"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := p.BuildEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks, _ := a.ChooseChunks(hdr)
+	pkg, err := p.AuditPackageFor(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.HandleAudit(pkg); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(meter.OpHMAC) == 0 {
+		t.Fatal("audit hashing not metered")
+	}
+	if m.Get(meter.OpECDSASign) != 1 {
+		t.Fatal("signing not metered")
+	}
+}
+
+func BenchmarkEpoch100Inserts(b *testing.B) {
+	cfg := testCfg()
+	cfg.NumChunks = 8
+	cfg.AuditsPerHSM = 2
+	f := newFixture(b, cfg, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 100; j++ {
+			if err := f.provider.Append([]byte(fmt.Sprintf("b%d-u%d", i, j)), []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := f.runEpoch(b, allLive(4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

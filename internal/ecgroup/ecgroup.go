@@ -1,0 +1,274 @@
+// Package ecgroup wraps the NIST P-256 elliptic-curve group behind a small
+// value-oriented API: scalars in Z_q (q the group order) and points with
+// canonical compressed encodings.
+//
+// SafetyPin performs all of its public-key operations — hashed-ElGamal
+// encryption of key shares (§A.4), Bloom-filter-encryption positions (§7.1),
+// and the ECDSA-style fallback signatures — on P-256, matching the paper's
+// implementation ("Other public-key operations use NIST P256 curve",
+// Table 7).
+package ecgroup
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var curve = elliptic.P256()
+
+// ScalarSize is the byte length of a serialized scalar.
+const ScalarSize = 32
+
+// PointSize is the byte length of a compressed point encoding.
+const PointSize = 33
+
+// Scalar is an integer modulo the P-256 group order.
+type Scalar struct {
+	v *big.Int
+}
+
+// Point is a P-256 point, including the identity (point at infinity).
+type Point struct {
+	x, y *big.Int // nil, nil encodes the identity
+}
+
+// Order returns a copy of the group order q.
+func Order() *big.Int { return new(big.Int).Set(curve.Params().N) }
+
+// RandomScalar samples a uniform non-zero scalar from r.
+func RandomScalar(r io.Reader) (Scalar, error) {
+	for {
+		k, err := rand.Int(r, curve.Params().N)
+		if err != nil {
+			return Scalar{}, fmt.Errorf("ecgroup: sampling scalar: %w", err)
+		}
+		if k.Sign() != 0 {
+			return Scalar{k}, nil
+		}
+	}
+}
+
+// ScalarFromBytes decodes a canonical 32-byte big-endian scalar, rejecting
+// values ≥ q.
+func ScalarFromBytes(b []byte) (Scalar, error) {
+	if len(b) != ScalarSize {
+		return Scalar{}, fmt.Errorf("ecgroup: scalar must be %d bytes, got %d", ScalarSize, len(b))
+	}
+	v := new(big.Int).SetBytes(b)
+	if v.Cmp(curve.Params().N) >= 0 {
+		return Scalar{}, errors.New("ecgroup: scalar not canonical")
+	}
+	return Scalar{v}, nil
+}
+
+// ScalarReduce reduces an arbitrary byte string mod q. Used for
+// hash-to-scalar; a 48-byte input keeps the bias below 2^-128.
+func ScalarReduce(b []byte) Scalar {
+	v := new(big.Int).SetBytes(b)
+	return Scalar{v.Mod(v, curve.Params().N)}
+}
+
+func (s Scalar) big() *big.Int {
+	if s.v == nil {
+		return big.NewInt(0)
+	}
+	return s.v
+}
+
+// Bytes returns the canonical 32-byte encoding.
+func (s Scalar) Bytes() []byte {
+	out := make([]byte, ScalarSize)
+	s.big().FillBytes(out)
+	return out
+}
+
+// IsZero reports whether s == 0.
+func (s Scalar) IsZero() bool { return s.big().Sign() == 0 }
+
+// Equal reports whether s == t.
+func (s Scalar) Equal(t Scalar) bool { return s.big().Cmp(t.big()) == 0 }
+
+// Add returns s + t mod q.
+func (s Scalar) Add(t Scalar) Scalar {
+	v := new(big.Int).Add(s.big(), t.big())
+	return Scalar{v.Mod(v, curve.Params().N)}
+}
+
+// Mul returns s · t mod q.
+func (s Scalar) Mul(t Scalar) Scalar {
+	v := new(big.Int).Mul(s.big(), t.big())
+	return Scalar{v.Mod(v, curve.Params().N)}
+}
+
+// Neg returns −s mod q.
+func (s Scalar) Neg() Scalar {
+	v := new(big.Int).Neg(s.big())
+	return Scalar{v.Mod(v, curve.Params().N)}
+}
+
+// Inv returns s^-1 mod q; error on zero.
+func (s Scalar) Inv() (Scalar, error) {
+	if s.IsZero() {
+		return Scalar{}, errors.New("ecgroup: inverse of zero scalar")
+	}
+	return Scalar{new(big.Int).ModInverse(s.big(), curve.Params().N)}, nil
+}
+
+// Identity returns the group identity element.
+func Identity() Point { return Point{} }
+
+// Generator returns the standard base point G.
+func Generator() Point {
+	p := curve.Params()
+	return Point{new(big.Int).Set(p.Gx), new(big.Int).Set(p.Gy)}
+}
+
+// BaseMul returns s·G.
+func BaseMul(s Scalar) Point {
+	if s.IsZero() {
+		return Identity()
+	}
+	x, y := curve.ScalarBaseMult(s.Bytes())
+	return Point{x, y}
+}
+
+// Mul returns s·P.
+func (p Point) Mul(s Scalar) Point {
+	if p.IsIdentity() || s.IsZero() {
+		return Identity()
+	}
+	x, y := curve.ScalarMult(p.x, p.y, s.Bytes())
+	if x.Sign() == 0 && y.Sign() == 0 {
+		return Identity()
+	}
+	return Point{x, y}
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point {
+	if p.IsIdentity() {
+		return q
+	}
+	if q.IsIdentity() {
+		return p
+	}
+	x, y := curve.Add(p.x, p.y, q.x, q.y)
+	if x.Sign() == 0 && y.Sign() == 0 {
+		return Identity()
+	}
+	return Point{x, y}
+}
+
+// Neg returns −p.
+func (p Point) Neg() Point {
+	if p.IsIdentity() {
+		return p
+	}
+	y := new(big.Int).Sub(curve.Params().P, p.y)
+	y.Mod(y, curve.Params().P)
+	return Point{new(big.Int).Set(p.x), y}
+}
+
+// Sub returns p − q.
+func (p Point) Sub(q Point) Point { return p.Add(q.Neg()) }
+
+// IsIdentity reports whether p is the point at infinity.
+func (p Point) IsIdentity() bool { return p.x == nil }
+
+// Equal reports whether p == q.
+func (p Point) Equal(q Point) bool {
+	if p.IsIdentity() || q.IsIdentity() {
+		return p.IsIdentity() == q.IsIdentity()
+	}
+	return p.x.Cmp(q.x) == 0 && p.y.Cmp(q.y) == 0
+}
+
+// Bytes returns the canonical 33-byte encoding: SEC1 compressed form for
+// ordinary points and 33 zero bytes for the identity.
+func (p Point) Bytes() []byte {
+	if p.IsIdentity() {
+		return make([]byte, PointSize)
+	}
+	return elliptic.MarshalCompressed(curve, p.x, p.y)
+}
+
+// PointFromBytes decodes a canonical encoding, verifying curve membership.
+func PointFromBytes(b []byte) (Point, error) {
+	if len(b) != PointSize {
+		return Point{}, fmt.Errorf("ecgroup: point must be %d bytes, got %d", PointSize, len(b))
+	}
+	allZero := true
+	for _, c := range b {
+		if c != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return Identity(), nil
+	}
+	x, y := elliptic.UnmarshalCompressed(curve, b)
+	if x == nil {
+		return Point{}, errors.New("ecgroup: invalid point encoding")
+	}
+	return Point{x, y}, nil
+}
+
+// KeyPair is an ElGamal-style keypair: sk uniform in Z_q, pk = sk·G.
+type KeyPair struct {
+	SK Scalar
+	PK Point
+}
+
+// GenerateKeyPair samples a fresh keypair from r.
+func GenerateKeyPair(r io.Reader) (KeyPair, error) {
+	sk, err := RandomScalar(r)
+	if err != nil {
+		return KeyPair{}, err
+	}
+	return KeyPair{SK: sk, PK: BaseMul(sk)}, nil
+}
+
+// ToECDSA converts the keypair into a crypto/ecdsa private key so the same
+// key material can sign (the HSMs' ECDSA fallback signatures).
+func (kp KeyPair) ToECDSA() *ecdsa.PrivateKey {
+	return &ecdsa.PrivateKey{
+		PublicKey: ecdsa.PublicKey{Curve: curve, X: kp.PK.x, Y: kp.PK.y},
+		D:         new(big.Int).Set(kp.SK.big()),
+	}
+}
+
+// ECDSAPublic converts a point into an ECDSA public key for verification.
+func (p Point) ECDSAPublic() (*ecdsa.PublicKey, error) {
+	if p.IsIdentity() {
+		return nil, errors.New("ecgroup: identity is not a valid ECDSA key")
+	}
+	return &ecdsa.PublicKey{Curve: curve, X: p.x, Y: p.y}, nil
+}
+
+// GobEncode implements gob encoding via the canonical point encoding, so
+// protocol messages carrying points can cross process boundaries.
+func (p Point) GobEncode() ([]byte, error) { return p.Bytes(), nil }
+
+// GobDecode implements gob decoding with full curve-membership validation.
+func (p *Point) GobDecode(b []byte) error {
+	q, err := PointFromBytes(b)
+	if err != nil {
+		return err
+	}
+	*p = q
+	return nil
+}
+
+// String implements fmt.Stringer for debugging.
+func (p Point) String() string {
+	if p.IsIdentity() {
+		return "ec(∞)"
+	}
+	return fmt.Sprintf("ec(%x…)", p.Bytes()[:5])
+}

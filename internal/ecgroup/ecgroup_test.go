@@ -1,0 +1,208 @@
+package ecgroup
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func testScalar(t *testing.T) Scalar {
+	t.Helper()
+	s, err := RandomScalar(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGeneratorOnCurve(t *testing.T) {
+	g := Generator()
+	if g.IsIdentity() {
+		t.Fatal("generator is identity")
+	}
+	if _, err := PointFromBytes(g.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalarBaseMulMatchesMul(t *testing.T) {
+	s := testScalar(t)
+	if !BaseMul(s).Equal(Generator().Mul(s)) {
+		t.Fatal("BaseMul != Generator().Mul")
+	}
+}
+
+func TestGroupLaws(t *testing.T) {
+	a, b := testScalar(t), testScalar(t)
+	P, Q := BaseMul(a), BaseMul(b)
+	if !P.Add(Q).Equal(Q.Add(P)) {
+		t.Fatal("addition not commutative")
+	}
+	// (a+b)G == aG + bG
+	if !BaseMul(a.Add(b)).Equal(P.Add(Q)) {
+		t.Fatal("scalar addition homomorphism broken")
+	}
+	// a(bG) == (ab)G
+	if !Q.Mul(a).Equal(BaseMul(a.Mul(b))) {
+		t.Fatal("scalar multiplication associativity broken")
+	}
+}
+
+func TestIdentityLaws(t *testing.T) {
+	P := BaseMul(testScalar(t))
+	if !P.Add(Identity()).Equal(P) {
+		t.Fatal("P + 0 != P")
+	}
+	if !P.Sub(P).IsIdentity() {
+		t.Fatal("P - P != 0")
+	}
+	if !Identity().Mul(testScalar(t)).IsIdentity() {
+		t.Fatal("s*0 != 0")
+	}
+	if !P.Mul(Scalar{}).IsIdentity() {
+		t.Fatal("0*P != 0")
+	}
+}
+
+func TestNeg(t *testing.T) {
+	P := BaseMul(testScalar(t))
+	if !P.Add(P.Neg()).IsIdentity() {
+		t.Fatal("P + (-P) != 0")
+	}
+	if !Identity().Neg().IsIdentity() {
+		t.Fatal("-0 != 0")
+	}
+}
+
+func TestPointSerializationRoundTrip(t *testing.T) {
+	for i := 0; i < 16; i++ {
+		P := BaseMul(testScalar(t))
+		got, err := PointFromBytes(P.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(P) {
+			t.Fatal("round-trip mismatch")
+		}
+	}
+}
+
+func TestIdentitySerialization(t *testing.T) {
+	enc := Identity().Bytes()
+	if len(enc) != PointSize {
+		t.Fatalf("identity encoding length %d", len(enc))
+	}
+	got, err := PointFromBytes(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsIdentity() {
+		t.Fatal("identity did not round-trip")
+	}
+}
+
+func TestPointFromBytesRejectsGarbage(t *testing.T) {
+	if _, err := PointFromBytes([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected length rejection")
+	}
+	bad := make([]byte, PointSize)
+	bad[0] = 0x02
+	for i := 1; i < PointSize; i++ {
+		bad[i] = 0xFF
+	}
+	if _, err := PointFromBytes(bad); err == nil {
+		t.Fatal("expected off-curve rejection")
+	}
+}
+
+func TestScalarSerialization(t *testing.T) {
+	err := quick.Check(func(raw []byte) bool {
+		s := ScalarReduce(raw)
+		got, err := ScalarFromBytes(s.Bytes())
+		if err != nil {
+			return false
+		}
+		return got.Equal(s)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalarFromBytesRejectsNonCanonical(t *testing.T) {
+	enc := make([]byte, ScalarSize)
+	Order().FillBytes(enc)
+	if _, err := ScalarFromBytes(enc); err == nil {
+		t.Fatal("expected rejection of scalar == q")
+	}
+}
+
+func TestScalarInv(t *testing.T) {
+	s := testScalar(t)
+	inv, err := s.Inv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := s.Mul(inv)
+	if one.big().Cmp(ScalarReduce([]byte{1}).big()) != 0 {
+		t.Fatal("s * s^-1 != 1")
+	}
+	if _, err := (Scalar{}).Inv(); err == nil {
+		t.Fatal("expected error inverting zero")
+	}
+}
+
+func TestDiffieHellmanAgreement(t *testing.T) {
+	// The hashed-ElGamal KEM depends on commutativity: a·(bG) == b·(aG).
+	a, b := testScalar(t), testScalar(t)
+	if !BaseMul(b).Mul(a).Equal(BaseMul(a).Mul(b)) {
+		t.Fatal("DH agreement failed")
+	}
+}
+
+func TestECDSABridge(t *testing.T) {
+	kp, err := GenerateKeyPair(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv := kp.ToECDSA()
+	pub, err := kp.PK.ECDSAPublic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priv.PublicKey.X.Cmp(pub.X) != 0 {
+		t.Fatal("ECDSA bridge mismatched public keys")
+	}
+	if _, err := Identity().ECDSAPublic(); err == nil {
+		t.Fatal("identity should not convert to ECDSA key")
+	}
+}
+
+func TestMulByOrderIsIdentity(t *testing.T) {
+	// q·G should be the identity. ScalarFromBytes rejects q, so build q-1
+	// and add one more G.
+	q := Order()
+	qMinus1 := ScalarReduce(q.Sub(q, big.NewInt(1)).Bytes())
+	P := BaseMul(qMinus1).Add(Generator())
+	if !P.IsIdentity() {
+		t.Fatal("(q-1)G + G != identity")
+	}
+}
+
+func BenchmarkBaseMul(b *testing.B) {
+	s, _ := RandomScalar(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BaseMul(s)
+	}
+}
+
+func BenchmarkPointMul(b *testing.B) {
+	s, _ := RandomScalar(rand.Reader)
+	P := BaseMul(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		P.Mul(s)
+	}
+}

@@ -1,0 +1,122 @@
+// Package elgamal implements the hashed-ElGamal public-key encryption scheme
+// of Appendix A.4: a Diffie-Hellman KEM on P-256 combined with an AES-GCM
+// data-encapsulation mechanism.
+//
+// To encrypt message m to public key X = x·G, the encryptor samples r,
+// computes the shared point X^r, derives a one-time symmetric key
+// K = H(domain ‖ R ‖ X ‖ X^r ‖ ad), and outputs (R = r·G, AE.Enc(K, m, ad)).
+// Decryption recomputes K from R^x.
+//
+// The paper's domain-separation rule (§A.4) prepends the client's username,
+// the ciphertext salt, and the cluster's public keys to the hash input; the
+// ad ("associated data") parameter carries exactly that string, and it is
+// additionally authenticated by GCM, so a ciphertext produced for one
+// (user, salt, cluster) context fails to decrypt in any other.
+package elgamal
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+
+	"safetypin/internal/ecgroup"
+)
+
+// Overhead is the ciphertext expansion in bytes: one compressed point plus
+// the GCM tag.
+const Overhead = ecgroup.PointSize + 16
+
+const kdfLabel = "safetypin/elgamal/kdf/v1"
+
+// Ciphertext is a hashed-ElGamal ciphertext.
+type Ciphertext struct {
+	R   ecgroup.Point // ephemeral public nonce r·G
+	Box []byte        // AES-GCM sealed payload
+}
+
+// Bytes serializes the ciphertext as R ‖ Box.
+func (c Ciphertext) Bytes() []byte {
+	out := make([]byte, 0, ecgroup.PointSize+len(c.Box))
+	out = append(out, c.R.Bytes()...)
+	out = append(out, c.Box...)
+	return out
+}
+
+// CiphertextFromBytes parses a serialized ciphertext.
+func CiphertextFromBytes(b []byte) (Ciphertext, error) {
+	if len(b) < Overhead {
+		return Ciphertext{}, fmt.Errorf("elgamal: ciphertext too short (%d bytes)", len(b))
+	}
+	r, err := ecgroup.PointFromBytes(b[:ecgroup.PointSize])
+	if err != nil {
+		return Ciphertext{}, fmt.Errorf("elgamal: parsing nonce point: %w", err)
+	}
+	box := make([]byte, len(b)-ecgroup.PointSize)
+	copy(box, b[ecgroup.PointSize:])
+	return Ciphertext{R: r, Box: box}, nil
+}
+
+// deriveKey computes the DEM key from the KEM transcript.
+func deriveKey(r, pk, shared ecgroup.Point, ad []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte(kdfLabel))
+	h.Write(r.Bytes())
+	h.Write(pk.Bytes())
+	h.Write(shared.Bytes())
+	adh := sha256.Sum256(ad)
+	h.Write(adh[:])
+	return h.Sum(nil)
+}
+
+// seal runs AES-256-GCM with a fixed zero nonce; the key is unique per
+// encryption (fresh DH nonce), so nonce reuse cannot occur.
+func aead(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+var zeroNonce = make([]byte, 12)
+
+// Encrypt encrypts msg to pk under domain-separation string ad, drawing
+// randomness from rng.
+func Encrypt(pk ecgroup.Point, msg, ad []byte, rng io.Reader) (Ciphertext, error) {
+	if pk.IsIdentity() {
+		return Ciphertext{}, errors.New("elgamal: refusing to encrypt to identity key")
+	}
+	r, err := ecgroup.RandomScalar(rng)
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	R := ecgroup.BaseMul(r)
+	key := deriveKey(R, pk, pk.Mul(r), ad)
+	g, err := aead(key)
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	return Ciphertext{R: R, Box: g.Seal(nil, zeroNonce, msg, ad)}, nil
+}
+
+// Decrypt decrypts ct with secret key sk under the same ad used at
+// encryption time. Any mismatch — wrong key, wrong ad, tampered box —
+// returns an error.
+func Decrypt(sk ecgroup.Scalar, pk ecgroup.Point, ct Ciphertext, ad []byte) ([]byte, error) {
+	if ct.R.IsIdentity() {
+		return nil, errors.New("elgamal: ciphertext nonce is identity")
+	}
+	key := deriveKey(ct.R, pk, ct.R.Mul(sk), ad)
+	g, err := aead(key)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := g.Open(nil, zeroNonce, ct.Box, ad)
+	if err != nil {
+		return nil, fmt.Errorf("elgamal: decryption failed: %w", err)
+	}
+	return pt, nil
+}

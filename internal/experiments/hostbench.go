@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"crypto/aes"
+	"crypto/hmac"
+	"crypto/sha256"
+
+	"safetypin/internal/bls"
+)
+
+// hostbench.go holds the tiny primitive wrappers MeasureHostRates times.
+
+var hmacKey = make([]byte, 32)
+
+func hmacOnce(msg []byte) []byte {
+	mac := hmac.New(sha256.New, hmacKey)
+	mac.Write(msg)
+	return mac.Sum(nil)
+}
+
+func aesOnce(key, msg32 []byte) []byte {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		panic(err)
+	}
+	var out [32]byte
+	block.Encrypt(out[:16], msg32[:16])
+	block.Encrypt(out[16:], msg32[16:])
+	return out[:]
+}
+
+// measurePairingRate times our from-scratch BLS12-381 pairing. Pairings are
+// slow (tens of ms), so measure a few explicitly rather than via timeRate's
+// 50 ms budget.
+func measurePairingRate() float64 {
+	p, q := bls.G1Generator(), bls.G2Generator()
+	return timeRate(func() {
+		if _, err := bls.Pair(p, q); err != nil {
+			panic(err)
+		}
+	})
+}

@@ -1,0 +1,310 @@
+// Package hsm models one SafetyPin hardware security module as a sealed
+// state machine: all secret key material (the puncturable-encryption root
+// key, the aggregate-signature signing key) lives behind the HSM's message
+// interface, exactly as the SoloKey firmware's secrets live behind its USB
+// interface.
+//
+// An HSM serves three duties:
+//
+//   - recovery (Figure 3 Ï–Ð): check the logged commitment, decrypt its
+//     share of a recovery ciphertext, puncture its key, and return the share
+//     sealed to the client's ephemeral key;
+//   - log auditing (§6.2): verify its chunk assignment of each epoch update
+//     and co-sign the new digest;
+//   - key rotation (§9.1): regenerate its puncturable key once half of it
+//     has been punctured.
+//
+// Every operation is metered so the evaluation can price it in SoloKey time.
+package hsm
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"safetypin/internal/aggsig"
+	"safetypin/internal/bfe"
+	"safetypin/internal/dlog"
+	"safetypin/internal/elgamal"
+	"safetypin/internal/lhe"
+	"safetypin/internal/meter"
+	"safetypin/internal/protocol"
+	"safetypin/internal/securestore"
+)
+
+// Config fixes per-HSM parameters.
+type Config struct {
+	// BFE sizes the puncturable-encryption keys.
+	BFE bfe.Params
+	// Log is the distributed-log configuration (shared fleet-wide).
+	Log dlog.Config
+	// GuessLimit is the number of recovery attempts allowed per user
+	// between log garbage collections (the paper discusses 1, or e.g. 5).
+	GuessLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.GuessLimit < 1 {
+		c.GuessLimit = 1
+	}
+	return c
+}
+
+// HSM is one simulated hardware security module.
+type HSM struct {
+	mu  sync.Mutex
+	id  int
+	cfg Config
+
+	bfeKey *bfe.PrivateKey
+	bfePub *bfe.PublicKey
+	signer aggsig.Signer
+
+	auditor *dlog.Auditor
+
+	oracle securestore.Oracle
+	rng    io.Reader
+	m      *meter.Meter
+
+	keyEpoch  int
+	punctures int64
+}
+
+// New provisions an HSM: it generates its puncturable keypair (outsourcing
+// the secret array to the provider-hosted oracle) and its signing key. The
+// log auditor is attached later via InstallRoster, once all fleet public
+// keys exist.
+func New(id int, cfg Config, oracle securestore.Oracle, rng io.Reader, m *meter.Meter) (*HSM, error) {
+	cfg = cfg.withDefaults()
+	if rng == nil {
+		rng = rand.Reader
+	}
+	sk, pk, err := bfe.KeyGen(cfg.BFE, oracle, rng, m)
+	if err != nil {
+		return nil, fmt.Errorf("hsm %d: generating puncturable key: %w", id, err)
+	}
+	scheme := cfg.Log.Scheme
+	if scheme == nil {
+		scheme = aggsig.BLS()
+		cfg.Log.Scheme = scheme
+	}
+	signer, err := scheme.KeyGen(rng)
+	if err != nil {
+		return nil, fmt.Errorf("hsm %d: generating signing key: %w", id, err)
+	}
+	return &HSM{
+		id:     id,
+		cfg:    cfg,
+		bfeKey: sk,
+		bfePub: pk,
+		signer: signer,
+		oracle: oracle,
+		rng:    rng,
+		m:      m,
+	}, nil
+}
+
+// ID returns the HSM's fleet index.
+func (h *HSM) ID() int { return h.id }
+
+// BFEPublicKey returns the current puncturable-encryption public key.
+func (h *HSM) BFEPublicKey() *bfe.PublicKey {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bfePub
+}
+
+// AggSigPublicKey returns the aggregate-signature public key.
+func (h *HSM) AggSigPublicKey() aggsig.PublicKey { return h.signer.PublicKey() }
+
+// Scheme returns the fleet's aggregate-signature scheme.
+func (h *HSM) Scheme() aggsig.Scheme { return h.cfg.Log.Scheme }
+
+// Meter returns the HSM's operation meter (nil-safe).
+func (h *HSM) Meter() *meter.Meter { return h.m }
+
+// InstallRoster attaches the distributed-log auditor once the fleet roster
+// is known.
+func (h *HSM) InstallRoster(roster []aggsig.PublicKey) error {
+	a, err := dlog.NewAuditor(h.cfg.Log, h.id, roster, h.signer, h.m)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	h.auditor = a
+	h.mu.Unlock()
+	return nil
+}
+
+func (h *HSM) auditorOrErr() (*dlog.Auditor, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.auditor == nil {
+		return nil, fmt.Errorf("hsm %d: roster not installed", h.id)
+	}
+	return h.auditor, nil
+}
+
+// --- distributed-log participant interface ---
+
+// LogChooseChunks selects this HSM's audit assignment for an epoch.
+func (h *HSM) LogChooseChunks(hdr dlog.EpochHeader) ([]int, error) {
+	a, err := h.auditorOrErr()
+	if err != nil {
+		return nil, err
+	}
+	return a.ChooseChunks(hdr)
+}
+
+// LogHandleAudit audits an epoch package and returns this HSM's signature.
+func (h *HSM) LogHandleAudit(pkg *dlog.AuditPackage) ([]byte, error) {
+	a, err := h.auditorOrErr()
+	if err != nil {
+		return nil, err
+	}
+	return a.HandleAudit(pkg)
+}
+
+// LogHandleCommit verifies the aggregate signature and advances the digest.
+func (h *HSM) LogHandleCommit(cm *dlog.CommitMessage) error {
+	a, err := h.auditorOrErr()
+	if err != nil {
+		return err
+	}
+	return a.HandleCommit(cm)
+}
+
+// LogDigest returns the HSM's current accepted log digest.
+func (h *HSM) LogDigest() ([32]byte, error) {
+	a, err := h.auditorOrErr()
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return a.Digest(), nil
+}
+
+// GarbageCollect resets the HSM's log digest within its bounded budget.
+func (h *HSM) GarbageCollect() error {
+	a, err := h.auditorOrErr()
+	if err != nil {
+		return err
+	}
+	return a.GarbageCollect()
+}
+
+// --- recovery ---
+
+// ErrGuessLimit is returned when a request's attempt number exceeds the
+// per-user budget.
+var ErrGuessLimit = errors.New("hsm: recovery attempt exceeds guess limit")
+
+// HandleRecover executes steps Ï–Ð of Figure 3 for this HSM:
+//
+//  1. validate the request and this HSM's membership in the opened cluster,
+//  2. enforce the per-user guess limit,
+//  3. recompute the commitment and verify its log inclusion against the
+//     HSM's own digest,
+//  4. decrypt the share (verifying the embedded username),
+//  5. puncture the key so this ciphertext is dead forever after,
+//  6. seal the share to the client's ephemeral reply key.
+func (h *HSM) HandleRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	a, err := h.auditorOrErr()
+	if err != nil {
+		return nil, err
+	}
+	if req.Cluster[req.SharePos] != h.id {
+		return nil, fmt.Errorf("hsm %d: request names HSM %d at position %d",
+			h.id, req.Cluster[req.SharePos], req.SharePos)
+	}
+	if req.Attempt >= h.cfg.GuessLimit {
+		return nil, fmt.Errorf("%w: attempt %d, limit %d", ErrGuessLimit, req.Attempt, h.cfg.GuessLimit)
+	}
+	// Check the logged commitment: the client's recovery attempt — bound to
+	// this exact ciphertext and cluster — must appear in the log the fleet
+	// agreed on.
+	commit := protocol.Commitment(req.User, req.Salt, req.CtHash, req.Cluster, req.CommitNonce)
+	h.m.Add(meter.OpHMAC, 2)
+	logID := protocol.LogID(req.User, req.Attempt)
+	if !a.VerifyInclusion(logID, commit, req.LogTrace) {
+		return nil, fmt.Errorf("hsm %d: recovery attempt not in log", h.id)
+	}
+	// Decrypt the share; the lhe layer verifies the username binding.
+	h.mu.Lock()
+	bfeKey := h.bfeKey
+	h.mu.Unlock()
+	ds, err := lhe.DecryptShare(bfeKey, req.User, req.Salt, req.SharePos, h.id, req.ShareCt)
+	if err != nil {
+		return nil, fmt.Errorf("hsm %d: %w", h.id, err)
+	}
+	// Forward secrecy: puncture before replying. An attacker who seizes
+	// this HSM after the reply leaves learns nothing about the ciphertext.
+	if err := bfeKey.Puncture(req.ShareCt); err != nil {
+		return nil, fmt.Errorf("hsm %d: puncturing: %w", h.id, err)
+	}
+	h.mu.Lock()
+	h.punctures++
+	h.mu.Unlock()
+	// Seal the reply to the client's per-recovery key; the provider
+	// escrows a copy for crash recovery (§8).
+	h.m.Add(meter.OpECMul, 2)
+	box, err := elgamal.Encrypt(req.ReplyPK, ds.Share.Bytes(),
+		protocol.ReplyAD(req.User, req.Salt, req.SharePos), h.rng)
+	if err != nil {
+		return nil, err
+	}
+	return &protocol.RecoveryReply{HSMIndex: h.id, SharePos: req.SharePos, Box: box.Bytes()}, nil
+}
+
+// --- key rotation ---
+
+// NeedsRotation reports whether the puncturable key is half spent.
+func (h *HSM) NeedsRotation() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bfeKey.NeedsRotation()
+}
+
+// RotateKey generates a fresh puncturable keypair on a fresh oracle,
+// destroying the old secret. Returns the new public key for distribution to
+// clients. This is the 75-hour operation of §9.1; the meter records its
+// full cost.
+func (h *HSM) RotateKey(freshOracle securestore.Oracle) (*bfe.PublicKey, error) {
+	sk, pk, err := bfe.KeyGen(h.cfg.BFE, freshOracle, h.rng, h.m)
+	if err != nil {
+		return nil, fmt.Errorf("hsm %d: rotating key: %w", h.id, err)
+	}
+	h.mu.Lock()
+	h.bfeKey = sk
+	h.bfePub = pk
+	h.oracle = freshOracle
+	h.keyEpoch++
+	h.mu.Unlock()
+	return pk, nil
+}
+
+// KeyEpoch returns how many times this HSM has rotated its key.
+func (h *HSM) KeyEpoch() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.keyEpoch
+}
+
+// Punctures returns the number of recovery shares served (and punctured).
+func (h *HSM) Punctures() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.punctures
+}
+
+// Decrypter exposes the HSM's share decrypter for white-box tests only; the
+// production path goes through HandleRecover.
+func (h *HSM) Decrypter() lhe.ShareDecrypter {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bfeKey
+}

@@ -1,0 +1,260 @@
+package hsm
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"safetypin/internal/aggsig"
+	"safetypin/internal/bfe"
+	"safetypin/internal/dlog"
+	"safetypin/internal/ecgroup"
+	"safetypin/internal/lhe"
+	"safetypin/internal/meter"
+	"safetypin/internal/protocol"
+	"safetypin/internal/provider"
+	"safetypin/internal/securestore"
+)
+
+// rig is a minimal single-purpose harness: a few HSMs wired to a provider,
+// plus helpers to run the log and build valid recovery requests.
+type rig struct {
+	cfg   Config
+	prov  *provider.Provider
+	hsms  []*HSM
+	fleet *bfe.Fleet
+	lhe   lhe.Params
+}
+
+func newRig(t testing.TB, n int) *rig {
+	t.Helper()
+	logCfg := dlog.Config{
+		NumChunks:     n,
+		AuditsPerHSM:  n,
+		MinSignerFrac: 0.5,
+		Scheme:        aggsig.ECDSAConcat(),
+	}
+	cfg := Config{BFE: bfe.Params{M: 128, K: 4}, Log: logCfg, GuessLimit: 2}
+	r := &rig{cfg: cfg, prov: provider.New(logCfg)}
+	var pubs []*bfe.PublicKey
+	var roster []aggsig.PublicKey
+	for i := 0; i < n; i++ {
+		h, err := New(i, cfg, r.prov.OracleFor(i), rand.Reader, meter.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.hsms = append(r.hsms, h)
+		pubs = append(pubs, h.BFEPublicKey())
+		roster = append(roster, h.AggSigPublicKey())
+	}
+	for _, h := range r.hsms {
+		if err := h.InstallRoster(roster); err != nil {
+			t.Fatal(err)
+		}
+		r.prov.Register(h)
+	}
+	r.fleet = bfe.NewFleet(pubs)
+	cl, th := n/2, n/4
+	if cl < 1 {
+		cl = 1
+	}
+	if th < 1 {
+		th = 1
+	}
+	params, err := lhe.NewParams(n, cl, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.lhe = params
+	return r
+}
+
+func (r *rig) backupAndLog(t testing.TB, user, pin string) (*lhe.Ciphertext, []byte, []int, []byte, ecgroup.KeyPair, *protocol.RecoveryRequest) {
+	t.Helper()
+	ct, err := r.lhe.Encrypt(r.fleet, user, pin, []byte("payload"), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := ct.Bytes()
+	cluster, err := r.lhe.Select(ct.Salt, pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := make([]byte, protocol.CommitNonceSize)
+	if _, err := rand.Read(nonce); err != nil {
+		t.Fatal(err)
+	}
+	commit := protocol.Commitment(user, ct.Salt, protocol.HashCiphertext(blob), cluster, nonce)
+	if err := r.prov.LogRecoveryAttempt(user, 0, commit); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.prov.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := r.prov.FetchInclusionProof(user, 0, commit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, err := ecgroup.GenerateKeyPair(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &protocol.RecoveryRequest{
+		User:        user,
+		Salt:        ct.Salt,
+		Attempt:     0,
+		SharePos:    0,
+		Cluster:     cluster,
+		CommitNonce: nonce,
+		CtHash:      protocol.HashCiphertext(blob),
+		ShareCt:     ct.Shares[0],
+		LogTrace:    trace,
+		ReplyPK:     kp.PK,
+	}
+	return ct, blob, cluster, nonce, kp, req
+}
+
+func TestHandleRecoverHappyPath(t *testing.T) {
+	r := newRig(t, 8)
+	_, _, cluster, _, _, req := r.backupAndLog(t, "alice", "123456")
+	h := r.hsms[cluster[0]]
+	before := h.Punctures()
+	reply, err := h.HandleRecover(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.HSMIndex != h.ID() || reply.SharePos != 0 || len(reply.Box) == 0 {
+		t.Fatalf("malformed reply: %+v", reply)
+	}
+	if h.Punctures() != before+1 {
+		t.Fatal("puncture not recorded")
+	}
+}
+
+func TestHandleRecoverWrongHSM(t *testing.T) {
+	r := newRig(t, 8)
+	_, _, cluster, _, _, req := r.backupAndLog(t, "alice", "123456")
+	// Send the position-0 request to an HSM that is not cluster[0].
+	var other *HSM
+	for _, h := range r.hsms {
+		if h.ID() != cluster[0] {
+			other = h
+			break
+		}
+	}
+	if _, err := other.HandleRecover(req); err == nil {
+		t.Fatal("foreign HSM served the request")
+	}
+}
+
+func TestHandleRecoverGuessLimit(t *testing.T) {
+	r := newRig(t, 8)
+	_, _, cluster, _, _, req := r.backupAndLog(t, "alice", "123456")
+	req.Attempt = r.cfg.GuessLimit // one past the budget
+	if _, err := r.hsms[cluster[0]].HandleRecover(req); !errors.Is(err, ErrGuessLimit) {
+		t.Fatalf("want ErrGuessLimit, got %v", err)
+	}
+}
+
+func TestHandleRecoverBadCommitmentOpening(t *testing.T) {
+	r := newRig(t, 8)
+	_, _, cluster, _, _, req := r.backupAndLog(t, "alice", "123456")
+	req.CommitNonce = make([]byte, protocol.CommitNonceSize) // wrong nonce
+	if _, err := r.hsms[cluster[0]].HandleRecover(req); err == nil {
+		t.Fatal("wrong commitment opening accepted")
+	}
+}
+
+func TestHandleRecoverUnloggedAttempt(t *testing.T) {
+	r := newRig(t, 8)
+	_, _, cluster, _, _, req := r.backupAndLog(t, "alice", "123456")
+	req.Attempt = 1 // logged attempt was #0; #1 is unlogged
+	if _, err := r.hsms[cluster[0]].HandleRecover(req); err == nil {
+		t.Fatal("unlogged attempt accepted")
+	}
+}
+
+func TestHandleRecoverBeforeRoster(t *testing.T) {
+	h, err := New(0, Config{
+		BFE: bfe.Params{M: 64, K: 4},
+		Log: dlog.Config{Scheme: aggsig.ECDSAConcat()},
+	}, securestore.NewMemOracle(), rand.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, _ := ecgroup.GenerateKeyPair(rand.Reader)
+	req := &protocol.RecoveryRequest{
+		User: "a", Salt: []byte("s"), Cluster: []int{0},
+		CommitNonce: make([]byte, protocol.CommitNonceSize),
+		ShareCt:     []byte("x"), LogTrace: nil, ReplyPK: kp.PK,
+	}
+	if _, err := h.HandleRecover(req); err == nil {
+		t.Fatal("request served before roster installation")
+	}
+}
+
+func TestRotationLifecycle(t *testing.T) {
+	r := newRig(t, 4)
+	h := r.hsms[0]
+	if h.KeyEpoch() != 0 {
+		t.Fatal("fresh HSM should be at key epoch 0")
+	}
+	pk, err := h.RotateKey(securestore.NewMemOracle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.KeyEpoch() != 1 {
+		t.Fatal("rotation did not bump epoch")
+	}
+	if pk == nil || len(pk.Points) != r.cfg.BFE.M {
+		t.Fatal("rotated key malformed")
+	}
+	// The published key must be the one the HSM now uses.
+	if !h.BFEPublicKey().Points[0].Equal(pk.Points[0]) {
+		t.Fatal("published key differs from installed key")
+	}
+}
+
+func TestSchemeExposed(t *testing.T) {
+	r := newRig(t, 2)
+	if r.hsms[0].Scheme().Name() != "ecdsa-concat" {
+		t.Fatal("scheme accessor wrong")
+	}
+}
+
+func TestLogDigestTracksFleet(t *testing.T) {
+	r := newRig(t, 4)
+	d0, err := r.hsms[0].LogDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.backupAndLog(t, "alice", "123456") // runs one epoch
+	d1, err := r.hsms[0].LogDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0 == d1 {
+		t.Fatal("digest did not advance with the epoch")
+	}
+	for _, h := range r.hsms[1:] {
+		di, err := h.LogDigest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if di != d1 {
+			t.Fatal("fleet digests diverged")
+		}
+	}
+}
+
+func TestGarbageCollectBudgetWiring(t *testing.T) {
+	r := newRig(t, 2)
+	for i := 0; i < dlog.DefaultGCBudget; i++ {
+		if err := r.hsms[0].GarbageCollect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.hsms[0].GarbageCollect(); err == nil {
+		t.Fatal("GC budget not enforced through the HSM")
+	}
+}

@@ -1,0 +1,161 @@
+package merkle
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func leaves(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("leaf-%d", i))
+	}
+	return out
+}
+
+func TestEmptyRejected(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	tr, err := New(leaves(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tr.Prove(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(tr.Root(), 1, []byte("leaf-0"), p) {
+		t.Fatal("single-leaf proof failed")
+	}
+}
+
+func TestAllSizesAllIndices(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		ls := leaves(n)
+		tr, err := New(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			p, err := tr.Prove(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Verify(tr.Root(), n, ls[i], p) {
+				t.Fatalf("n=%d i=%d proof rejected", n, i)
+			}
+		}
+	}
+}
+
+func TestWrongLeafRejected(t *testing.T) {
+	tr, _ := New(leaves(10))
+	p, _ := tr.Prove(3)
+	if Verify(tr.Root(), 10, []byte("leaf-4"), p) {
+		t.Fatal("proof for leaf 3 verified leaf 4's data")
+	}
+}
+
+func TestWrongRootRejected(t *testing.T) {
+	tr, _ := New(leaves(10))
+	other, _ := New(leaves(11))
+	p, _ := tr.Prove(3)
+	if Verify(other.Root(), 11, []byte("leaf-3"), p) {
+		t.Fatal("proof verified under wrong root")
+	}
+}
+
+func TestTamperedProofRejected(t *testing.T) {
+	tr, _ := New(leaves(16))
+	p, _ := tr.Prove(7)
+	p.Steps[1].Sibling[0] ^= 1
+	if Verify(tr.Root(), 16, []byte("leaf-7"), p) {
+		t.Fatal("tampered proof accepted")
+	}
+}
+
+func TestNilProofRejected(t *testing.T) {
+	tr, _ := New(leaves(4))
+	if Verify(tr.Root(), 4, []byte("leaf-0"), nil) {
+		t.Fatal("nil proof accepted")
+	}
+}
+
+func TestProveOutOfRange(t *testing.T) {
+	tr, _ := New(leaves(4))
+	if _, err := tr.Prove(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := tr.Prove(4); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestRootDependsOnOrder(t *testing.T) {
+	a, _ := New([][]byte{[]byte("x"), []byte("y")})
+	b, _ := New([][]byte{[]byte("y"), []byte("x")})
+	if a.Root() == b.Root() {
+		t.Fatal("leaf order does not affect root")
+	}
+}
+
+func TestLeafNodeDomainSeparation(t *testing.T) {
+	// A leaf whose content equals an interior node's children must not
+	// collide with that node.
+	x, y := LeafHash([]byte("x")), LeafHash([]byte("y"))
+	payload := append(append([]byte{}, x[:]...), y[:]...)
+	if LeafHash(payload) == nodeHash(x, y) {
+		t.Fatal("leaf/node domain separation broken")
+	}
+}
+
+func TestQuickRandomTrees(t *testing.T) {
+	err := quick.Check(func(data [][]byte, idxRaw uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		tr, err := New(data)
+		if err != nil {
+			return false
+		}
+		i := int(idxRaw) % len(data)
+		p, err := tr.Prove(i)
+		if err != nil {
+			return false
+		}
+		return Verify(tr.Root(), len(data), data[i], p)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild1K(b *testing.B) {
+	ls := leaves(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(ls); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProveVerify1K(b *testing.B) {
+	ls := leaves(1024)
+	tr, _ := New(ls)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := tr.Prove(i % 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !Verify(tr.Root(), 1024, ls[i%1024], p) {
+			b.Fatal("verify failed")
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package protocol defines the wire-level types and commitment scheme shared
+// by SafetyPin clients, the service provider, and HSMs during recovery
+// (Figure 3, steps Ì–Ð).
+//
+// Before any HSM releases a decryption share, the client must have logged a
+// commitment h to (username, salt, ciphertext, cluster identity) under a
+// bounded attempt number, and must open that commitment to the HSM along
+// with a log-inclusion proof. The commitment pins the recovery attempt to
+// one specific ciphertext and cluster, so a single log entry cannot be
+// replayed to probe several PIN guesses.
+package protocol
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"safetypin/internal/ecgroup"
+	"safetypin/internal/logtree"
+)
+
+// CommitNonceSize is the commitment randomness length.
+const CommitNonceSize = 32
+
+// CtHash is the hash of a serialized recovery ciphertext.
+type CtHash = [sha256.Size]byte
+
+// HashCiphertext hashes a serialized recovery ciphertext for commitment
+// binding.
+func HashCiphertext(ct []byte) CtHash {
+	h := sha256.New()
+	h.Write([]byte("safetypin/protocol/ct/v1"))
+	h.Write(ct)
+	var out CtHash
+	h.Sum(out[:0])
+	return out
+}
+
+// Commitment computes h, the value logged for one recovery attempt: a
+// binding, hiding commitment to the recovery context.
+func Commitment(user string, salt []byte, ctHash CtHash, cluster []int, nonce []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("safetypin/protocol/commit/v1"))
+	var ul [4]byte
+	binary.BigEndian.PutUint32(ul[:], uint32(len(user)))
+	h.Write(ul[:])
+	h.Write([]byte(user))
+	h.Write(salt)
+	h.Write(ctHash[:])
+	var ib [4]byte
+	binary.BigEndian.PutUint32(ib[:], uint32(len(cluster)))
+	h.Write(ib[:])
+	for _, c := range cluster {
+		binary.BigEndian.PutUint32(ib[:], uint32(c))
+		h.Write(ib[:])
+	}
+	h.Write(nonce)
+	return h.Sum(nil)
+}
+
+// LogID is the log identifier for one (user, attempt) pair. The log's
+// one-value-per-identifier property plus the HSM-enforced attempt bound
+// yields the global PIN-guess limit.
+func LogID(user string, attempt int) []byte {
+	return []byte(fmt.Sprintf("recover|%s|#%d", user, attempt))
+}
+
+// RecoveryRequest is what the client sends to one HSM in step Ï.
+type RecoveryRequest struct {
+	User string
+	Salt []byte
+	// Attempt is the guess number this recovery consumed.
+	Attempt int
+	// SharePos is this HSM's position j within the cluster.
+	SharePos int
+	// Cluster opens the commitment: the full ordered cluster indices.
+	Cluster []int
+	// CommitNonce opens the commitment.
+	CommitNonce []byte
+	// CtHash binds the request to one recovery ciphertext.
+	CtHash CtHash
+	// ShareCt is the encrypted key share addressed to this HSM.
+	ShareCt []byte
+	// LogTrace proves (LogID(User, Attempt) → commitment) is in the log.
+	LogTrace *logtree.Trace
+	// ReplyPK is the client's per-recovery ephemeral public key (§8,
+	// failure during recovery): the HSM encrypts its reply under it and
+	// the provider escrows a copy.
+	ReplyPK ecgroup.Point
+}
+
+// Validate performs structural checks before protocol processing.
+func (r *RecoveryRequest) Validate() error {
+	switch {
+	case r.User == "":
+		return fmt.Errorf("protocol: empty user")
+	case len(r.Salt) == 0:
+		return fmt.Errorf("protocol: empty salt")
+	case r.Attempt < 0:
+		return fmt.Errorf("protocol: negative attempt")
+	case r.SharePos < 0 || r.SharePos >= len(r.Cluster):
+		return fmt.Errorf("protocol: share position %d outside cluster of %d", r.SharePos, len(r.Cluster))
+	case len(r.CommitNonce) != CommitNonceSize:
+		return fmt.Errorf("protocol: commit nonce must be %d bytes", CommitNonceSize)
+	case len(r.ShareCt) == 0:
+		return fmt.Errorf("protocol: empty share ciphertext")
+	case r.LogTrace == nil:
+		return fmt.Errorf("protocol: missing log trace")
+	case r.ReplyPK.IsIdentity():
+		return fmt.Errorf("protocol: missing reply key")
+	}
+	return nil
+}
+
+// RecoveryReply is one HSM's response: the recovered Shamir share sealed
+// under the client's ephemeral key.
+type RecoveryReply struct {
+	HSMIndex int
+	SharePos int
+	// Box is an ElGamal encryption (under ReplyPK) of the share bytes.
+	Box []byte
+}
+
+// ReplyAD is the domain separation for reply encryption.
+func ReplyAD(user string, salt []byte, sharePos int) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("safetypin/protocol/reply/v1|")
+	buf.WriteString(user)
+	buf.WriteByte(0)
+	buf.Write(salt)
+	var p [4]byte
+	binary.BigEndian.PutUint32(p[:], uint32(sharePos))
+	buf.Write(p[:])
+	return buf.Bytes()
+}

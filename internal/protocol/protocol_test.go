@@ -1,0 +1,119 @@
+package protocol
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+
+	"safetypin/internal/ecgroup"
+	"safetypin/internal/logtree"
+)
+
+func TestCommitmentDeterministic(t *testing.T) {
+	ct := HashCiphertext([]byte("ciphertext"))
+	nonce := bytes.Repeat([]byte{1}, CommitNonceSize)
+	a := Commitment("alice", []byte("salt"), ct, []int{1, 2, 3}, nonce)
+	b := Commitment("alice", []byte("salt"), ct, []int{1, 2, 3}, nonce)
+	if !bytes.Equal(a, b) {
+		t.Fatal("commitment not deterministic")
+	}
+}
+
+func TestCommitmentBindsEveryField(t *testing.T) {
+	ct := HashCiphertext([]byte("ciphertext"))
+	ct2 := HashCiphertext([]byte("other"))
+	nonce := bytes.Repeat([]byte{1}, CommitNonceSize)
+	nonce2 := bytes.Repeat([]byte{2}, CommitNonceSize)
+	base := Commitment("alice", []byte("salt"), ct, []int{1, 2, 3}, nonce)
+	variants := [][]byte{
+		Commitment("bob", []byte("salt"), ct, []int{1, 2, 3}, nonce),
+		Commitment("alice", []byte("Salt"), ct, []int{1, 2, 3}, nonce),
+		Commitment("alice", []byte("salt"), ct2, []int{1, 2, 3}, nonce),
+		Commitment("alice", []byte("salt"), ct, []int{1, 2, 4}, nonce),
+		Commitment("alice", []byte("salt"), ct, []int{1, 2}, nonce),
+		Commitment("alice", []byte("salt"), ct, []int{2, 1, 3}, nonce),
+		Commitment("alice", []byte("salt"), ct, []int{1, 2, 3}, nonce2),
+	}
+	for i, v := range variants {
+		if bytes.Equal(base, v) {
+			t.Fatalf("variant %d collided with base commitment", i)
+		}
+	}
+}
+
+func TestCommitmentLengthAmbiguityResistance(t *testing.T) {
+	// user boundary is length-prefixed: ("ab", salt "c…") must differ from
+	// ("a", salt "bc…").
+	ct := HashCiphertext(nil)
+	nonce := make([]byte, CommitNonceSize)
+	a := Commitment("ab", []byte("c"), ct, nil, nonce)
+	b := Commitment("a", []byte("bc"), ct, nil, nonce)
+	if bytes.Equal(a, b) {
+		t.Fatal("user/salt boundary ambiguous")
+	}
+}
+
+func TestLogIDFormat(t *testing.T) {
+	a := LogID("alice", 0)
+	b := LogID("alice", 1)
+	c := LogID("alicf", 0)
+	if bytes.Equal(a, b) || bytes.Equal(a, c) {
+		t.Fatal("log ids collide")
+	}
+}
+
+func validRequest(t *testing.T) *RecoveryRequest {
+	t.Helper()
+	kp, err := ecgroup.GenerateKeyPair(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &RecoveryRequest{
+		User:        "alice",
+		Salt:        []byte("salt"),
+		Attempt:     0,
+		SharePos:    1,
+		Cluster:     []int{5, 9, 13},
+		CommitNonce: make([]byte, CommitNonceSize),
+		CtHash:      HashCiphertext([]byte("ct")),
+		ShareCt:     []byte("share-ct"),
+		LogTrace:    &logtree.Trace{Empty: true},
+		ReplyPK:     kp.PK,
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validRequest(t).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := []func(*RecoveryRequest){
+		func(r *RecoveryRequest) { r.User = "" },
+		func(r *RecoveryRequest) { r.Salt = nil },
+		func(r *RecoveryRequest) { r.Attempt = -1 },
+		func(r *RecoveryRequest) { r.SharePos = -1 },
+		func(r *RecoveryRequest) { r.SharePos = 3 },
+		func(r *RecoveryRequest) { r.CommitNonce = []byte{1} },
+		func(r *RecoveryRequest) { r.ShareCt = nil },
+		func(r *RecoveryRequest) { r.LogTrace = nil },
+		func(r *RecoveryRequest) { r.ReplyPK = ecgroup.Identity() },
+	}
+	for i, mutate := range mutations {
+		r := validRequest(t)
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestReplyADDistinct(t *testing.T) {
+	a := ReplyAD("alice", []byte("s"), 0)
+	b := ReplyAD("alice", []byte("s"), 1)
+	c := ReplyAD("bob", []byte("s"), 0)
+	if bytes.Equal(a, b) || bytes.Equal(a, c) {
+		t.Fatal("reply ADs collide")
+	}
+}

@@ -1,0 +1,283 @@
+// Package provider implements the SafetyPin service provider: the untrusted
+// data-center side that stores recovery ciphertexts, hosts the HSMs'
+// outsourced key storage, maintains the distributed log, relays recovery
+// traffic between clients and HSMs, and escrows HSM replies for
+// crash-during-recovery handling (§8).
+//
+// Nothing in this package is trusted: every security property is enforced
+// by the clients and HSMs on the other side of its interfaces. A test that
+// swaps in a misbehaving provider must fail closed, not open.
+package provider
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"safetypin/internal/dlog"
+	"safetypin/internal/logtree"
+	"safetypin/internal/protocol"
+	"safetypin/internal/securestore"
+)
+
+// HSMHandle is the provider's view of one HSM: its message interface only.
+type HSMHandle interface {
+	ID() int
+	LogChooseChunks(hdr dlog.EpochHeader) ([]int, error)
+	LogHandleAudit(pkg *dlog.AuditPackage) ([]byte, error)
+	LogHandleCommit(cm *dlog.CommitMessage) error
+	HandleRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error)
+}
+
+// Provider is the data-center state.
+type Provider struct {
+	mu sync.Mutex
+
+	log  *dlog.Provider
+	hsms map[int]HSMHandle
+
+	// ciphertext store: user → serialized recovery ciphertexts, newest
+	// last (clients back up repeatedly; §8 "multiple recovery
+	// ciphertexts").
+	cts map[string][][]byte
+
+	// per-HSM outsourced block stores.
+	oracles map[int]*securestore.MemOracle
+
+	// escrowed recovery replies: user → replies of the latest recovery.
+	escrow map[string][]*protocol.RecoveryReply
+
+	attempts map[string]int // user → consumed log attempts
+}
+
+// New creates an empty provider around a distributed-log configuration.
+func New(logCfg dlog.Config) *Provider {
+	return &Provider{
+		log:      dlog.NewProvider(logCfg),
+		hsms:     make(map[int]HSMHandle),
+		cts:      make(map[string][][]byte),
+		oracles:  make(map[int]*securestore.MemOracle),
+		escrow:   make(map[string][]*protocol.RecoveryReply),
+		attempts: make(map[string]int),
+	}
+}
+
+// OracleFor returns (creating on demand) the outsourced block store hosted
+// for one HSM.
+func (p *Provider) OracleFor(hsmID int) *securestore.MemOracle {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	o, ok := p.oracles[hsmID]
+	if !ok {
+		o = securestore.NewMemOracle()
+		p.oracles[hsmID] = o
+	}
+	return o
+}
+
+// ReplaceOracle installs a fresh store for an HSM key rotation.
+func (p *Provider) ReplaceOracle(hsmID int) *securestore.MemOracle {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	o := securestore.NewMemOracle()
+	p.oracles[hsmID] = o
+	return o
+}
+
+// Register attaches an HSM handle to the fleet.
+func (p *Provider) Register(h HSMHandle) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hsms[h.ID()] = h
+}
+
+// FleetSize returns the number of registered HSMs.
+func (p *Provider) FleetSize() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.hsms)
+}
+
+// --- ciphertext storage ---
+
+// StoreCiphertext saves a client's recovery ciphertext.
+func (p *Provider) StoreCiphertext(user string, ct []byte) error {
+	if user == "" {
+		return errors.New("provider: empty user")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cts[user] = append(p.cts[user], append([]byte(nil), ct...))
+	return nil
+}
+
+// FetchCiphertext returns the client's latest recovery ciphertext.
+func (p *Provider) FetchCiphertext(user string) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	list := p.cts[user]
+	if len(list) == 0 {
+		return nil, fmt.Errorf("provider: no backup for user %q", user)
+	}
+	return append([]byte(nil), list[len(list)-1]...), nil
+}
+
+// CiphertextCount returns how many backups a user has stored.
+func (p *Provider) CiphertextCount(user string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cts[user])
+}
+
+// --- distributed log ---
+
+// AttemptCount returns the number of recovery attempts already logged for a
+// user (the next free attempt number).
+func (p *Provider) AttemptCount(user string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.attempts[user]
+}
+
+// LogRecoveryAttempt inserts (LogID(user, attempt) → commitment) into the
+// pending log batch.
+func (p *Provider) LogRecoveryAttempt(user string, attempt int, commitment []byte) error {
+	if err := p.log.Append(protocol.LogID(user, attempt), commitment); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if attempt >= p.attempts[user] {
+		p.attempts[user] = attempt + 1
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// RunEpoch drives one log-update epoch across the registered fleet
+// (Figure 5): build, audit at every reachable HSM, aggregate, commit. HSMs
+// that fail mid-protocol are skipped; the epoch succeeds if a quorum signs.
+func (p *Provider) RunEpoch() error {
+	hdr, err := p.log.BuildEpoch()
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	handles := make([]HSMHandle, 0, len(p.hsms))
+	for _, h := range p.hsms {
+		handles = append(handles, h)
+	}
+	p.mu.Unlock()
+
+	var sigs [][]byte
+	var signers []int
+	var firstErr error
+	for _, h := range handles {
+		chunks, err := h.LogChooseChunks(hdr)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		pkg, err := p.log.AuditPackageFor(chunks)
+		if err != nil {
+			p.log.Abort()
+			return err
+		}
+		sig, err := h.LogHandleAudit(pkg)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		sigs = append(sigs, sig)
+		signers = append(signers, h.ID())
+	}
+	if len(sigs) == 0 {
+		p.log.Abort()
+		if firstErr != nil {
+			return fmt.Errorf("provider: epoch gathered no signatures: %w", firstErr)
+		}
+		return errors.New("provider: epoch gathered no signatures")
+	}
+	cm, err := p.log.Commit(sigs, signers)
+	if err != nil {
+		return err
+	}
+	var commitErr error
+	for _, h := range handles {
+		if err := h.LogHandleCommit(cm); err != nil && commitErr == nil {
+			commitErr = err
+		}
+	}
+	return commitErr
+}
+
+// PendingLogLen returns queued-but-uncommitted log insertions.
+func (p *Provider) PendingLogLen() int { return p.log.PendingLen() }
+
+// FetchInclusionProof serves a log-inclusion proof for a committed entry.
+func (p *Provider) FetchInclusionProof(user string, attempt int, commitment []byte) (*logtree.Trace, error) {
+	return p.log.ProveInclusion(protocol.LogID(user, attempt), commitment)
+}
+
+// LogEntries exposes the committed log for external auditors (§6.3).
+func (p *Provider) LogEntries() []logtree.Entry { return p.log.Entries() }
+
+// Get returns the committed log value for an identifier.
+func (p *Provider) Get(id []byte) ([]byte, bool) { return p.log.Get(id) }
+
+// LogDigest returns the provider's committed digest.
+func (p *Provider) LogDigest() logtree.Digest { return p.log.Digest() }
+
+// GarbageCollectLog clears the log state (HSMs must consent via their own
+// bounded-budget GarbageCollect).
+func (p *Provider) GarbageCollectLog() {
+	p.log.GarbageCollect()
+	p.mu.Lock()
+	p.attempts = make(map[string]int)
+	p.mu.Unlock()
+}
+
+// --- recovery relay ---
+
+// RelayRecover forwards a recovery request to the addressed HSM and escrows
+// the sealed reply so a replacement device can finish an interrupted
+// recovery (§8). The reply is encrypted under the client's ephemeral key,
+// so escrow reveals nothing to the provider.
+func (p *Provider) RelayRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
+	if req.SharePos < 0 || req.SharePos >= len(req.Cluster) {
+		return nil, errors.New("provider: malformed cluster opening")
+	}
+	target := req.Cluster[req.SharePos]
+	p.mu.Lock()
+	h, ok := p.hsms[target]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("provider: no HSM %d registered", target)
+	}
+	reply, err := h.HandleRecover(req)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.escrow[req.User] = append(p.escrow[req.User], reply)
+	p.mu.Unlock()
+	return reply, nil
+}
+
+// FetchEscrowedReplies returns the sealed replies of a user's latest
+// recovery for a replacement device.
+func (p *Provider) FetchEscrowedReplies(user string) []*protocol.RecoveryReply {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*protocol.RecoveryReply(nil), p.escrow[user]...)
+}
+
+// ClearEscrow drops a user's escrowed replies (after a completed recovery).
+func (p *Provider) ClearEscrow(user string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.escrow, user)
+}

@@ -1,0 +1,231 @@
+package provider
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"safetypin/internal/aggsig"
+	"safetypin/internal/dlog"
+	"safetypin/internal/protocol"
+)
+
+func logCfg() dlog.Config {
+	return dlog.Config{
+		NumChunks:     2,
+		AuditsPerHSM:  2,
+		MinSignerFrac: 0.5,
+		Scheme:        aggsig.ECDSAConcat(),
+	}
+}
+
+func TestCiphertextStore(t *testing.T) {
+	p := New(logCfg())
+	if err := p.StoreCiphertext("", []byte("x")); err == nil {
+		t.Fatal("empty user accepted")
+	}
+	if _, err := p.FetchCiphertext("ghost"); err == nil {
+		t.Fatal("fetch for unknown user succeeded")
+	}
+	if err := p.StoreCiphertext("alice", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StoreCiphertext("alice", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.FetchCiphertext("alice")
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("latest fetch wrong: %q %v", got, err)
+	}
+	if p.CiphertextCount("alice") != 2 {
+		t.Fatal("count wrong")
+	}
+	// Returned slices are copies.
+	got[0] = 'X'
+	again, _ := p.FetchCiphertext("alice")
+	if string(again) != "v2" {
+		t.Fatal("internal state aliased to caller")
+	}
+}
+
+func TestAttemptAccounting(t *testing.T) {
+	p := New(logCfg())
+	if p.AttemptCount("alice") != 0 {
+		t.Fatal("fresh user should have zero attempts")
+	}
+	if err := p.LogRecoveryAttempt("alice", 0, []byte("h0")); err != nil {
+		t.Fatal(err)
+	}
+	if p.AttemptCount("alice") != 1 {
+		t.Fatal("attempt not counted")
+	}
+	// Duplicate (user, attempt) is a duplicate log identifier.
+	if err := p.LogRecoveryAttempt("alice", 0, []byte("h1")); err == nil {
+		t.Fatal("duplicate attempt id accepted")
+	}
+}
+
+func TestRunEpochNoParticipants(t *testing.T) {
+	p := New(logCfg())
+	if err := p.LogRecoveryAttempt("alice", 0, []byte("h")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunEpoch(); err == nil {
+		t.Fatal("epoch without HSMs should fail")
+	}
+	// Pending entries survive for a retry.
+	if p.PendingLogLen() != 1 {
+		t.Fatal("pending batch lost after failed epoch")
+	}
+}
+
+// stubHSM implements HSMHandle for provider-level tests.
+type stubHSM struct {
+	id      int
+	failing bool
+	signer  aggsig.Signer
+	auditor *dlog.Auditor
+}
+
+func (s *stubHSM) ID() int { return s.id }
+func (s *stubHSM) LogChooseChunks(hdr dlog.EpochHeader) ([]int, error) {
+	if s.failing {
+		return nil, errors.New("down")
+	}
+	return s.auditor.ChooseChunks(hdr)
+}
+func (s *stubHSM) LogHandleAudit(pkg *dlog.AuditPackage) ([]byte, error) {
+	if s.failing {
+		return nil, errors.New("down")
+	}
+	return s.auditor.HandleAudit(pkg)
+}
+func (s *stubHSM) LogHandleCommit(cm *dlog.CommitMessage) error {
+	if s.failing {
+		return errors.New("down")
+	}
+	return s.auditor.HandleCommit(cm)
+}
+func (s *stubHSM) HandleRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
+	if s.failing {
+		return nil, errors.New("down")
+	}
+	return &protocol.RecoveryReply{HSMIndex: s.id, SharePos: req.SharePos, Box: []byte("box")}, nil
+}
+
+func newStubFleet(t *testing.T, p *Provider, n int, failing map[int]bool) []*stubHSM {
+	t.Helper()
+	cfg := logCfg()
+	roster := make([]aggsig.PublicKey, n)
+	signers := make([]aggsig.Signer, n)
+	for i := 0; i < n; i++ {
+		s, err := cfg.Scheme.KeyGen(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		signers[i] = s
+		roster[i] = s.PublicKey()
+	}
+	var out []*stubHSM
+	for i := 0; i < n; i++ {
+		a, err := dlog.NewAuditor(cfg, i, roster, signers[i], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := &stubHSM{id: i, failing: failing[i], signer: signers[i], auditor: a}
+		out = append(out, h)
+		p.Register(h)
+	}
+	return out
+}
+
+func TestRunEpochToleratesFailures(t *testing.T) {
+	p := New(logCfg())
+	newStubFleet(t, p, 4, map[int]bool{3: true})
+	if err := p.LogRecoveryAttempt("alice", 0, []byte("h")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunEpoch(); err != nil && !errors.Is(err, errStubDown) {
+		// The failing HSM's commit error may surface; the epoch itself must
+		// have committed, which we verify via the digest.
+	}
+	if p.PendingLogLen() != 0 {
+		t.Fatal("epoch did not commit despite quorum")
+	}
+	if _, ok := p.Get(protocol.LogID("alice", 0)); !ok {
+		t.Fatal("entry missing after commit")
+	}
+}
+
+var errStubDown = errors.New("down")
+
+func TestRelayRecoverRouting(t *testing.T) {
+	p := New(logCfg())
+	newStubFleet(t, p, 4, nil)
+	req := &protocol.RecoveryRequest{User: "alice", SharePos: 0, Cluster: []int{2}}
+	reply, err := p.RelayRecover(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.HSMIndex != 2 {
+		t.Fatal("routed to wrong HSM")
+	}
+	// Escrowed for crash recovery.
+	if got := p.FetchEscrowedReplies("alice"); len(got) != 1 {
+		t.Fatalf("escrow has %d replies", len(got))
+	}
+	p.ClearEscrow("alice")
+	if got := p.FetchEscrowedReplies("alice"); len(got) != 0 {
+		t.Fatal("escrow not cleared")
+	}
+}
+
+func TestRelayRecoverValidation(t *testing.T) {
+	p := New(logCfg())
+	if _, err := p.RelayRecover(&protocol.RecoveryRequest{SharePos: 0, Cluster: nil}); err == nil {
+		t.Fatal("malformed cluster accepted")
+	}
+	if _, err := p.RelayRecover(&protocol.RecoveryRequest{SharePos: 0, Cluster: []int{7}}); err == nil {
+		t.Fatal("unknown HSM accepted")
+	}
+}
+
+func TestGarbageCollectResetsAttempts(t *testing.T) {
+	p := New(logCfg())
+	newStubFleet(t, p, 2, nil)
+	if err := p.LogRecoveryAttempt("alice", 0, []byte("h")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	p.GarbageCollectLog()
+	if p.AttemptCount("alice") != 0 {
+		t.Fatal("attempts not reset by GC")
+	}
+	if len(p.LogEntries()) != 0 {
+		t.Fatal("log not cleared by GC")
+	}
+	// Same id is insertable again.
+	if err := p.LogRecoveryAttempt("alice", 0, []byte("h2")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleLifecycle(t *testing.T) {
+	p := New(logCfg())
+	o1 := p.OracleFor(0)
+	if o1 != p.OracleFor(0) {
+		t.Fatal("oracle not stable per HSM")
+	}
+	if err := o1.Put(1, []byte("block")); err != nil {
+		t.Fatal(err)
+	}
+	o2 := p.ReplaceOracle(0)
+	if o2 == o1 {
+		t.Fatal("replace returned same oracle")
+	}
+	if _, err := o2.Get(1); err == nil {
+		t.Fatal("fresh oracle should be empty")
+	}
+}

@@ -1,0 +1,342 @@
+package securestore
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"testing"
+
+	"safetypin/internal/aead"
+	"safetypin/internal/meter"
+)
+
+func blocks(n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("%0*d", size, i))
+	}
+	return out
+}
+
+func setup(t testing.TB, n int) (*Store, *MemOracle) {
+	t.Helper()
+	o := NewMemOracle()
+	s, err := Setup(o, blocks(n, 16), rand.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, o
+}
+
+func TestReadAll(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 9, 31, 64} {
+		s, _ := setup(t, n)
+		want := blocks(n, 16)
+		for i := 0; i < n; i++ {
+			got, err := s.Read(i)
+			if err != nil {
+				t.Fatalf("n=%d Read(%d): %v", n, i, err)
+			}
+			if !bytes.Equal(got, want[i]) {
+				t.Fatalf("n=%d block %d mismatch", n, i)
+			}
+		}
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	s, _ := setup(t, 8)
+	if _, err := s.Read(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := s.Read(8); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if err := s.Delete(100); err == nil {
+		t.Fatal("out-of-range delete accepted")
+	}
+}
+
+func TestDeleteMakesUnreadable(t *testing.T) {
+	s, _ := setup(t, 16)
+	if err := s.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(5); !errors.Is(err, ErrDeleted) {
+		t.Fatalf("expected ErrDeleted, got %v", err)
+	}
+	// all other blocks still readable
+	for i := 0; i < 16; i++ {
+		if i == 5 {
+			continue
+		}
+		if _, err := s.Read(i); err != nil {
+			t.Fatalf("block %d unreadable after deleting 5: %v", i, err)
+		}
+	}
+}
+
+func TestDeleteIdempotent(t *testing.T) {
+	s, _ := setup(t, 8)
+	if err := s.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(3); err != nil {
+		t.Fatalf("second delete errored: %v", err)
+	}
+}
+
+func TestDeleteAllBlocks(t *testing.T) {
+	s, _ := setup(t, 8)
+	for i := 0; i < 8; i++ {
+		if err := s.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := s.Read(i); !errors.Is(err, ErrDeleted) {
+			t.Fatalf("block %d readable after delete", i)
+		}
+	}
+}
+
+func TestSecureDeletionAgainstStateCapture(t *testing.T) {
+	// The core forward-secrecy property: an attacker who records every
+	// ciphertext the provider ever stored *and* captures the HSM root key
+	// after a deletion cannot decrypt the deleted block.
+	o := NewMemOracle()
+	s, err := Setup(o, blocks(16, 16), rand.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attacker snapshots all provider-side ciphertexts before deletion.
+	preDelete := make(map[uint64][]byte)
+	for addr, b := range o.blocks {
+		preDelete[addr] = append([]byte(nil), b...)
+	}
+	if err := s.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	capturedRoot := s.RootKey() // post-deletion HSM compromise
+
+	// Attack 1: use the captured root key on the current store.
+	attacker := &Store{oracle: o, rootKey: capturedRoot, height: s.height, numData: s.numData, rng: rand.Reader}
+	if _, err := attacker.Read(7); !errors.Is(err, ErrDeleted) {
+		t.Fatalf("attacker read deleted block from live store: %v", err)
+	}
+	// Attack 2: use the captured root key on the pre-deletion snapshot
+	// (rollback attack). The new root key must not decrypt old ciphertexts.
+	oldOracle := &MemOracle{blocks: preDelete}
+	rollback := &Store{oracle: oldOracle, rootKey: capturedRoot, height: s.height, numData: s.numData, rng: rand.Reader}
+	if _, err := rollback.Read(7); err == nil {
+		t.Fatal("rollback attack succeeded: old ciphertexts decrypted under new root key")
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	s, o := setup(t, 16)
+	// Flip a byte in every stored block in turn; every read that touches it
+	// must fail with an integrity error, never return wrong data.
+	want := blocks(16, 16)
+	for addr := range o.blocks {
+		orig := append([]byte(nil), o.blocks[addr]...)
+		o.blocks[addr][len(orig)/2] ^= 1
+		for i := 0; i < 16; i++ {
+			got, err := s.Read(i)
+			if err == nil && !bytes.Equal(got, want[i]) {
+				t.Fatalf("tampered node %d: Read(%d) returned wrong data without error", addr, i)
+			}
+		}
+		o.blocks[addr] = orig
+	}
+}
+
+func TestBlockSwapDetected(t *testing.T) {
+	s, o := setup(t, 4)
+	// Swap two leaf ciphertexts: address binding must make reads fail.
+	leafA := uint64(1<<uint(s.height)) + 0
+	leafB := uint64(1<<uint(s.height)) + 1
+	o.blocks[leafA], o.blocks[leafB] = o.blocks[leafB], o.blocks[leafA]
+	if _, err := s.Read(0); err == nil {
+		t.Fatal("swapped leaf ciphertext accepted")
+	}
+}
+
+func TestWrite(t *testing.T) {
+	s, _ := setup(t, 8)
+	if err := s.Write(2, []byte("updated-content!")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "updated-content!" {
+		t.Fatalf("got %q", got)
+	}
+	// others intact
+	if _, err := s.Read(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteRevivesDeleted(t *testing.T) {
+	s, _ := setup(t, 8)
+	if err := s.Delete(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(4, []byte("revived")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "revived" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSingleBlockStore(t *testing.T) {
+	o := NewMemOracle()
+	s, err := Setup(o, [][]byte{[]byte("solo")}, rand.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "solo" {
+		t.Fatal("single block mismatch")
+	}
+	if err := s.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(0); !errors.Is(err, ErrDeleted) {
+		t.Fatal("single block not deleted")
+	}
+	if err := s.Write(0, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Read(0)
+	if err != nil || string(got) != "back" {
+		t.Fatalf("revive failed: %q %v", got, err)
+	}
+}
+
+func TestEmptySetupRejected(t *testing.T) {
+	if _, err := Setup(NewMemOracle(), nil, rand.Reader, nil); err == nil {
+		t.Fatal("empty setup accepted")
+	}
+}
+
+func TestMeterCountsLogarithmic(t *testing.T) {
+	// Delete cost must scale with tree height, not array size: the whole
+	// point of the scheme (Figure 9's 4423× claim).
+	costOf := func(n int) int64 {
+		o := NewMemOracle()
+		m := meter.New()
+		s, err := Setup(o, blocks(n, 32), rand.Reader, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Reset()
+		if err := s.Delete(n / 2); err != nil {
+			t.Fatal(err)
+		}
+		return m.Get(meter.OpIORoundTrip)
+	}
+	small, large := costOf(16), costOf(1024)
+	if large > small*3 {
+		t.Fatalf("delete cost grew superlogarithmically: 16→%d ops, 1024→%d ops", small, large)
+	}
+	if large <= small {
+		t.Fatalf("delete cost did not grow with height: %d vs %d", small, large)
+	}
+}
+
+func TestHeightHelpers(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := HeightForBlocks(n); got != want {
+			t.Fatalf("HeightForBlocks(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if NumBlocksForHeight(10) != 1024 {
+		t.Fatal("NumBlocksForHeight broken")
+	}
+}
+
+func TestOracleMissingBlock(t *testing.T) {
+	s, o := setup(t, 8)
+	for addr := range o.blocks {
+		delete(o.blocks, addr)
+		break
+	}
+	failures := 0
+	for i := 0; i < 8; i++ {
+		if _, err := s.Read(i); err != nil {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Fatal("no read failed despite missing provider block")
+	}
+}
+
+func TestLargeStoreReadDelete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	n := 4096
+	o := NewMemOracle()
+	s, err := Setup(o, blocks(n, aead.KeySize), rand.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i += 97 {
+		if _, err := s.Read(i); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Read(i); !errors.Is(err, ErrDeleted) {
+			t.Fatal("not deleted")
+		}
+	}
+}
+
+func BenchmarkRead4K(b *testing.B) {
+	o := NewMemOracle()
+	s, err := Setup(o, blocks(4096, 32), rand.Reader, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Read(i % 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeleteWriteCycle4K(b *testing.B) {
+	o := NewMemOracle()
+	s, err := Setup(o, blocks(4096, 32), rand.Reader, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % 4096
+		if err := s.Delete(idx); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Write(idx, []byte("refill-refill-refill-refill-....")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

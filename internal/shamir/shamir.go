@@ -1,0 +1,152 @@
+// Package shamir implements t-of-n Shamir secret sharing over the prime
+// field of package ff.
+//
+// SafetyPin's location-hiding encryption (Figure 15) splits a fresh AES
+// transport key into n shares with recovery threshold t = n/2 and encrypts
+// one share to each HSM in the client's hidden cluster. Any t shares
+// reconstruct the key; t−1 shares are information-theoretically independent
+// of it.
+package shamir
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"safetypin/internal/ff"
+)
+
+// Share is one point (X, Y) on the sharing polynomial. X is the share index
+// and must be non-zero; Y = f(X).
+type Share struct {
+	X int
+	Y ff.Element
+}
+
+// ShareSize is the serialized size of a share: 4-byte big-endian X followed
+// by the field element.
+const ShareSize = 4 + ff.ElementSize
+
+// Bytes serializes the share.
+func (s Share) Bytes() []byte {
+	out := make([]byte, ShareSize)
+	out[0] = byte(s.X >> 24)
+	out[1] = byte(s.X >> 16)
+	out[2] = byte(s.X >> 8)
+	out[3] = byte(s.X)
+	copy(out[4:], s.Y.Bytes())
+	return out
+}
+
+// ShareFromBytes parses a serialized share.
+func ShareFromBytes(b []byte) (Share, error) {
+	if len(b) != ShareSize {
+		return Share{}, fmt.Errorf("shamir: share must be %d bytes, got %d", ShareSize, len(b))
+	}
+	x := int(b[0])<<24 | int(b[1])<<16 | int(b[2])<<8 | int(b[3])
+	y, err := ff.FromBytes(b[4:])
+	if err != nil {
+		return Share{}, fmt.Errorf("shamir: parsing share value: %w", err)
+	}
+	if x == 0 {
+		return Share{}, errors.New("shamir: share index zero would reveal the secret")
+	}
+	return Share{X: x, Y: y}, nil
+}
+
+// Split shares secret into n shares such that any t reconstruct it. The
+// polynomial's random coefficients are drawn from rng. Shares are issued at
+// X = 1..n.
+func Split(secret ff.Element, t, n int, rng io.Reader) ([]Share, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("shamir: threshold %d must be at least 1", t)
+	}
+	if t > n {
+		return nil, fmt.Errorf("shamir: threshold %d exceeds share count %d", t, n)
+	}
+	// f(x) = secret + c1 x + ... + c_{t-1} x^{t-1}
+	coeffs := make([]ff.Element, t)
+	coeffs[0] = secret
+	for i := 1; i < t; i++ {
+		c, err := ff.Random(rng)
+		if err != nil {
+			return nil, err
+		}
+		coeffs[i] = c
+	}
+	shares := make([]Share, n)
+	for i := 1; i <= n; i++ {
+		shares[i-1] = Share{X: i, Y: eval(coeffs, ff.FromInt64(int64(i)))}
+	}
+	return shares, nil
+}
+
+// eval computes the polynomial with the given coefficients (low-degree first)
+// at x via Horner's rule.
+func eval(coeffs []ff.Element, x ff.Element) ff.Element {
+	acc := ff.Zero()
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = acc.Mul(x).Add(coeffs[i])
+	}
+	return acc
+}
+
+// Reconstruct recovers the secret from at least t shares by Lagrange
+// interpolation at x = 0. Shares with duplicate X values are rejected: they
+// either carry no extra information or witness corruption.
+func Reconstruct(shares []Share, t int) (ff.Element, error) {
+	if len(shares) < t {
+		return ff.Element{}, fmt.Errorf("shamir: have %d shares, need %d", len(shares), t)
+	}
+	use := shares[:t]
+	seen := make(map[int]bool, t)
+	for _, s := range use {
+		if s.X == 0 {
+			return ff.Element{}, errors.New("shamir: share with index zero")
+		}
+		if seen[s.X] {
+			return ff.Element{}, fmt.Errorf("shamir: duplicate share index %d", s.X)
+		}
+		seen[s.X] = true
+	}
+	// secret = Σ_j y_j · Π_{m≠j} x_m / (x_m − x_j)
+	secret := ff.Zero()
+	for j, sj := range use {
+		num := ff.One()
+		den := ff.One()
+		xj := ff.FromInt64(int64(sj.X))
+		for m, sm := range use {
+			if m == j {
+				continue
+			}
+			xm := ff.FromInt64(int64(sm.X))
+			num = num.Mul(xm)
+			den = den.Mul(xm.Sub(xj))
+		}
+		lj, err := num.Div(den)
+		if err != nil {
+			return ff.Element{}, fmt.Errorf("shamir: degenerate share set: %w", err)
+		}
+		secret = secret.Add(sj.Y.Mul(lj))
+	}
+	return secret, nil
+}
+
+// SplitBytes is a convenience wrapper that embeds a short secret (≤ 31
+// bytes) into the field before splitting.
+func SplitBytes(secret []byte, t, n int, rng io.Reader) ([]Share, error) {
+	e, err := ff.Embed(secret)
+	if err != nil {
+		return nil, err
+	}
+	return Split(e, t, n, rng)
+}
+
+// ReconstructBytes inverts SplitBytes.
+func ReconstructBytes(shares []Share, t int) ([]byte, error) {
+	e, err := Reconstruct(shares, t)
+	if err != nil {
+		return nil, err
+	}
+	return ff.Extract(e)
+}

@@ -1,0 +1,91 @@
+// Package simtime converts metered operation counts (package meter) into
+// simulated device time using the paper's measured per-operation rates
+// (Tables 2 and 7), and implements the analytic models behind the
+// evaluation: M/M/1 tail latency (Figure 13), fleet sizing and dollar cost
+// (Figure 12, Table 14), key-rotation duty cycles (§9.1), client bandwidth
+// (§9.2), and the Theorem 10 security-loss bound (Figure 11).
+package simtime
+
+// DeviceProfile holds a hardware security module's per-operation throughput
+// and price. Rates are operations per second.
+type DeviceProfile struct {
+	Name     string
+	PriceUSD float64
+	FIPS     bool
+	// StorageKB is the device's internal storage (Table 2).
+	StorageKB int
+
+	// Public-key operation rates (Table 7, SoloKey column; other devices
+	// scaled by their g^x rate as the paper does for Figure 12).
+	PairingPerSec     float64 // BLS12-381 pairing
+	ECDSAVerifyPerSec float64
+	ElGamalDecPerSec  float64
+	GxPerSec          float64 // P-256 point multiplication
+
+	// Symmetric operation rates.
+	HMACPerSec  float64
+	AES32PerSec float64 // AES-128 over a 32-byte chunk
+
+	// I/O rates (USB CDC class after the paper's firmware rewrite).
+	IORoundTripPerSec float64 // 32-byte request/response round trips
+	FlashRead32PerSec float64
+}
+
+// IOBytesPerSec derives bulk throughput from the 32-byte round-trip rate.
+func (d DeviceProfile) IOBytesPerSec() float64 { return d.IORoundTripPerSec * 32 }
+
+// SoloKey is the paper's evaluation device (Tables 2 and 7).
+func SoloKey() DeviceProfile {
+	return DeviceProfile{
+		Name:              "SoloKey",
+		PriceUSD:          20,
+		FIPS:              false,
+		StorageKB:         256,
+		PairingPerSec:     0.43,
+		ECDSAVerifyPerSec: 5.85,
+		ElGamalDecPerSec:  6.67,
+		GxPerSec:          7.69,
+		HMACPerSec:        2173.91,
+		AES32PerSec:       3703.70,
+		IORoundTripPerSec: 2277.90,
+		FlashRead32PerSec: 166000,
+	}
+}
+
+// scaled builds a profile for a device for which only price and g^x rate
+// are published, scaling every other rate proportionally — the methodology
+// the paper uses for Figure 12 and Table 14.
+func scaled(name string, price, gx float64, storageKB int, fips bool) DeviceProfile {
+	base := SoloKey()
+	f := gx / base.GxPerSec
+	return DeviceProfile{
+		Name:              name,
+		PriceUSD:          price,
+		FIPS:              fips,
+		StorageKB:         storageKB,
+		PairingPerSec:     base.PairingPerSec * f,
+		ECDSAVerifyPerSec: base.ECDSAVerifyPerSec * f,
+		ElGamalDecPerSec:  base.ElGamalDecPerSec * f,
+		GxPerSec:          gx,
+		HMACPerSec:        base.HMACPerSec * f,
+		AES32PerSec:       base.AES32PerSec * f,
+		IORoundTripPerSec: base.IORoundTripPerSec * f,
+		FlashRead32PerSec: base.FlashRead32PerSec * f,
+	}
+}
+
+// YubiHSM2 per Table 2.
+func YubiHSM2() DeviceProfile { return scaled("YubiHSM 2", 650, 14, 126, false) }
+
+// SafeNetA700 per Table 2.
+func SafeNetA700() DeviceProfile { return scaled("SafeNet A700", 18468, 2000, 2048, true) }
+
+// IntelCPU is the non-HSM reference row of Table 2.
+func IntelCPU() DeviceProfile {
+	return scaled("Intel i7-8569U (CPU)", 431, 22338, 0, false)
+}
+
+// Devices returns the Table 2 HSM rows in order.
+func Devices() []DeviceProfile {
+	return []DeviceProfile{SoloKey(), YubiHSM2(), SafeNetA700()}
+}

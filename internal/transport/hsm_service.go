@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"safetypin/internal/aggsig"
+	"safetypin/internal/bfe"
+	"safetypin/internal/dlog"
+	"safetypin/internal/hsm"
+	"safetypin/internal/protocol"
+	"safetypin/internal/securestore"
+)
+
+// RemoteOracle lets an HSM daemon keep its outsourced key array at the
+// provider, block by block, over RPC — the paper's host-hosted storage.
+type RemoteOracle struct {
+	c     *rpcClient
+	hsmID int
+}
+
+// DialOracle connects an HSM daemon's oracle to the provider.
+func DialOracle(providerAddr string, hsmID int) (*RemoteOracle, error) {
+	c, err := Dial(providerAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteOracle{c: &rpcClient{c: c}, hsmID: hsmID}, nil
+}
+
+// Get implements securestore.Oracle.
+func (o *RemoteOracle) Get(addr uint64) ([]byte, error) {
+	var out []byte
+	err := o.c.call("Provider.OracleGet", OracleArgs{HSMID: o.hsmID, Addr: addr}, &out)
+	return out, err
+}
+
+// Put implements securestore.Oracle.
+func (o *RemoteOracle) Put(addr uint64, block []byte) error {
+	return o.c.call("Provider.OraclePut", OracleArgs{HSMID: o.hsmID, Addr: addr, Block: block}, &Nothing{})
+}
+
+var _ securestore.Oracle = (*RemoteOracle)(nil)
+
+// HSMDaemon wraps one HSM state machine for network service.
+type HSMDaemon struct {
+	H *hsm.HSM
+}
+
+// ProvisionHSM creates the HSM for a daemon: fetch the fleet config from
+// the provider, generate keys (the secret array streams into the provider-
+// hosted oracle over RPC), and return the daemon plus registration args.
+func ProvisionHSM(providerAddr string, id int, listenAddr string) (*HSMDaemon, RegisterArgs, error) {
+	rp, err := DialProvider(providerAddr)
+	if err != nil {
+		return nil, RegisterArgs{}, err
+	}
+	cfg, err := rp.Config()
+	if err != nil {
+		return nil, RegisterArgs{}, err
+	}
+	scheme, err := schemeByName(cfg.SchemeName)
+	if err != nil {
+		return nil, RegisterArgs{}, err
+	}
+	oracle, err := DialOracle(providerAddr, id)
+	if err != nil {
+		return nil, RegisterArgs{}, err
+	}
+	hcfg := hsm.Config{
+		BFE: bfe.Params{M: cfg.BFEM, K: cfg.BFEK},
+		Log: dlog.Config{
+			NumChunks:     cfg.LogChunks,
+			AuditsPerHSM:  cfg.AuditsPerHSM,
+			MinSignerFrac: cfg.MinSignerFrac,
+			Deterministic: cfg.Deterministic,
+			Scheme:        scheme,
+		},
+		GuessLimit: cfg.GuessLimit,
+	}
+	h, err := hsm.New(id, hcfg, oracle, rand.Reader, nil)
+	if err != nil {
+		return nil, RegisterArgs{}, err
+	}
+	return &HSMDaemon{H: h}, RegisterArgs{
+		ID:        id,
+		Addr:      listenAddr,
+		BFEPub:    h.BFEPublicKey().Bytes(),
+		AggSigPub: h.AggSigPublicKey().Bytes(),
+	}, nil
+}
+
+// HSMService is the RPC surface of an HSM daemon.
+type HSMService struct {
+	d *HSMDaemon
+}
+
+// Service returns the RPC receiver.
+func (d *HSMDaemon) Service() *HSMService { return &HSMService{d} }
+
+// Recover serves the recovery protocol (Figure 3, steps Ï–Ð).
+func (s *HSMService) Recover(req protocol.RecoveryRequest, out *RecoverReplyMsg) error {
+	reply, err := s.d.H.HandleRecover(&req)
+	if err != nil {
+		return err
+	}
+	out.Reply = *reply
+	return nil
+}
+
+// InstallRoster installs the fleet signing roster.
+func (s *HSMService) InstallRoster(roster [][]byte, _ *Nothing) error {
+	return s.d.installRoster(roster)
+}
+
+func (d *HSMDaemon) installRoster(raw [][]byte) error {
+	scheme := d.H.Scheme()
+	keys := make([]aggsig.PublicKey, len(raw))
+	for i, b := range raw {
+		pk, err := scheme.ParsePublicKey(b)
+		if err != nil {
+			return fmt.Errorf("transport: roster key %d: %w", i, err)
+		}
+		keys[i] = pk
+	}
+	return d.H.InstallRoster(keys)
+}
+
+// LogChooseChunks returns this HSM's audit assignment.
+func (s *HSMService) LogChooseChunks(hdr dlog.EpochHeader, out *[]int) error {
+	idx, err := s.d.H.LogChooseChunks(hdr)
+	if err != nil {
+		return err
+	}
+	*out = idx
+	return nil
+}
+
+// LogHandleAudit audits an epoch package.
+func (s *HSMService) LogHandleAudit(pkg AuditPackageMsg, out *[]byte) error {
+	sig, err := s.d.H.LogHandleAudit(&pkg.Pkg)
+	if err != nil {
+		return err
+	}
+	*out = sig
+	return nil
+}
+
+// LogHandleCommit finalizes an epoch.
+func (s *HSMService) LogHandleCommit(cm CommitMsg, _ *Nothing) error {
+	return s.d.H.LogHandleCommit(&cm.CM)
+}
+
+// --- provider-side proxy ---
+
+// RemoteHSM implements provider.HSMHandle over RPC.
+type RemoteHSM struct {
+	id int
+	c  *rpcClient
+}
+
+// NewRemoteHSM dials an HSM daemon.
+func NewRemoteHSM(id int, addr string) (*RemoteHSM, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteHSM{id: id, c: &rpcClient{c: c}}, nil
+}
+
+// ID implements provider.HSMHandle.
+func (r *RemoteHSM) ID() int { return r.id }
+
+// LogChooseChunks implements provider.HSMHandle.
+func (r *RemoteHSM) LogChooseChunks(hdr dlog.EpochHeader) ([]int, error) {
+	var out []int
+	err := r.c.call("HSM.LogChooseChunks", hdr, &out)
+	return out, err
+}
+
+// LogHandleAudit implements provider.HSMHandle.
+func (r *RemoteHSM) LogHandleAudit(pkg *dlog.AuditPackage) ([]byte, error) {
+	var out []byte
+	err := r.c.call("HSM.LogHandleAudit", AuditPackageMsg{Pkg: *pkg}, &out)
+	return out, err
+}
+
+// LogHandleCommit implements provider.HSMHandle.
+func (r *RemoteHSM) LogHandleCommit(cm *dlog.CommitMessage) error {
+	return r.c.call("HSM.LogHandleCommit", CommitMsg{CM: *cm}, &Nothing{})
+}
+
+// HandleRecover implements provider.HSMHandle.
+func (r *RemoteHSM) HandleRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
+	var out RecoverReplyMsg
+	if err := r.c.call("HSM.Recover", *req, &out); err != nil {
+		return nil, err
+	}
+	return &out.Reply, nil
+}
+
+// InstallRoster pushes the fleet roster.
+func (r *RemoteHSM) InstallRoster(roster [][]byte) error {
+	return r.c.call("HSM.InstallRoster", roster, &Nothing{})
+}

@@ -1,0 +1,410 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"safetypin/internal/aggsig"
+	"safetypin/internal/bfe"
+	"safetypin/internal/dlog"
+	"safetypin/internal/logtree"
+	"safetypin/internal/protocol"
+	"safetypin/internal/provider"
+)
+
+// ProviderDaemon hosts the untrusted data-center side as a network service.
+type ProviderDaemon struct {
+	mu       sync.Mutex
+	cfg      FleetConfig
+	scheme   aggsig.Scheme
+	p        *provider.Provider
+	fleetPKs [][]byte // BFE public keys by HSM id
+	aggPKs   [][]byte
+	hsmAddrs map[int]string
+	remotes  map[int]*RemoteHSM
+	rosterOK bool
+}
+
+// NewProviderDaemon builds the daemon state for a fleet of cfg.NumHSMs.
+func NewProviderDaemon(cfg FleetConfig) (*ProviderDaemon, error) {
+	scheme, err := schemeByName(cfg.SchemeName)
+	if err != nil {
+		return nil, err
+	}
+	logCfg := dlog.Config{
+		NumChunks:     cfg.LogChunks,
+		AuditsPerHSM:  cfg.AuditsPerHSM,
+		MinSignerFrac: cfg.MinSignerFrac,
+		Deterministic: cfg.Deterministic,
+		Scheme:        scheme,
+	}
+	return &ProviderDaemon{
+		cfg:      cfg,
+		scheme:   scheme,
+		p:        provider.New(logCfg),
+		fleetPKs: make([][]byte, cfg.NumHSMs),
+		aggPKs:   make([][]byte, cfg.NumHSMs),
+		hsmAddrs: make(map[int]string),
+		remotes:  make(map[int]*RemoteHSM),
+	}, nil
+}
+
+func schemeByName(name string) (aggsig.Scheme, error) {
+	switch name {
+	case "", "bls12381-multisig":
+		return aggsig.BLS(), nil
+	case "ecdsa-concat":
+		return aggsig.ECDSAConcat(), nil
+	default:
+		return nil, fmt.Errorf("transport: unknown signature scheme %q", name)
+	}
+}
+
+// ProviderService is the RPC surface of the provider daemon.
+type ProviderService struct {
+	d *ProviderDaemon
+}
+
+// Service returns the RPC receiver.
+func (d *ProviderDaemon) Service() *ProviderService { return &ProviderService{d} }
+
+// Config hands the fleet configuration to HSM daemons.
+func (s *ProviderService) Config(_ Nothing, out *FleetConfig) error {
+	*out = s.d.cfg
+	return nil
+}
+
+// OracleGet serves an HSM's outsourced block read.
+func (s *ProviderService) OracleGet(args OracleArgs, out *[]byte) error {
+	b, err := s.d.p.OracleFor(args.HSMID).Get(args.Addr)
+	if err != nil {
+		return err
+	}
+	*out = b
+	return nil
+}
+
+// OraclePut serves an HSM's outsourced block write.
+func (s *ProviderService) OraclePut(args OracleArgs, _ *Nothing) error {
+	return s.d.p.OracleFor(args.HSMID).Put(args.Addr, args.Block)
+}
+
+// Register records a provisioned HSM daemon and connects back to it.
+func (s *ProviderService) Register(args RegisterArgs, _ *Nothing) error {
+	d := s.d
+	if args.ID < 0 || args.ID >= d.cfg.NumHSMs {
+		return fmt.Errorf("transport: HSM id %d outside fleet of %d", args.ID, d.cfg.NumHSMs)
+	}
+	remote, err := NewRemoteHSM(args.ID, args.Addr)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.fleetPKs[args.ID] = args.BFEPub
+	d.aggPKs[args.ID] = args.AggSigPub
+	d.hsmAddrs[args.ID] = args.Addr
+	d.remotes[args.ID] = remote
+	d.mu.Unlock()
+	d.p.Register(remote)
+	return nil
+}
+
+// Status reports registration progress.
+func (s *ProviderService) Status(_ Nothing, out *FleetStatus) error {
+	d := s.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := FleetStatus{Expected: d.cfg.NumHSMs, RosterSent: d.rosterOK}
+	for id := range d.remotes {
+		st.Registered = append(st.Registered, id)
+	}
+	*out = st
+	return nil
+}
+
+// InstallRosters pushes the complete signing roster to every registered HSM
+// once the fleet is full.
+func (s *ProviderService) InstallRosters(_ Nothing, _ *Nothing) error {
+	d := s.d
+	d.mu.Lock()
+	if len(d.remotes) != d.cfg.NumHSMs {
+		n := len(d.remotes)
+		d.mu.Unlock()
+		return fmt.Errorf("transport: only %d of %d HSMs registered", n, d.cfg.NumHSMs)
+	}
+	roster := make([][]byte, d.cfg.NumHSMs)
+	copy(roster, d.aggPKs)
+	remotes := make([]*RemoteHSM, 0, len(d.remotes))
+	for _, r := range d.remotes {
+		remotes = append(remotes, r)
+	}
+	d.mu.Unlock()
+	for _, r := range remotes {
+		if err := r.InstallRoster(roster); err != nil {
+			return err
+		}
+	}
+	d.mu.Lock()
+	d.rosterOK = true
+	d.mu.Unlock()
+	return nil
+}
+
+// FetchFleet returns all HSM BFE public keys in fleet order. Clients should
+// verify the digest out of band (§2).
+func (s *ProviderService) FetchFleet(_ Nothing, out *[][]byte) error {
+	d := s.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for id, pk := range d.fleetPKs {
+		if pk == nil {
+			return fmt.Errorf("transport: HSM %d not yet registered", id)
+		}
+	}
+	*out = append([][]byte(nil), d.fleetPKs...)
+	return nil
+}
+
+// StoreCiphertext uploads a backup.
+func (s *ProviderService) StoreCiphertext(args StoreCiphertextArgs, _ *Nothing) error {
+	return s.d.p.StoreCiphertext(args.User, args.CT)
+}
+
+// FetchCiphertext downloads the latest backup.
+func (s *ProviderService) FetchCiphertext(user string, out *[]byte) error {
+	b, err := s.d.p.FetchCiphertext(user)
+	if err != nil {
+		return err
+	}
+	*out = b
+	return nil
+}
+
+// AttemptCount returns the next free attempt number.
+func (s *ProviderService) AttemptCount(user string, out *int) error {
+	*out = s.d.p.AttemptCount(user)
+	return nil
+}
+
+// LogRecoveryAttempt queues a recovery attempt for the next epoch.
+func (s *ProviderService) LogRecoveryAttempt(args LogAttemptArgs, _ *Nothing) error {
+	return s.d.p.LogRecoveryAttempt(args.User, args.Attempt, args.Commitment)
+}
+
+// RunEpoch drives one log-update epoch across the fleet.
+func (s *ProviderService) RunEpoch(_ Nothing, _ *Nothing) error {
+	return s.d.p.RunEpoch()
+}
+
+// FetchInclusionProof serves a log-inclusion proof.
+func (s *ProviderService) FetchInclusionProof(args InclusionArgs, out *TraceMsg) error {
+	tr, err := s.d.p.FetchInclusionProof(args.User, args.Attempt, args.Commitment)
+	if err != nil {
+		return err
+	}
+	out.Trace = *tr
+	return nil
+}
+
+// RelayRecover forwards a recovery request to its target HSM.
+func (s *ProviderService) RelayRecover(req protocol.RecoveryRequest, out *RecoverReplyMsg) error {
+	reply, err := s.d.p.RelayRecover(&req)
+	if err != nil {
+		return err
+	}
+	out.Reply = *reply
+	return nil
+}
+
+// FetchEscrowedReplies returns the escrowed replies for a user.
+func (s *ProviderService) FetchEscrowedReplies(user string, out *[]protocol.RecoveryReply) error {
+	for _, r := range s.d.p.FetchEscrowedReplies(user) {
+		*out = append(*out, *r)
+	}
+	return nil
+}
+
+// ClearEscrow drops a user's escrow.
+func (s *ProviderService) ClearEscrow(user string, _ *Nothing) error {
+	s.d.p.ClearEscrow(user)
+	return nil
+}
+
+// LogEntries exposes the committed log for external auditors.
+func (s *ProviderService) LogEntries(_ Nothing, out *[]logtree.Entry) error {
+	*out = s.d.p.LogEntries()
+	return nil
+}
+
+// LogDigest returns the provider's committed log digest.
+func (s *ProviderService) LogDigest(_ Nothing, out *logtree.Digest) error {
+	*out = s.d.p.LogDigest()
+	return nil
+}
+
+// --- client-side proxy ---
+
+// RemoteProvider implements client.ProviderAPI over RPC.
+type RemoteProvider struct {
+	c *rpcClient
+}
+
+// DialProvider connects a client to a provider daemon.
+func DialProvider(addr string) (*RemoteProvider, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteProvider{c: &rpcClient{c: c}}, nil
+}
+
+// Fleet downloads and parses the fleet's BFE public keys.
+func (r *RemoteProvider) Fleet() (*bfe.Fleet, error) {
+	var raw [][]byte
+	if err := r.c.call("Provider.FetchFleet", Nothing{}, &raw); err != nil {
+		return nil, err
+	}
+	keys := make([]*bfe.PublicKey, len(raw))
+	for i, b := range raw {
+		pk, err := bfe.PublicKeyFromBytes(b)
+		if err != nil {
+			return nil, fmt.Errorf("transport: fleet key %d: %w", i, err)
+		}
+		keys[i] = pk
+	}
+	return bfe.NewFleet(keys), nil
+}
+
+// Config fetches the fleet configuration.
+func (r *RemoteProvider) Config() (FleetConfig, error) {
+	var cfg FleetConfig
+	err := r.c.call("Provider.Config", Nothing{}, &cfg)
+	return cfg, err
+}
+
+// StoreCiphertext implements client.ProviderAPI.
+func (r *RemoteProvider) StoreCiphertext(user string, ct []byte) error {
+	return r.c.call("Provider.StoreCiphertext", StoreCiphertextArgs{User: user, CT: ct}, &Nothing{})
+}
+
+// FetchCiphertext implements client.ProviderAPI.
+func (r *RemoteProvider) FetchCiphertext(user string) ([]byte, error) {
+	var out []byte
+	err := r.c.call("Provider.FetchCiphertext", user, &out)
+	return out, err
+}
+
+// AttemptCount implements client.ProviderAPI.
+func (r *RemoteProvider) AttemptCount(user string) int {
+	var out int
+	if err := r.c.call("Provider.AttemptCount", user, &out); err != nil {
+		return 0
+	}
+	return out
+}
+
+// LogRecoveryAttempt implements client.ProviderAPI.
+func (r *RemoteProvider) LogRecoveryAttempt(user string, attempt int, commitment []byte) error {
+	return r.c.call("Provider.LogRecoveryAttempt",
+		LogAttemptArgs{User: user, Attempt: attempt, Commitment: commitment}, &Nothing{})
+}
+
+// RunEpoch implements client.ProviderAPI.
+func (r *RemoteProvider) RunEpoch() error {
+	return r.c.call("Provider.RunEpoch", Nothing{}, &Nothing{})
+}
+
+// FetchInclusionProof implements client.ProviderAPI.
+func (r *RemoteProvider) FetchInclusionProof(user string, attempt int, commitment []byte) (*logtree.Trace, error) {
+	var out TraceMsg
+	if err := r.c.call("Provider.FetchInclusionProof",
+		InclusionArgs{User: user, Attempt: attempt, Commitment: commitment}, &out); err != nil {
+		return nil, err
+	}
+	return &out.Trace, nil
+}
+
+// RelayRecover implements client.ProviderAPI.
+func (r *RemoteProvider) RelayRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
+	var out RecoverReplyMsg
+	if err := r.c.call("Provider.RelayRecover", *req, &out); err != nil {
+		return nil, err
+	}
+	return &out.Reply, nil
+}
+
+// FetchEscrowedReplies implements client.ProviderAPI.
+func (r *RemoteProvider) FetchEscrowedReplies(user string) []*protocol.RecoveryReply {
+	var out []protocol.RecoveryReply
+	if err := r.c.call("Provider.FetchEscrowedReplies", user, &out); err != nil {
+		return nil
+	}
+	replies := make([]*protocol.RecoveryReply, len(out))
+	for i := range out {
+		replies[i] = &out[i]
+	}
+	return replies
+}
+
+// ClearEscrow implements client.ProviderAPI.
+func (r *RemoteProvider) ClearEscrow(user string) {
+	_ = r.c.call("Provider.ClearEscrow", user, &Nothing{})
+}
+
+// LogEntries fetches the public log (external auditor path).
+func (r *RemoteProvider) LogEntries() ([]logtree.Entry, error) {
+	var out []logtree.Entry
+	err := r.c.call("Provider.LogEntries", Nothing{}, &out)
+	return out, err
+}
+
+// LogDigest fetches the provider's committed digest.
+func (r *RemoteProvider) LogDigest() (logtree.Digest, error) {
+	var out logtree.Digest
+	err := r.c.call("Provider.LogDigest", Nothing{}, &out)
+	return out, err
+}
+
+// Status fetches fleet registration progress.
+func (r *RemoteProvider) Status() (FleetStatus, error) {
+	var st FleetStatus
+	err := r.c.call("Provider.Status", Nothing{}, &st)
+	return st, err
+}
+
+// InstallRosters asks the provider to push the signing roster fleet-wide.
+func (r *RemoteProvider) InstallRosters() error {
+	return r.c.call("Provider.InstallRosters", Nothing{}, &Nothing{})
+}
+
+// RegisterHSM announces a provisioned HSM daemon (used by cmd/hsmd).
+func (r *RemoteProvider) RegisterHSM(args RegisterArgs) error {
+	return r.c.call("Provider.Register", args, &Nothing{})
+}
+
+// Close tears down the connection.
+func (r *RemoteProvider) Close() error { return r.c.close() }
+
+// rpcClient serializes calls (net/rpc clients are concurrency-safe, but we
+// also guard Close).
+type rpcClient struct {
+	mu sync.Mutex
+	c  interface {
+		Call(string, any, any) error
+		Close() error
+	}
+}
+
+func (r *rpcClient) call(method string, args, reply any) error {
+	if r == nil || r.c == nil {
+		return errors.New("transport: connection closed")
+	}
+	return r.c.Call(method, args, reply)
+}
+
+func (r *rpcClient) close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.c.Close()
+}

@@ -1,0 +1,148 @@
+// Package transport runs SafetyPin's entities as separate OS processes
+// connected over TCP, standing in for the paper's USB fabric between the
+// host and its SoloKeys (and the data-center network between clients and
+// the provider).
+//
+// The wire protocol is stdlib net/rpc with gob encoding. Three roles:
+//
+//   - the provider daemon (cmd/providerd) hosts ProviderService: client
+//     API, per-HSM outsourced block storage, HSM registration, and log
+//     epochs;
+//   - each HSM daemon (cmd/hsmd) hosts HSMService and stores its
+//     outsourced key array *back at the provider* through RemoteOracle —
+//     the HSM process holds only its root key, exactly like the hardware;
+//   - the client CLI (cmd/safetypin) talks to the provider through
+//     RemoteProvider, which implements the same client.ProviderAPI as the
+//     in-process provider.
+//
+// Trust note: FetchFleet hands clients the HSM public keys through the
+// provider. The paper (§2) is explicit that clients must obtain authentic
+// HSM keys out of band (hardware attestation or the transparency log); a
+// production deployment would pin them. The transport exposes the fleet
+// digest so callers can compare against an out-of-band value.
+package transport
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+
+	"safetypin/internal/dlog"
+	"safetypin/internal/logtree"
+	"safetypin/internal/protocol"
+)
+
+// Serve starts an RPC server for the given receiver on addr and returns the
+// listener (close it to stop) plus the bound address.
+func Serve(name string, rcvr any, addr string) (net.Listener, string, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(name, rcvr); err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return ln, ln.Addr().String(), nil
+}
+
+// Dial connects to an RPC endpoint.
+func Dial(addr string) (*rpc.Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
+	}
+	return rpc.NewClient(conn), nil
+}
+
+// --- shared message types ---
+
+// Nothing is a placeholder for empty args/replies.
+type Nothing struct{}
+
+// StoreCiphertextArgs carries a backup upload.
+type StoreCiphertextArgs struct {
+	User string
+	CT   []byte
+}
+
+// LogAttemptArgs carries a recovery-attempt insertion.
+type LogAttemptArgs struct {
+	User       string
+	Attempt    int
+	Commitment []byte
+}
+
+// InclusionArgs requests a log-inclusion proof.
+type InclusionArgs struct {
+	User       string
+	Attempt    int
+	Commitment []byte
+}
+
+// OracleArgs addresses one outsourced block of one HSM.
+type OracleArgs struct {
+	HSMID int
+	Addr  uint64
+	Block []byte // Put only
+}
+
+// RegisterArgs announces a freshly provisioned HSM daemon.
+type RegisterArgs struct {
+	ID        int
+	Addr      string // where the HSM daemon's HSMService listens
+	BFEPub    []byte
+	AggSigPub []byte
+}
+
+// FleetConfig is the fleet-wide configuration the provider hands to HSM
+// daemons at startup so all replicas agree on parameters.
+type FleetConfig struct {
+	NumHSMs       int
+	ClusterSize   int
+	Threshold     int
+	BFEM          int
+	BFEK          int
+	LogChunks     int
+	AuditsPerHSM  int
+	MinSignerFrac float64
+	GuessLimit    int
+	SchemeName    string // "bls12381-multisig" or "ecdsa-concat"
+	Deterministic bool
+}
+
+// FleetStatus reports registration progress.
+type FleetStatus struct {
+	Expected   int
+	Registered []int
+	RosterSent bool
+}
+
+// RecoverReplyMsg wraps a recovery reply (rpc needs a concrete pointer).
+type RecoverReplyMsg struct {
+	Reply protocol.RecoveryReply
+}
+
+// TraceMsg wraps a log trace.
+type TraceMsg struct {
+	Trace logtree.Trace
+}
+
+// AuditPackageMsg wraps an epoch audit package.
+type AuditPackageMsg struct {
+	Pkg dlog.AuditPackage
+}
+
+// CommitMsg wraps an epoch commit.
+type CommitMsg struct {
+	CM dlog.CommitMessage
+}

@@ -1,0 +1,248 @@
+// Package safetypin is a from-scratch implementation of SafetyPin
+// (Dauterman, Corrigan-Gibbs, Mazières; OSDI 2020): an encrypted mobile-
+// backup system in which users remember only a short PIN, brute-force
+// guessing is throttled by hardware security modules, and — unlike deployed
+// PIN-backup systems — no small fixed set of HSMs can ever decrypt a
+// backup. Recovering a user's data requires either guessing the PIN or
+// compromising a constant fraction (default 1/16) of every HSM the provider
+// operates.
+//
+// The package wires together the paper's components:
+//
+//   - location-hiding encryption (internal/lhe) spreads each backup's key
+//     shares over a PIN-derived secret cluster of n-of-N HSMs;
+//   - puncturable Bloom-filter encryption (internal/bfe) over outsourced
+//     storage with secure deletion (internal/securestore) gives forward
+//     secrecy: after recovery the ciphertext is dead even if every HSM is
+//     later seized;
+//   - a distributed append-only log (internal/dlog, internal/logtree)
+//     maintained by the untrusted provider and audited in O(1/N) work per
+//     HSM enforces the global PIN-guess limit, sealed by BLS
+//     multisignatures (internal/bls).
+//
+// A Deployment hosts an in-process fleet; cmd/hsmd and cmd/providerd run
+// the same components as separate OS processes over TCP.
+package safetypin
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+
+	"safetypin/internal/aggsig"
+	"safetypin/internal/bfe"
+	"safetypin/internal/client"
+	"safetypin/internal/dlog"
+	"safetypin/internal/hsm"
+	"safetypin/internal/lhe"
+	"safetypin/internal/meter"
+	"safetypin/internal/provider"
+	"safetypin/internal/simtime"
+)
+
+// Params configures a deployment.
+type Params struct {
+	// NumHSMs is N, the data-center fleet size.
+	NumHSMs int
+	// ClusterSize is n, the hidden recovery cluster size (0 → paper rule:
+	// min(40, N)).
+	ClusterSize int
+	// Threshold is t, shares needed to recover (0 → n/2, the paper's
+	// choice for f_live = 1/64).
+	Threshold int
+	// BFE sizes each HSM's puncturable key (zero → a small test-friendly
+	// filter).
+	BFE bfe.Params
+	// LogChunks is the number of audit chunks per log epoch (0 → N).
+	LogChunks int
+	// AuditsPerHSM is C, chunks audited per HSM per epoch (0 → cover all
+	// chunks collectively with a ×2 safety factor, capped at LogChunks).
+	AuditsPerHSM int
+	// MinSignerFrac is the quorum an HSM requires on log commits (0 →
+	// 0.75).
+	MinSignerFrac float64
+	// GuessLimit is the per-user recovery-attempt budget (0 → 1).
+	GuessLimit int
+	// Scheme is the aggregate-signature scheme (nil → BLS multisignatures,
+	// the paper's choice; aggsig.ECDSAConcat() is the linear-cost
+	// ablation).
+	Scheme aggsig.Scheme
+	// DeterministicAudit selects Appendix B.3 chunk assignment.
+	DeterministicAudit bool
+	// Metered attaches a per-HSM operation meter for the evaluation
+	// harness.
+	Metered bool
+}
+
+// DefaultBFEParams is a small Bloom filter adequate for examples and tests
+// (64 punctures per key before rotation at 2^-8 failure).
+var DefaultBFEParams = bfe.Params{M: 1024, K: 8}
+
+func (p Params) withDefaults() (Params, error) {
+	if p.NumHSMs < 1 {
+		return p, errors.New("safetypin: need at least one HSM")
+	}
+	if p.ClusterSize == 0 {
+		p.ClusterSize = 40
+		if p.ClusterSize > p.NumHSMs {
+			p.ClusterSize = p.NumHSMs
+		}
+	}
+	if p.Threshold == 0 {
+		p.Threshold = p.ClusterSize / 2
+		if p.Threshold < 1 {
+			p.Threshold = 1
+		}
+	}
+	if p.BFE.M == 0 {
+		p.BFE = DefaultBFEParams
+	}
+	if p.LogChunks == 0 {
+		p.LogChunks = p.NumHSMs
+	}
+	if p.AuditsPerHSM == 0 {
+		// Small fleets: make collective coverage certain rather than
+		// probabilistic.
+		p.AuditsPerHSM = 2 * (p.LogChunks + p.NumHSMs - 1) / p.NumHSMs
+		if p.AuditsPerHSM > p.LogChunks {
+			p.AuditsPerHSM = p.LogChunks
+		}
+	}
+	if p.MinSignerFrac == 0 {
+		p.MinSignerFrac = 0.75
+	}
+	if p.GuessLimit == 0 {
+		p.GuessLimit = 1
+	}
+	if p.Scheme == nil {
+		p.Scheme = aggsig.BLS()
+	}
+	return p, nil
+}
+
+// Deployment is an in-process SafetyPin data center: one untrusted provider
+// plus a fleet of HSM state machines.
+type Deployment struct {
+	params   Params
+	lhe      lhe.Params
+	Provider *provider.Provider
+	HSMs     []*hsm.HSM
+	fleet    *bfe.Fleet
+	meters   []*meter.Meter
+}
+
+// NewDeployment provisions a fleet: per-HSM puncturable keys (outsourced to
+// the provider), signing keys, roster installation, and registration.
+func NewDeployment(p Params) (*Deployment, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	lheParams, err := lhe.NewParams(p.NumHSMs, p.ClusterSize, p.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	logCfg := dlog.Config{
+		NumChunks:     p.LogChunks,
+		AuditsPerHSM:  p.AuditsPerHSM,
+		MinSignerFrac: p.MinSignerFrac,
+		Deterministic: p.DeterministicAudit,
+		Scheme:        p.Scheme,
+	}
+	hsmCfg := hsm.Config{BFE: p.BFE, Log: logCfg, GuessLimit: p.GuessLimit}
+
+	d := &Deployment{
+		params:   p,
+		lhe:      lheParams,
+		Provider: provider.New(logCfg),
+		meters:   make([]*meter.Meter, p.NumHSMs),
+	}
+	pubs := make([]*bfe.PublicKey, p.NumHSMs)
+	roster := make([]aggsig.PublicKey, p.NumHSMs)
+	for i := 0; i < p.NumHSMs; i++ {
+		if p.Metered {
+			d.meters[i] = meter.New()
+		}
+		h, err := hsm.New(i, hsmCfg, d.Provider.OracleFor(i), rand.Reader, d.meters[i])
+		if err != nil {
+			return nil, err
+		}
+		d.HSMs = append(d.HSMs, h)
+		pubs[i] = h.BFEPublicKey()
+		roster[i] = h.AggSigPublicKey()
+	}
+	for _, h := range d.HSMs {
+		if err := h.InstallRoster(roster); err != nil {
+			return nil, err
+		}
+		d.Provider.Register(h)
+	}
+	d.fleet = bfe.NewFleet(pubs)
+	return d, nil
+}
+
+// Params returns the normalized deployment parameters.
+func (d *Deployment) Params() Params { return d.params }
+
+// LHEParams returns the location-hiding-encryption parameters in force.
+func (d *Deployment) LHEParams() lhe.Params { return d.lhe }
+
+// Fleet returns the client-side view of all HSM public keys.
+func (d *Deployment) Fleet() *bfe.Fleet { return d.fleet }
+
+// NewClient provisions a client device enrolled with this deployment.
+func (d *Deployment) NewClient(user, pin string) (*client.Client, error) {
+	return client.New(user, pin, d.lhe, d.fleet, d.Provider)
+}
+
+// Meter returns HSM i's operation meter (nil unless Params.Metered).
+func (d *Deployment) Meter(i int) *meter.Meter { return d.meters[i] }
+
+// ResetMeters zeroes all HSM meters.
+func (d *Deployment) ResetMeters() {
+	for _, m := range d.meters {
+		m.Reset()
+	}
+}
+
+// FleetCost prices the fleet's metered work on a device profile, summed
+// over all HSMs.
+func (d *Deployment) FleetCost(profile simtime.DeviceProfile) simtime.Breakdown {
+	var b simtime.Breakdown
+	for _, m := range d.meters {
+		if m != nil {
+			b = b.Add(simtime.Cost(m, profile))
+		}
+	}
+	return b
+}
+
+// RotateHSMKey rotates HSM i's puncturable key onto a fresh provider-hosted
+// store and publishes the new public key to the fleet view (clients'
+// daily key download of §9.2).
+func (d *Deployment) RotateHSMKey(i int) error {
+	if i < 0 || i >= len(d.HSMs) {
+		return fmt.Errorf("safetypin: HSM %d out of range", i)
+	}
+	pk, err := d.HSMs[i].RotateKey(d.Provider.ReplaceOracle(i))
+	if err != nil {
+		return err
+	}
+	d.fleet.Replace(i, pk)
+	return nil
+}
+
+// RotateSpentKeys rotates every HSM whose puncture budget is half consumed,
+// returning how many rotated.
+func (d *Deployment) RotateSpentKeys() (int, error) {
+	rotated := 0
+	for i, h := range d.HSMs {
+		if h.NeedsRotation() {
+			if err := d.RotateHSMKey(i); err != nil {
+				return rotated, err
+			}
+			rotated++
+		}
+	}
+	return rotated, nil
+}
