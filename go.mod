@@ -1,0 +1,3 @@
+module safetypin
+
+go 1.21

@@ -138,8 +138,11 @@ func (blsScheme) VerifyAggregate(pks []PublicKey, msg, aggSig []byte) (bool, err
 }
 
 func (blsScheme) MeterVerify(m *meter.Meter, numSigners int) {
-	// key aggregation is cheap G2 addition; verification is two pairings.
-	m.Add(meter.OpPairing, 2)
+	// Key aggregation is cheap G2 addition; verification is one
+	// multi-pairing of two pairs — 2 Miller loops sharing a single final
+	// exponentiation (bls.PairingCheck), independent of numSigners.
+	m.Add(meter.OpMillerLoop, 2)
+	m.Add(meter.OpFinalExp, 1)
 }
 
 func (blsScheme) MeterSign(m *meter.Meter) {

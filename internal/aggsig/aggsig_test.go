@@ -154,13 +154,71 @@ func TestMeterCosts(t *testing.T) {
 	BLS().MeterVerify(mBLS10, 10)
 	mBLS1000 := meter.New()
 	BLS().MeterVerify(mBLS1000, 1000)
-	if mBLS10.Get(meter.OpPairing) != mBLS1000.Get(meter.OpPairing) {
-		t.Fatal("BLS verify cost depends on signer count")
+	for _, op := range []meter.Op{meter.OpMillerLoop, meter.OpFinalExp} {
+		if mBLS10.Get(op) != mBLS1000.Get(op) {
+			t.Fatalf("BLS verify %s cost depends on signer count", op)
+		}
+	}
+	// The multi-pairing shape: two Miller loops share one final
+	// exponentiation (cheaper than the 2 full pairings charged before).
+	if mBLS10.Get(meter.OpMillerLoop) != 2 || mBLS10.Get(meter.OpFinalExp) != 1 {
+		t.Fatal("BLS verify should meter as 2 Miller loops + 1 final exp")
 	}
 	mE := meter.New()
 	ECDSAConcat().MeterVerify(mE, 1000)
 	if mE.Get(meter.OpECDSAVerify) != 1000 {
 		t.Fatal("ECDSA-concat verify cost not linear")
+	}
+}
+
+func TestVerifyAggregateRandomizedDifferential(t *testing.T) {
+	// Randomized accept/reject semantics of the rewritten BLS backend,
+	// checked against the seed implementation's documented behavior: a
+	// complete signer set verifies, and every perturbation (missing
+	// signer, extra signer, corrupted aggregate, wrong message) fails.
+	// Byte-level agreement of signatures and keys with the pre-rewrite
+	// code is pinned separately in bls.TestSeedByteCompatibility.
+	sc := BLS()
+	for round := 0; round < 3; round++ {
+		msg := make([]byte, 32)
+		if _, err := rand.Read(msg); err != nil {
+			t.Fatal(err)
+		}
+		n := 3 + round
+		var sigs [][]byte
+		var pks []PublicKey
+		for i := 0; i < n; i++ {
+			signer, err := sc.KeyGen(rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sig, err := signer.Sign(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sigs = append(sigs, sig)
+			pks = append(pks, signer.PublicKey())
+		}
+		agg, err := sc.Aggregate(sigs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, err := sc.VerifyAggregate(pks, msg, agg); err != nil || !ok {
+			t.Fatalf("round %d: complete signer set rejected (%v)", round, err)
+		}
+		if ok, _ := sc.VerifyAggregate(pks[:n-1], msg, agg); ok {
+			t.Fatalf("round %d: aggregate verified with a key missing", round)
+		}
+		partial, err := sc.Aggregate(sigs[:n-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, _ := sc.VerifyAggregate(pks, msg, partial); ok {
+			t.Fatalf("round %d: partial aggregate verified against full set", round)
+		}
+		if ok, _ := sc.VerifyAggregate(pks, append([]byte("x"), msg...), agg); ok {
+			t.Fatalf("round %d: wrong message verified", round)
+		}
 	}
 }
 

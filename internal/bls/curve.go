@@ -3,49 +3,110 @@ package bls
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"math/big"
 )
 
-// G1 is a point on E(Fp): y² = x³ + 4, in affine coordinates. The zero value
-// is the point at infinity.
+// Curve arithmetic for BLS12-381 over the limb-based Montgomery field.
+// Points are held in Jacobian projective coordinates (x/z², y/z³), so Add
+// and double cost a handful of field multiplications instead of the
+// per-step ModInverse the old affine chord-and-tangent code paid; the one
+// inversion happens when a point is serialized or compared. z = 0 encodes
+// the point at infinity, so the zero value of G1/G2 is the identity.
+
+// Group-order and cofactor constants. math/big appears here only for the
+// scalar (exponent) side of the API — never for base-field arithmetic.
+var (
+	// rOrder is the order of the pairing groups (the scalar field).
+	rOrder = mustBig("73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001")
+	// g1CofactorH is the G1 cofactor used to clear torsion when hashing.
+	g1CofactorH = mustBig("396c8c005555e1568c00aaab0000aaab")
+	// pMod is the base-field modulus as a big.Int, kept for tests and
+	// documentation; production field math runs on limbs (fp_limb.go).
+	pMod = mustBig("1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab")
+)
+
+func mustBig(h string) *big.Int {
+	v, ok := new(big.Int).SetString(h, 16)
+	if !ok {
+		panic("bls: bad constant " + h)
+	}
+	return v
+}
+
+// mustFe parses a 96-hex-digit field element into Montgomery form.
+func mustFe(h string) fe {
+	b, err := hex.DecodeString(h)
+	if err != nil || len(b) != fpSize {
+		panic("bls: bad fe constant " + h)
+	}
+	if !feValidBytes(b) {
+		panic("bls: fe constant out of range " + h)
+	}
+	var z fe
+	feFromBytes(&z, b)
+	return z
+}
+
+// Curve coefficients: b = 4 on G1, b' = 4(1+u) on the twist.
+var (
+	feB  = func() fe { var z fe; feFromUint64(&z, 4); return z }()
+	fe2B = func() fe2 {
+		var z fe2
+		feFromUint64(&z.c0, 4)
+		feFromUint64(&z.c1, 4)
+		return z
+	}()
+)
+
+// G1 is a point on E(Fp): y² = x³ + 4, in Jacobian coordinates. The zero
+// value is the point at infinity.
 type G1 struct {
-	x, y *big.Int
-	inf  bool
+	x, y, z fe
 }
 
-// G2 is a point on the twist E'(Fp2): y² = x³ + 4(u+1). The zero value is
-// the point at infinity.
+// G2 is a point on the twist E'(Fp2): y² = x³ + 4(u+1), in Jacobian
+// coordinates. The zero value is the point at infinity.
 type G2 struct {
-	x, y fp2
-	inf  bool
+	x, y, z fe2
 }
 
-// g1Infinity and g2Infinity constructors.
-func g1Infinity() G1 { return G1{inf: true} }
-func g2Infinity() G2 { return G2{inf: true} }
+func g1Infinity() G1 { return G1{} }
+func g2Infinity() G2 { return G2{} }
+
+// g1FromAffine builds a point from affine Montgomery coordinates.
+func g1FromAffine(x, y fe) G1 {
+	return G1{x: x, y: y, z: feR}
+}
+
+func g2FromAffine(x, y fe2) G2 {
+	var one fe2
+	one.setOne()
+	return G2{x: x, y: y, z: one}
+}
 
 // G1Generator returns the standard G1 base point.
 func G1Generator() G1 {
-	return G1{
-		x: mustBig("17f1d3a73197d7942695638c4fa9ac0fc3688c4f9774b905a14e3a3f171bac586c55e83ff97a1aeffb3af00adb22c6bb"),
-		y: mustBig("08b3f481e3aaa0f1a09e30ed741d8ae4fcf5e095d5d00af600db18cb2c04b3edd03cc744a2888ae40caa232946c5e7e1"),
-	}
+	return g1FromAffine(
+		mustFe("17f1d3a73197d7942695638c4fa9ac0fc3688c4f9774b905a14e3a3f171bac586c55e83ff97a1aeffb3af00adb22c6bb"),
+		mustFe("08b3f481e3aaa0f1a09e30ed741d8ae4fcf5e095d5d00af600db18cb2c04b3edd03cc744a2888ae40caa232946c5e7e1"),
+	)
 }
 
 // G2Generator returns the standard G2 base point.
 func G2Generator() G2 {
-	return G2{
-		x: fp2{
-			mustBig("024aa2b2f08f0a91260805272dc51051c6e47ad4fa403b02b4510b647ae3d1770bac0326a805bbefd48056c8c121bdb8"),
-			mustBig("13e02b6052719f607dacd3a088274f65596bd0d09920b61ab5da61bbdc7f5049334cf11213945d57e5ac7d055d042b7e"),
+	return g2FromAffine(
+		fe2{
+			c0: mustFe("024aa2b2f08f0a91260805272dc51051c6e47ad4fa403b02b4510b647ae3d1770bac0326a805bbefd48056c8c121bdb8"),
+			c1: mustFe("13e02b6052719f607dacd3a088274f65596bd0d09920b61ab5da61bbdc7f5049334cf11213945d57e5ac7d055d042b7e"),
 		},
-		y: fp2{
-			mustBig("0ce5d527727d6e118cc9cdc6da2e351aadfd9baa8cbdd3a76d429a695160d12c923ac9cc3baca289e193548608b82801"),
-			mustBig("0606c4a02ea734cc32acd2b02bc28b99cb3e287e85a763af267492ab572e99ab3f370d275cec1da1aaa9075ff05f79be"),
+		fe2{
+			c0: mustFe("0ce5d527727d6e118cc9cdc6da2e351aadfd9baa8cbdd3a76d429a695160d12c923ac9cc3baca289e193548608b82801"),
+			c1: mustFe("0606c4a02ea734cc32acd2b02bc28b99cb3e287e85a763af267492ab572e99ab3f370d275cec1da1aaa9075ff05f79be"),
 		},
-	}
+	)
 }
 
 // Order returns a copy of the group order r.
@@ -54,86 +115,157 @@ func Order() *big.Int { return new(big.Int).Set(rOrder) }
 // --- G1 arithmetic ---
 
 // IsInfinity reports whether the point is the identity.
-func (p G1) IsInfinity() bool { return p.inf }
+func (p G1) IsInfinity() bool { return p.z.isZero() }
+
+// affine returns the affine coordinates; inf reports the identity.
+func (p G1) affine() (ax, ay fe, inf bool) {
+	if p.IsInfinity() {
+		return fe{}, fe{}, true
+	}
+	var zi, zi2, zi3 fe
+	feInv(&zi, &p.z)
+	feSquare(&zi2, &zi)
+	feMul(&zi3, &zi2, &zi)
+	feMul(&ax, &p.x, &zi2)
+	feMul(&ay, &p.y, &zi3)
+	return ax, ay, false
+}
 
 // OnCurve reports whether the point satisfies y² = x³ + 4.
 func (p G1) OnCurve() bool {
-	if p.inf {
+	if p.IsInfinity() {
 		return true
 	}
-	lhs := fpMul(p.y, p.y)
-	rhs := fpAdd(fpMul(fpMul(p.x, p.x), p.x), big4)
-	return lhs.Cmp(rhs) == 0
+	ax, ay, _ := p.affine()
+	var lhs, rhs fe
+	feSquare(&lhs, &ay)
+	feSquare(&rhs, &ax)
+	feMul(&rhs, &rhs, &ax)
+	feAdd(&rhs, &rhs, &feB)
+	return lhs.equal(&rhs)
 }
 
-// Equal reports point equality.
+// Equal reports point equality (cross-multiplied, no inversion).
 func (p G1) Equal(q G1) bool {
-	if p.inf || q.inf {
-		return p.inf == q.inf
+	if p.IsInfinity() || q.IsInfinity() {
+		return p.IsInfinity() == q.IsInfinity()
 	}
-	return p.x.Cmp(q.x) == 0 && p.y.Cmp(q.y) == 0
+	var z1z1, z2z2, a, b fe
+	feSquare(&z1z1, &p.z)
+	feSquare(&z2z2, &q.z)
+	feMul(&a, &p.x, &z2z2)
+	feMul(&b, &q.x, &z1z1)
+	if !a.equal(&b) {
+		return false
+	}
+	feMul(&z2z2, &z2z2, &q.z)
+	feMul(&z1z1, &z1z1, &p.z)
+	feMul(&a, &p.y, &z2z2)
+	feMul(&b, &q.y, &z1z1)
+	return a.equal(&b)
 }
 
 // Neg returns −p.
 func (p G1) Neg() G1 {
-	if p.inf {
+	if p.IsInfinity() {
 		return p
 	}
-	return G1{x: new(big.Int).Set(p.x), y: fpNeg(p.y)}
+	out := p
+	feNeg(&out.y, &p.y)
+	return out
 }
 
-// Add returns p + q.
-func (p G1) Add(q G1) G1 {
-	if p.inf {
-		return q
-	}
-	if q.inf {
-		return p
-	}
-	if p.x.Cmp(q.x) == 0 {
-		if fpAdd(p.y, q.y).Sign() == 0 {
-			return g1Infinity()
-		}
-		return p.double()
-	}
-	lambda := fpMul(fpSub(q.y, p.y), fpInv(fpSub(q.x, p.x)))
-	return p.chord(q, lambda)
-}
-
+// double returns 2p ("dbl-2009-l" for a = 0).
 func (p G1) double() G1 {
-	if p.inf || p.y.Sign() == 0 {
+	if p.IsInfinity() || p.y.isZero() {
 		return g1Infinity()
 	}
-	lambda := fpMul(fpMul(big3, fpMul(p.x, p.x)), fpInv(fpAdd(p.y, p.y)))
-	return p.chord(p, lambda)
+	var a, b, c, d, e, f fe
+	feSquare(&a, &p.x) // A = X²
+	feSquare(&b, &p.y) // B = Y²
+	feSquare(&c, &b)   // C = B²
+	feAdd(&d, &p.x, &b)
+	feSquare(&d, &d)
+	feSub(&d, &d, &a)
+	feSub(&d, &d, &c)
+	feDouble(&d, &d) // D = 2((X+B)²−A−C)
+	feDouble(&e, &a)
+	feAdd(&e, &e, &a) // E = 3A
+	feSquare(&f, &e)  // F = E²
+	var out G1
+	feSub(&out.x, &f, &d)
+	feSub(&out.x, &out.x, &d) // X3 = F − 2D
+	feSub(&out.y, &d, &out.x)
+	feMul(&out.y, &out.y, &e)
+	feDouble(&c, &c)
+	feDouble(&c, &c)
+	feDouble(&c, &c)          // 8C
+	feSub(&out.y, &out.y, &c) // Y3 = E(D−X3) − 8C
+	feMul(&out.z, &p.y, &p.z)
+	feDouble(&out.z, &out.z) // Z3 = 2YZ
+	return out
 }
 
-func (p G1) chord(q G1, lambda *big.Int) G1 {
-	x3 := fpSub(fpSub(fpMul(lambda, lambda), p.x), q.x)
-	y3 := fpSub(fpMul(lambda, fpSub(p.x, x3)), p.y)
-	return G1{x: x3, y: y3}
+// Add returns p + q (general Jacobian addition).
+func (p G1) Add(q G1) G1 {
+	if p.IsInfinity() {
+		return q
+	}
+	if q.IsInfinity() {
+		return p
+	}
+	var z1z1, z2z2, u1, u2, s1, s2 fe
+	feSquare(&z1z1, &p.z)
+	feSquare(&z2z2, &q.z)
+	feMul(&u1, &p.x, &z2z2)
+	feMul(&u2, &q.x, &z1z1)
+	feMul(&s1, &z2z2, &q.z)
+	feMul(&s1, &s1, &p.y)
+	feMul(&s2, &z1z1, &p.z)
+	feMul(&s2, &s2, &q.y)
+	if u1.equal(&u2) {
+		if s1.equal(&s2) {
+			return p.double()
+		}
+		return g1Infinity()
+	}
+	var h, i, j, r, v fe
+	feSub(&h, &u2, &u1)
+	feDouble(&i, &h)
+	feSquare(&i, &i) // I = (2H)²
+	feMul(&j, &h, &i)
+	feSub(&r, &s2, &s1)
+	feDouble(&r, &r)
+	feMul(&v, &u1, &i)
+	var out G1
+	feSquare(&out.x, &r)
+	feSub(&out.x, &out.x, &j)
+	feSub(&out.x, &out.x, &v)
+	feSub(&out.x, &out.x, &v) // X3 = r² − J − 2V
+	feSub(&out.y, &v, &out.x)
+	feMul(&out.y, &out.y, &r)
+	feMul(&s1, &s1, &j)
+	feDouble(&s1, &s1)
+	feSub(&out.y, &out.y, &s1) // Y3 = r(V−X3) − 2S1·J
+	feAdd(&out.z, &p.z, &q.z)
+	feSquare(&out.z, &out.z)
+	feSub(&out.z, &out.z, &z1z1)
+	feSub(&out.z, &out.z, &z2z2)
+	feMul(&out.z, &out.z, &h) // Z3 = ((Z1+Z2)²−Z1Z1−Z2Z2)·H
+	return out
 }
 
 // Mul returns k·p for k ≥ 0 (k is reduced mod r).
 func (p G1) Mul(k *big.Int) G1 {
-	k = new(big.Int).Mod(k, rOrder)
-	out := g1Infinity()
-	for i := k.BitLen() - 1; i >= 0; i-- {
-		out = out.Add(out)
-		if k.Bit(i) == 1 {
-			out = out.Add(p)
-		}
-	}
-	return out
+	return p.mulRaw(new(big.Int).Mod(k, rOrder))
 }
 
 // mulRaw multiplies by an arbitrary non-negative integer without reducing
-// mod r (needed for cofactor clearing, where the factor exceeds r's range
-// semantics).
+// mod r (cofactor clearing uses factors outside r's range).
 func (p G1) mulRaw(k *big.Int) G1 {
 	out := g1Infinity()
 	for i := k.BitLen() - 1; i >= 0; i-- {
-		out = out.Add(out)
+		out = out.double()
 		if k.Bit(i) == 1 {
 			out = out.Add(p)
 		}
@@ -149,85 +281,153 @@ func (p G1) InSubgroup() bool {
 // --- G2 arithmetic ---
 
 // IsInfinity reports whether the point is the identity.
-func (p G2) IsInfinity() bool { return p.inf }
+func (p G2) IsInfinity() bool { return p.z.isZero() }
+
+func (p G2) affine() (ax, ay fe2, inf bool) {
+	if p.IsInfinity() {
+		return fe2{}, fe2{}, true
+	}
+	var zi, zi2, zi3 fe2
+	zi.inv(&p.z)
+	zi2.square(&zi)
+	zi3.mul(&zi2, &zi)
+	ax.mul(&p.x, &zi2)
+	ay.mul(&p.y, &zi3)
+	return ax, ay, false
+}
 
 // OnCurve reports whether the point satisfies y² = x³ + 4(u+1).
 func (p G2) OnCurve() bool {
-	if p.inf {
+	if p.IsInfinity() {
 		return true
 	}
-	lhs := p.y.square()
-	b := fp2{big4, big4} // 4 + 4u = 4(1+u) = 4ξ
-	rhs := p.x.square().mul(p.x).add(b)
-	return lhs.equal(rhs)
+	ax, ay, _ := p.affine()
+	var lhs, rhs fe2
+	lhs.square(&ay)
+	rhs.square(&ax)
+	rhs.mul(&rhs, &ax)
+	rhs.add(&rhs, &fe2B)
+	return lhs.equal(&rhs)
 }
 
 // Equal reports point equality.
 func (p G2) Equal(q G2) bool {
-	if p.inf || q.inf {
-		return p.inf == q.inf
+	if p.IsInfinity() || q.IsInfinity() {
+		return p.IsInfinity() == q.IsInfinity()
 	}
-	return p.x.equal(q.x) && p.y.equal(q.y)
+	var z1z1, z2z2, a, b fe2
+	z1z1.square(&p.z)
+	z2z2.square(&q.z)
+	a.mul(&p.x, &z2z2)
+	b.mul(&q.x, &z1z1)
+	if !a.equal(&b) {
+		return false
+	}
+	z2z2.mul(&z2z2, &q.z)
+	z1z1.mul(&z1z1, &p.z)
+	a.mul(&p.y, &z2z2)
+	b.mul(&q.y, &z1z1)
+	return a.equal(&b)
 }
 
 // Neg returns −p.
 func (p G2) Neg() G2 {
-	if p.inf {
+	if p.IsInfinity() {
 		return p
 	}
-	return G2{x: p.x, y: p.y.neg()}
+	out := p
+	out.y.neg(&p.y)
+	return out
+}
+
+func (p G2) double() G2 {
+	if p.IsInfinity() || p.y.isZero() {
+		return g2Infinity()
+	}
+	var a, b, c, d, e, f fe2
+	a.square(&p.x)
+	b.square(&p.y)
+	c.square(&b)
+	d.add(&p.x, &b)
+	d.square(&d)
+	d.sub(&d, &a)
+	d.sub(&d, &c)
+	d.double(&d)
+	e.double(&a)
+	e.add(&e, &a)
+	f.square(&e)
+	var out G2
+	out.x.sub(&f, &d)
+	out.x.sub(&out.x, &d)
+	out.y.sub(&d, &out.x)
+	out.y.mul(&out.y, &e)
+	c.double(&c)
+	c.double(&c)
+	c.double(&c)
+	out.y.sub(&out.y, &c)
+	out.z.mul(&p.y, &p.z)
+	out.z.double(&out.z)
+	return out
 }
 
 // Add returns p + q.
 func (p G2) Add(q G2) G2 {
-	if p.inf {
+	if p.IsInfinity() {
 		return q
 	}
-	if q.inf {
+	if q.IsInfinity() {
 		return p
 	}
-	if p.x.equal(q.x) {
-		if p.y.add(q.y).isZero() {
-			return g2Infinity()
+	var z1z1, z2z2, u1, u2, s1, s2 fe2
+	z1z1.square(&p.z)
+	z2z2.square(&q.z)
+	u1.mul(&p.x, &z2z2)
+	u2.mul(&q.x, &z1z1)
+	s1.mul(&z2z2, &q.z)
+	s1.mul(&s1, &p.y)
+	s2.mul(&z1z1, &p.z)
+	s2.mul(&s2, &q.y)
+	if u1.equal(&u2) {
+		if s1.equal(&s2) {
+			return p.double()
 		}
-		return p.double()
-	}
-	lambda := q.y.sub(p.y).mul(q.x.sub(p.x).inv())
-	return p.chord(q, lambda)
-}
-
-func (p G2) double() G2 {
-	if p.inf || p.y.isZero() {
 		return g2Infinity()
 	}
-	three := fp2{big.NewInt(3), new(big.Int)}
-	lambda := three.mul(p.x.square()).mul(p.y.add(p.y).inv())
-	return p.chord(p, lambda)
-}
-
-func (p G2) chord(q G2, lambda fp2) G2 {
-	x3 := lambda.square().sub(p.x).sub(q.x)
-	y3 := lambda.mul(p.x.sub(x3)).sub(p.y)
-	return G2{x: x3, y: y3}
+	var h, i, j, r, v fe2
+	h.sub(&u2, &u1)
+	i.double(&h)
+	i.square(&i)
+	j.mul(&h, &i)
+	r.sub(&s2, &s1)
+	r.double(&r)
+	v.mul(&u1, &i)
+	var out G2
+	out.x.square(&r)
+	out.x.sub(&out.x, &j)
+	out.x.sub(&out.x, &v)
+	out.x.sub(&out.x, &v)
+	out.y.sub(&v, &out.x)
+	out.y.mul(&out.y, &r)
+	s1.mul(&s1, &j)
+	s1.double(&s1)
+	out.y.sub(&out.y, &s1)
+	out.z.add(&p.z, &q.z)
+	out.z.square(&out.z)
+	out.z.sub(&out.z, &z1z1)
+	out.z.sub(&out.z, &z2z2)
+	out.z.mul(&out.z, &h)
+	return out
 }
 
 // Mul returns k·p for k reduced mod r.
 func (p G2) Mul(k *big.Int) G2 {
-	k = new(big.Int).Mod(k, rOrder)
-	out := g2Infinity()
-	for i := k.BitLen() - 1; i >= 0; i-- {
-		out = out.Add(out)
-		if k.Bit(i) == 1 {
-			out = out.Add(p)
-		}
-	}
-	return out
+	return p.mulRaw(new(big.Int).Mod(k, rOrder))
 }
 
 func (p G2) mulRaw(k *big.Int) G2 {
 	out := g2Infinity()
 	for i := k.BitLen() - 1; i >= 0; i-- {
-		out = out.Add(out)
+		out = out.double()
 		if k.Bit(i) == 1 {
 			out = out.Add(p)
 		}
@@ -243,9 +443,10 @@ func (p G2) InSubgroup() bool {
 // --- hashing to G1 ---
 
 // HashToG1 maps a message (with domain-separation tag) onto the order-r
-// subgroup of G1 using try-and-increment plus cofactor clearing. Not
-// constant time — acceptable for this simulator, as hash inputs (log
-// digests) are public.
+// subgroup of G1 using try-and-increment plus cofactor clearing. The
+// construction (and hence every hashed point and signature byte) is
+// identical to the original math/big implementation; only the field backend
+// changed. Not constant time — hash inputs (log digests) are public.
 func HashToG1(domain string, msg []byte) G1 {
 	for ctr := uint32(0); ; ctr++ {
 		h := sha256.New()
@@ -262,17 +463,19 @@ func HashToG1(domain string, msg []byte) G1 {
 		h.Write(d1)
 		d2 := h.Sum(nil)
 		// 64 bytes → x mod p with negligible bias.
-		x := new(big.Int).SetBytes(append(d1, d2...))
-		x.Mod(x, pMod)
-		rhs := fpAdd(fpMul(fpMul(x, x), x), big4)
-		y := new(big.Int).Exp(rhs, sqrtExp, pMod)
-		if fpMul(y, y).Cmp(rhs) != 0 {
+		var x fe
+		feReduceWide(&x, append(d1, d2...))
+		var rhs, y fe
+		feSquare(&rhs, &x)
+		feMul(&rhs, &rhs, &x)
+		feAdd(&rhs, &rhs, &feB)
+		if !feSqrt(&y, &rhs) {
 			continue // not a quadratic residue; try next counter
 		}
 		if d1[0]&1 == 1 {
-			y = fpNeg(y)
+			feNeg(&y, &y)
 		}
-		p := G1{x: x, y: y}.mulRaw(g1CofactorH)
+		p := g1FromAffine(x, y).mulRaw(g1CofactorH)
 		if p.IsInfinity() {
 			continue
 		}
@@ -293,12 +496,13 @@ const G2Size = 1 + 4*fpSize
 // Bytes encodes the point (0x00 = infinity, 0x04 ‖ x ‖ y otherwise).
 func (p G1) Bytes() []byte {
 	out := make([]byte, G1Size)
-	if p.inf {
+	ax, ay, inf := p.affine()
+	if inf {
 		return out
 	}
 	out[0] = 0x04
-	p.x.FillBytes(out[1 : 1+fpSize])
-	p.y.FillBytes(out[1+fpSize:])
+	feToBytes(out[1:1+fpSize], &ax)
+	feToBytes(out[1+fpSize:], &ay)
 	return out
 }
 
@@ -313,10 +517,13 @@ func G1FromBytes(b []byte) (G1, error) {
 	if b[0] != 0x04 {
 		return G1{}, errors.New("bls: bad G1 tag byte")
 	}
-	p := G1{x: new(big.Int).SetBytes(b[1 : 1+fpSize]), y: new(big.Int).SetBytes(b[1+fpSize:])}
-	if p.x.Cmp(pMod) >= 0 || p.y.Cmp(pMod) >= 0 {
+	if !feValidBytes(b[1:1+fpSize]) || !feValidBytes(b[1+fpSize:]) {
 		return G1{}, errors.New("bls: G1 coordinate out of range")
 	}
+	var x, y fe
+	feFromBytes(&x, b[1:1+fpSize])
+	feFromBytes(&y, b[1+fpSize:])
+	p := g1FromAffine(x, y)
 	if !p.InSubgroup() {
 		return G1{}, errors.New("bls: G1 point not in subgroup")
 	}
@@ -326,14 +533,15 @@ func G1FromBytes(b []byte) (G1, error) {
 // Bytes encodes the point (0x00 = infinity, 0x04 ‖ x0 ‖ x1 ‖ y0 ‖ y1).
 func (p G2) Bytes() []byte {
 	out := make([]byte, G2Size)
-	if p.inf {
+	ax, ay, inf := p.affine()
+	if inf {
 		return out
 	}
 	out[0] = 0x04
-	p.x.c0.FillBytes(out[1 : 1+fpSize])
-	p.x.c1.FillBytes(out[1+fpSize : 1+2*fpSize])
-	p.y.c0.FillBytes(out[1+2*fpSize : 1+3*fpSize])
-	p.y.c1.FillBytes(out[1+3*fpSize:])
+	feToBytes(out[1:1+fpSize], &ax.c0)
+	feToBytes(out[1+fpSize:1+2*fpSize], &ax.c1)
+	feToBytes(out[1+2*fpSize:1+3*fpSize], &ay.c0)
+	feToBytes(out[1+3*fpSize:], &ay.c1)
 	return out
 }
 
@@ -348,14 +556,15 @@ func G2FromBytes(b []byte) (G2, error) {
 	if b[0] != 0x04 {
 		return G2{}, errors.New("bls: bad G2 tag byte")
 	}
-	coords := make([]*big.Int, 4)
+	var coords [4]fe
 	for i := range coords {
-		coords[i] = new(big.Int).SetBytes(b[1+i*fpSize : 1+(i+1)*fpSize])
-		if coords[i].Cmp(pMod) >= 0 {
+		raw := b[1+i*fpSize : 1+(i+1)*fpSize]
+		if !feValidBytes(raw) {
 			return G2{}, errors.New("bls: G2 coordinate out of range")
 		}
+		feFromBytes(&coords[i], raw)
 	}
-	p := G2{x: fp2{coords[0], coords[1]}, y: fp2{coords[2], coords[3]}}
+	p := g2FromAffine(fe2{c0: coords[0], c1: coords[1]}, fe2{c0: coords[2], c1: coords[3]})
 	if !p.InSubgroup() {
 		return G2{}, errors.New("bls: G2 point not in subgroup")
 	}

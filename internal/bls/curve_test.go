@@ -2,6 +2,7 @@ package bls
 
 import (
 	"crypto/rand"
+	"encoding/hex"
 	"math/big"
 	"testing"
 )
@@ -149,7 +150,10 @@ func TestSubgroupRejection(t *testing.T) {
 		rhs := fpAdd(fpMul(fpMul(x, x), x), big4)
 		y := new(big.Int).Exp(rhs, sqrtExp, pMod)
 		if fpMul(y, y).Cmp(rhs) == 0 {
-			p := G1{x: x, y: y}
+			var fx, fy fe
+			feFromBig(&fx, x)
+			feFromBig(&fy, y)
+			p := g1FromAffine(fx, fy)
 			if p.OnCurve() && !p.InSubgroup() {
 				if _, err := G1FromBytes(p.Bytes()); err == nil {
 					t.Fatal("non-subgroup point accepted")
@@ -158,5 +162,47 @@ func TestSubgroupRejection(t *testing.T) {
 			}
 		}
 		x.Add(x, big.NewInt(1))
+	}
+}
+
+func TestGeneratorVectors(t *testing.T) {
+	// The serialized generators must match the published BLS12-381
+	// uncompressed affine coordinates (draft-irtf-cfrg-pairing-friendly
+	// curves, §4.2.1) byte for byte.
+	g1 := G1Generator().Bytes()
+	wantG1 := "04" +
+		"17f1d3a73197d7942695638c4fa9ac0fc3688c4f9774b905a14e3a3f171bac586c55e83ff97a1aeffb3af00adb22c6bb" +
+		"08b3f481e3aaa0f1a09e30ed741d8ae4fcf5e095d5d00af600db18cb2c04b3edd03cc744a2888ae40caa232946c5e7e1"
+	if got := hex.EncodeToString(g1); got != wantG1 {
+		t.Fatalf("G1 generator drifted:\n got %s\nwant %s", got, wantG1)
+	}
+	g2 := G2Generator().Bytes()
+	wantG2 := "04" +
+		"024aa2b2f08f0a91260805272dc51051c6e47ad4fa403b02b4510b647ae3d1770bac0326a805bbefd48056c8c121bdb8" +
+		"13e02b6052719f607dacd3a088274f65596bd0d09920b61ab5da61bbdc7f5049334cf11213945d57e5ac7d055d042b7e" +
+		"0ce5d527727d6e118cc9cdc6da2e351aadfd9baa8cbdd3a76d429a695160d12c923ac9cc3baca289e193548608b82801" +
+		"0606c4a02ea734cc32acd2b02bc28b99cb3e287e85a763af267492ab572e99ab3f370d275cec1da1aaa9075ff05f79be"
+	if got := hex.EncodeToString(g2); got != wantG2 {
+		t.Fatalf("G2 generator drifted:\n got %s\nwant %s", got, wantG2)
+	}
+}
+
+func TestProjectiveAffineConsistency(t *testing.T) {
+	// Points reached through different addition chains have different Z
+	// coordinates but must compare and serialize identically.
+	g := G1Generator()
+	a := g.Add(g).Add(g)      // ((G+G)+G)
+	b := g.Mul(big.NewInt(3)) // 3·G
+	if !a.Equal(b) {
+		t.Fatal("projective Equal broken across chains")
+	}
+	if string(a.Bytes()) != string(b.Bytes()) {
+		t.Fatal("affine serialization differs across chains")
+	}
+	h := G2Generator()
+	c := h.Add(h).Add(h)
+	d := h.Mul(big.NewInt(3))
+	if !c.Equal(d) || string(c.Bytes()) != string(d.Bytes()) {
+		t.Fatal("G2 projective consistency broken")
 	}
 }

@@ -1,0 +1,31 @@
+// Package bls implements the BLS12-381 pairing-friendly curve and BLS
+// multisignatures with proof-of-possession — the aggregate signature scheme
+// the distributed-log protocol uses so that each HSM can check one
+// constant-size signature instead of N individual ones (§6.2, [16], [14]).
+//
+// The implementation is performance-oriented:
+//
+//   - Fp runs on a fixed 6×uint64 Montgomery representation (fp_limb.go)
+//     with math/bits carry chains; math/big never appears in field,
+//     curve, or pairing arithmetic (only in the scalar-exponent API and
+//     in test oracles).
+//   - The extension tower Fp2/Fp6/Fp12 (fp2.go, fp6.go, fp12.go) uses
+//     Karatsuba multiplication, dedicated squarings (complex squaring in
+//     Fp2/Fp12, CH-SQR3 in Fp6), sparse mulBy014/mulBy01 products, and
+//     Frobenius maps from coefficients derived at init.
+//   - G1/G2 use Jacobian projective coordinates (curve.go): no per-step
+//     inversion in Add or scalar multiplication.
+//   - The Miller loop runs on the twist with projective
+//     Costello–Lange–Naehrig steps and sparse line multiplications; the
+//     final exponentiation is Frobenius-based with cyclotomic squarings
+//     (Hayashida–Hayasaka–Teruya hard part). PairingCheck is a true
+//     multi-pairing: n pairs cost n Miller loops and one shared final
+//     exponentiation.
+//
+// Wire formats, hashing (try-and-increment HashToG1), and every signature
+// byte are identical to the original math/big simulator implementation,
+// which is retained in legacy_test.go as a differential oracle; see
+// seed_compat_test.go for the pinned cross-version vectors. The code is
+// not constant time — acceptable for the simulator, where all signed
+// material (log digests) is public.
+package bls

@@ -1,0 +1,123 @@
+package bls
+
+// Micro-benchmarks for the field tower: the satellite instrumentation that
+// makes regressions in mul/square/inv formulas visible per layer.
+
+import "testing"
+
+func BenchmarkFeMul(b *testing.B) {
+	x, y := randFe2(b).c0, randFe2(b).c1
+	var z fe
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feMul(&z, &x, &y)
+	}
+}
+
+func BenchmarkFeInv(b *testing.B) {
+	x := randFe2(b).c0
+	var z fe
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feInv(&z, &x)
+	}
+}
+
+func BenchmarkFp2Mul(b *testing.B) {
+	x, y := randFe2(b), randFe2(b)
+	var z fe2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.mul(&x, &y)
+	}
+}
+
+func BenchmarkFp2Square(b *testing.B) {
+	x := randFe2(b)
+	var z fe2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.square(&x)
+	}
+}
+
+func BenchmarkFp2Inv(b *testing.B) {
+	x := randFe2(b)
+	var z fe2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.inv(&x)
+	}
+}
+
+func BenchmarkFp6Mul(b *testing.B) {
+	x, y := randFe6(b), randFe6(b)
+	var z fe6
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.mul(&x, &y)
+	}
+}
+
+func BenchmarkFp6Square(b *testing.B) {
+	x := randFe6(b)
+	var z fe6
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.square(&x)
+	}
+}
+
+func BenchmarkFp6Inv(b *testing.B) {
+	x := randFe6(b)
+	var z fe6
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.inv(&x)
+	}
+}
+
+func BenchmarkFp12Mul(b *testing.B) {
+	x, y := randFe12(b), randFe12(b)
+	var z fe12
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.mul(&x, &y)
+	}
+}
+
+func BenchmarkFp12Square(b *testing.B) {
+	x := randFe12(b)
+	var z fe12
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.square(&x)
+	}
+}
+
+func BenchmarkFp12CyclotomicSquare(b *testing.B) {
+	x := randCyclotomic(b)
+	var z fe12
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.cyclotomicSquare(&x)
+	}
+}
+
+func BenchmarkFp12Inv(b *testing.B) {
+	x := randFe12(b)
+	var z fe12
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.inv(&x)
+	}
+}
+
+func BenchmarkFp12MulBy014(b *testing.B) {
+	x := randFe12(b)
+	c0, c1, c4 := randFe2(b), randFe2(b), randFe2(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.mulBy014(&c0, &c1, &c4)
+	}
+}

@@ -1,0 +1,379 @@
+package bls
+
+// fp_limb.go implements the BLS12-381 base field Fp with a fixed 6×uint64
+// Montgomery representation. Every hot-path operation (add, sub, mul,
+// square, inverse, square root) runs on raw limbs with math/bits carry
+// chains — no math/big, no allocation. Elements are kept in Montgomery form
+// (a·R mod p, R = 2^384) from creation to serialization.
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"sync"
+)
+
+// fe is an Fp element in Montgomery form, little-endian limbs.
+type fe [6]uint64
+
+// pLimbs is the base-field modulus
+// p = 0x1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab.
+var pLimbs = fe{
+	0xb9feffffffffaaab, 0x1eabfffeb153ffff, 0x6730d2a0f6b0f624,
+	0x64774b84f38512bf, 0x4b1ba7b6434bacd7, 0x1a0111ea397fe69a,
+}
+
+// montInv = -p⁻¹ mod 2^64, the Montgomery reduction factor.
+const montInv uint64 = 0x89f3fffcfffcfffd
+
+// feR is R = 2^384 mod p: the Montgomery form of 1.
+var feR = fe{
+	0x760900000002fffd, 0xebf4000bc40c0002, 0x5f48985753c758ba,
+	0x77ce585370525745, 0x5c071a97a256ec6d, 0x15f65ec3fa80e493,
+}
+
+// feR2 is R² mod p, used to convert into Montgomery form.
+var feR2 = fe{
+	0xf4df1f341c341746, 0x0a76e6a609d104f1, 0x8de5476c4c95b6d5,
+	0x67eb88a9939d83c0, 0x9a793e85b519952d, 0x11988fe592cae3aa,
+}
+
+// feR3 = R³ mod p, for reducing 512-bit hash outputs. Derived at init so the
+// only trusted constants are p, montInv, R, and R².
+var feR3 fe
+
+// feRawOne is the plain integer 1 (NOT Montgomery form); multiplying by it
+// with feMul performs a Montgomery reduction out of Montgomery form.
+var feRawOne = fe{1, 0, 0, 0, 0, 0}
+
+// Fixed exponents, derived from p at init with pure limb arithmetic.
+var (
+	pMinus2Limbs     [6]uint64  // p − 2, for inversion by Fermat
+	pPlus1Over4Limbs [6]uint64  // (p+1)/4, for sqrt (p ≡ 3 mod 4)
+	pMinus1Over6     [6]uint64  // (p−1)/6, for Frobenius constants
+	pSqMinus1Over6   [12]uint64 // (p²−1)/6, for Frobenius² constants
+)
+
+// initFieldConstants derives the exponent tables above. It must run before
+// any other file's package initialization touches them — Go runs init()
+// functions in file-name order and variable initializers earlier still, so
+// every consumer calls this explicitly (it is idempotent) instead of
+// relying on ordering.
+var fieldConstantsOnce sync.Once
+
+func initFieldConstants() { fieldConstantsOnce.Do(deriveFieldConstants) }
+
+func init() { initFieldConstants() }
+
+func deriveFieldConstants() {
+	feMul(&feR3, &feR2, &feR2)
+
+	copy(pMinus2Limbs[:], pLimbs[:])
+	pMinus2Limbs[0] -= 2 // p[0] ends ...aaab, no borrow
+
+	// (p+1)/4: add 1 (no carry out of limb 0), shift right twice.
+	var pp [6]uint64
+	copy(pp[:], pLimbs[:])
+	pp[0]++
+	copy(pPlus1Over4Limbs[:], pp[:])
+	shiftRight1(pPlus1Over4Limbs[:])
+	shiftRight1(pPlus1Over4Limbs[:])
+
+	// (p−1)/6 by long division; p ≡ 1 (mod 6) so the remainder is 0.
+	var pm1 [6]uint64
+	copy(pm1[:], pLimbs[:])
+	pm1[0]-- // p[0] is odd, no borrow
+	if divBySmall(pMinus1Over6[:], pm1[:], 6) != 0 {
+		panic("bls: p-1 not divisible by 6")
+	}
+
+	// (p²−1)/6 over 12 limbs.
+	var psq [12]uint64
+	mulWide(psq[:], pLimbs[:], pLimbs[:])
+	psq[0]-- // p² is odd
+	if divBySmall(pSqMinus1Over6[:], psq[:], 6) != 0 {
+		panic("bls: p²-1 not divisible by 6")
+	}
+}
+
+// shiftRight1 shifts a little-endian limb vector right by one bit.
+func shiftRight1(x []uint64) {
+	for i := 0; i < len(x); i++ {
+		x[i] >>= 1
+		if i+1 < len(x) {
+			x[i] |= x[i+1] << 63
+		}
+	}
+}
+
+// divBySmall divides a little-endian limb vector by a small divisor,
+// writing the quotient to q and returning the remainder.
+func divBySmall(q, x []uint64, d uint64) uint64 {
+	var rem uint64
+	for i := len(x) - 1; i >= 0; i-- {
+		q[i], rem = bits.Div64(rem, x[i], d)
+	}
+	return rem
+}
+
+// mulWide computes the full 2n-limb product of two n-limb vectors.
+func mulWide(out, x, y []uint64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for i := range x {
+		var carry uint64
+		for j := range y {
+			hi, lo := bits.Mul64(x[i], y[j])
+			var c uint64
+			lo, c = bits.Add64(lo, out[i+j], 0)
+			hi += c
+			lo, c = bits.Add64(lo, carry, 0)
+			hi += c
+			out[i+j] = lo
+			carry = hi
+		}
+		out[i+len(y)] += carry
+	}
+}
+
+// --- core Montgomery arithmetic ---
+
+// feMul sets z = x·y·R⁻¹ mod p (CIOS Montgomery multiplication). x may be
+// any 384-bit value; y must be < p; the result is fully reduced.
+func feMul(z, x, y *fe) {
+	var t [8]uint64
+	for i := 0; i < 6; i++ {
+		// t += x · y[i]
+		var c uint64
+		for j := 0; j < 6; j++ {
+			hi, lo := bits.Mul64(x[j], y[i])
+			var cr uint64
+			lo, cr = bits.Add64(lo, t[j], 0)
+			hi += cr
+			lo, cr = bits.Add64(lo, c, 0)
+			hi += cr
+			t[j] = lo
+			c = hi
+		}
+		var cr uint64
+		t[6], cr = bits.Add64(t[6], c, 0)
+		t[7] = cr
+
+		// Montgomery reduction step: fold out t[0].
+		m := t[0] * montInv
+		hi, lo := bits.Mul64(m, pLimbs[0])
+		_, cr = bits.Add64(lo, t[0], 0)
+		c = hi + cr
+		for j := 1; j < 6; j++ {
+			hi, lo := bits.Mul64(m, pLimbs[j])
+			var cc uint64
+			lo, cc = bits.Add64(lo, t[j], 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, c, 0)
+			hi += cc
+			t[j-1] = lo
+			c = hi
+		}
+		t[5], cr = bits.Add64(t[6], c, 0)
+		t[6] = t[7] + cr
+	}
+	// Result < 2p: one conditional subtraction.
+	var r fe
+	var b uint64
+	r[0], b = bits.Sub64(t[0], pLimbs[0], 0)
+	r[1], b = bits.Sub64(t[1], pLimbs[1], b)
+	r[2], b = bits.Sub64(t[2], pLimbs[2], b)
+	r[3], b = bits.Sub64(t[3], pLimbs[3], b)
+	r[4], b = bits.Sub64(t[4], pLimbs[4], b)
+	r[5], b = bits.Sub64(t[5], pLimbs[5], b)
+	_, b = bits.Sub64(t[6], 0, b)
+	if b == 0 {
+		*z = r
+	} else {
+		copy(z[:], t[:6])
+	}
+}
+
+// feSquare sets z = x² (delegates to feMul; a dedicated squaring saves only
+// ~15% at this limb count and is not worth the extra trusted code).
+func feSquare(z, x *fe) { feMul(z, x, x) }
+
+// feAdd sets z = x + y mod p.
+func feAdd(z, x, y *fe) {
+	var t fe
+	var c uint64
+	t[0], c = bits.Add64(x[0], y[0], 0)
+	t[1], c = bits.Add64(x[1], y[1], c)
+	t[2], c = bits.Add64(x[2], y[2], c)
+	t[3], c = bits.Add64(x[3], y[3], c)
+	t[4], c = bits.Add64(x[4], y[4], c)
+	t[5], _ = bits.Add64(x[5], y[5], c) // x+y < 2p < 2^384: no carry out
+	feReduce(z, &t)
+}
+
+// feDouble sets z = 2x mod p.
+func feDouble(z, x *fe) { feAdd(z, x, x) }
+
+// feReduce sets z = t − p if t ≥ p, else z = t.
+func feReduce(z, t *fe) {
+	var r fe
+	var b uint64
+	r[0], b = bits.Sub64(t[0], pLimbs[0], 0)
+	r[1], b = bits.Sub64(t[1], pLimbs[1], b)
+	r[2], b = bits.Sub64(t[2], pLimbs[2], b)
+	r[3], b = bits.Sub64(t[3], pLimbs[3], b)
+	r[4], b = bits.Sub64(t[4], pLimbs[4], b)
+	r[5], b = bits.Sub64(t[5], pLimbs[5], b)
+	if b == 0 {
+		*z = r
+	} else {
+		*z = *t
+	}
+}
+
+// feSub sets z = x − y mod p.
+func feSub(z, x, y *fe) {
+	var t fe
+	var b uint64
+	t[0], b = bits.Sub64(x[0], y[0], 0)
+	t[1], b = bits.Sub64(x[1], y[1], b)
+	t[2], b = bits.Sub64(x[2], y[2], b)
+	t[3], b = bits.Sub64(x[3], y[3], b)
+	t[4], b = bits.Sub64(x[4], y[4], b)
+	t[5], b = bits.Sub64(x[5], y[5], b)
+	if b != 0 {
+		var c uint64
+		t[0], c = bits.Add64(t[0], pLimbs[0], 0)
+		t[1], c = bits.Add64(t[1], pLimbs[1], c)
+		t[2], c = bits.Add64(t[2], pLimbs[2], c)
+		t[3], c = bits.Add64(t[3], pLimbs[3], c)
+		t[4], c = bits.Add64(t[4], pLimbs[4], c)
+		t[5], _ = bits.Add64(t[5], pLimbs[5], c)
+	}
+	*z = t
+}
+
+// feNeg sets z = −x mod p.
+func feNeg(z, x *fe) {
+	if x.isZero() {
+		*z = fe{}
+		return
+	}
+	var b uint64
+	z[0], b = bits.Sub64(pLimbs[0], x[0], 0)
+	z[1], b = bits.Sub64(pLimbs[1], x[1], b)
+	z[2], b = bits.Sub64(pLimbs[2], x[2], b)
+	z[3], b = bits.Sub64(pLimbs[3], x[3], b)
+	z[4], b = bits.Sub64(pLimbs[4], x[4], b)
+	z[5], _ = bits.Sub64(pLimbs[5], x[5], b)
+}
+
+func (x *fe) isZero() bool {
+	return x[0]|x[1]|x[2]|x[3]|x[4]|x[5] == 0
+}
+
+func (x *fe) equal(y *fe) bool { return *x == *y }
+
+func (x *fe) isOne() bool { return *x == feR }
+
+// feExp sets z = x^e for a little-endian limb exponent (square-and-multiply,
+// not constant time — acceptable: exponents here are public constants).
+func feExp(z, x *fe, e []uint64) {
+	out := feR // 1 in Montgomery form
+	base := *x
+	started := false
+	for i := len(e) - 1; i >= 0; i-- {
+		for b := 63; b >= 0; b-- {
+			if started {
+				feSquare(&out, &out)
+			}
+			if e[i]>>uint(b)&1 == 1 {
+				if started {
+					feMul(&out, &out, &base)
+				} else {
+					out = base
+					started = true
+				}
+			}
+		}
+	}
+	*z = out
+}
+
+// feInv sets z = x⁻¹ = x^{p−2}; z = 0 for x = 0.
+func feInv(z, x *fe) {
+	feExp(z, x, pMinus2Limbs[:])
+}
+
+// feSqrt sets z to a square root of x (z = x^{(p+1)/4}, valid as p ≡ 3 mod
+// 4) and reports whether x is a quadratic residue.
+func feSqrt(z, x *fe) bool {
+	var c, sq fe
+	feExp(&c, x, pPlus1Over4Limbs[:])
+	feSquare(&sq, &c)
+	if !sq.equal(x) {
+		return false
+	}
+	*z = c
+	return true
+}
+
+// --- conversions ---
+
+// feFromUint64 sets z to the Montgomery form of a small integer.
+func feFromUint64(z *fe, v uint64) {
+	t := fe{v}
+	feMul(z, &t, &feR2)
+}
+
+// feFromBytes decodes a 48-byte big-endian value into Montgomery form. The
+// value must be < p (callers range-check); no reduction is performed beyond
+// the Montgomery conversion.
+func feFromBytes(z *fe, b []byte) {
+	var t fe
+	for i := 0; i < 6; i++ {
+		t[i] = binary.BigEndian.Uint64(b[(5-i)*8 : (6-i)*8])
+	}
+	feMul(z, &t, &feR2)
+}
+
+// feToBytes encodes z (Montgomery form) as 48 big-endian bytes.
+func feToBytes(b []byte, z *fe) {
+	var t fe
+	feMul(&t, z, &feRawOne) // out of Montgomery form
+	for i := 0; i < 6; i++ {
+		binary.BigEndian.PutUint64(b[(5-i)*8:(6-i)*8], t[i])
+	}
+}
+
+// feValidBytes reports whether the 48-byte big-endian value is < p.
+func feValidBytes(b []byte) bool {
+	var t fe
+	for i := 0; i < 6; i++ {
+		t[i] = binary.BigEndian.Uint64(b[(5-i)*8 : (6-i)*8])
+	}
+	var borrow uint64
+	for i := 0; i < 6; i++ {
+		_, borrow = bits.Sub64(t[i], pLimbs[i], borrow)
+	}
+	return borrow != 0 // t − p borrows ⇔ t < p
+}
+
+// feReduceWide reduces a 64-byte big-endian value modulo p into Montgomery
+// form: v = hi·2^384 + lo ⇒ v·R = lo·R + hi·R·2^384, computed as
+// mont(lo, R²) + mont(hi, R³).
+func feReduceWide(z *fe, b []byte) {
+	if len(b) != 64 {
+		panic("bls: feReduceWide wants 64 bytes")
+	}
+	var limbs [8]uint64
+	for i := 0; i < 8; i++ {
+		limbs[i] = binary.BigEndian.Uint64(b[(7-i)*8 : (8-i)*8])
+	}
+	var lo, hi, t fe
+	copy(lo[:], limbs[:6])
+	hi[0], hi[1] = limbs[6], limbs[7]
+	feMul(z, &lo, &feR2) // lo·R mod p (feMul tolerates lo ≥ p)
+	feMul(&t, &hi, &feR3)
+	feAdd(z, z, &t)
+}

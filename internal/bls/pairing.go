@@ -2,127 +2,229 @@ package bls
 
 import "errors"
 
-// The pairing is the optimal-ate pairing e: G1 × G2 → GT ⊂ Fp12*. For
-// clarity (and to avoid the notoriously error-prone sparse-line algebra of
-// twisted coordinates) we untwist G2 points into E(Fp12) once per pairing
-// and run a textbook Miller loop with generic Fp12 arithmetic. The final
-// exponentiation splits into the Frobenius-free easy part
-// f^{(p⁶−1)(p²+1)} — using conj(f) = f^{p⁶} and a plain exponentiation by
-// p² — and the hard part f^{(p⁴−p²+1)/r} as one big exponentiation.
+// The pairing is the optimal-ate pairing e: G1 × G2 → GT ⊂ Fp12*. The
+// Miller loop runs directly on the twist in homogeneous projective
+// coordinates (Costello–Lange–Naehrig, eprint 2010/526): each step emits a
+// line as three Fp2 coefficients and folds it into the accumulator with one
+// sparse mulBy014 — no untwisting into generic Fp12 points. The final
+// exponentiation does the easy part with a conjugate, one inversion and a
+// Frobenius, and the hard part with the Hayashida–Hayasaka–Teruya
+// decomposition (eprint 2020/875) over cyclotomic squarings — it computes
+// f^{3·(p⁴−p²+1)/r}, a fixed third power of the "textbook" reduced pairing,
+// which is an equally valid pairing (gcd(3, r) = 1) and the standard trick
+// for a division-free hard part.
+//
+// millerLoop is shared across pairs: PairingCheck runs one squaring chain
+// and one final exponentiation regardless of how many pairs it multiplies,
+// so BLS aggregate verification costs 2 Miller loops + 1 final exp.
 
-// g1Fp12 is a G1 or untwisted G2 point with coordinates in Fp12.
-type g1Fp12 struct {
-	x, y fp12
-	inf  bool
+// g2Proj is a twist point in homogeneous projective coordinates (x = X/Z,
+// y = Y/Z), the representation the Miller-loop formulas want.
+type g2Proj struct{ x, y, z fe2 }
+
+// twoInv is 1/2 in Montgomery form.
+var twoInv = func() fe {
+	initFieldConstants() // feInv needs the p−2 exponent table
+	var two, inv fe
+	feFromUint64(&two, 2)
+	feInv(&inv, &two)
+	return inv
+}()
+
+// mulBy3B sets z = 3b'·x = 12(1+u)·x.
+func mulBy3B(z, x *fe2) {
+	var t fe2
+	t.mulByNonResidue(x) // (1+u)x
+	t.double(&t)
+	t.double(&t) // 4(1+u)x
+	z.double(&t)
+	z.add(z, &t) // 12(1+u)x
 }
 
-// untwist maps a twist point into E(Fp12): (x, y) → (x/w², y/w³), which
-// satisfies y² = x³ + 4 because w⁶ = ξ.
-func untwist(q G2) g1Fp12 {
-	if q.inf {
-		return g1Fp12{inf: true}
+// doublingStep sets r = 2r and emits the tangent-line coefficients
+// (constant, ·xP, ·yP); see the derivation in the package comment above:
+// ℓ = (3b'Z² − Y²) + 3X²·xP·w² − 2YZ·yP·w³ up to an Fp2 scaling the easy
+// final exponentiation kills.
+func doublingStep(coeff *[3]fe2, r *g2Proj) {
+	var t0, t1, t2, t3, t4, t5, t6 fe2
+	t0.mul(&r.x, &r.y)
+	t0.mulByFe(&t0, &twoInv) // XY/2
+	t1.square(&r.y)          // Y²
+	t2.square(&r.z)          // Z²
+	mulBy3B(&t3, &t2)        // 3b'Z²
+	t4.double(&t3)
+	t4.add(&t4, &t3) // 9b'Z²
+	t5.add(&t1, &t4)
+	t5.mulByFe(&t5, &twoInv) // (Y²+9b'Z²)/2
+	t6.add(&r.y, &r.z)
+	t6.square(&t6)
+	t6.sub(&t6, &t1)
+	t6.sub(&t6, &t2) // 2YZ
+
+	coeff[0].sub(&t3, &t1) // 3b'Z² − Y²
+	coeff[1].square(&r.x)
+	var three fe2
+	three.double(&coeff[1])
+	coeff[1].add(&three, &coeff[1]) // 3X²
+	coeff[2].neg(&t6)               // −2YZ
+
+	// X' = XY/2·(Y² − 9b'Z²); Y' = ((Y²+9b'Z²)/2)² − 27b'²Z⁴; Z' = 2Y³Z.
+	var x3, y3, z3 fe2
+	x3.sub(&t1, &t4)
+	x3.mul(&x3, &t0)
+	y3.square(&t5)
+	t3.square(&t3)
+	t4.double(&t3)
+	t4.add(&t4, &t3) // 3(3b'Z²)²
+	y3.sub(&y3, &t4)
+	z3.mul(&t1, &t6)
+	r.x, r.y, r.z = x3, y3, z3
+}
+
+// additionStep sets r = r + q (q affine) and emits the chord-line
+// coefficients: with θ = Y − qy·Z and λ = X − qx·Z,
+// ℓ = (θ·qx − λ·qy) − θ·xP·w² + λ·yP·w³ up to scaling.
+func additionStep(coeff *[3]fe2, r *g2Proj, qx, qy *fe2) {
+	var theta, lambda fe2
+	theta.mul(qy, &r.z)
+	theta.sub(&r.y, &theta)
+	lambda.mul(qx, &r.z)
+	lambda.sub(&r.x, &lambda)
+
+	var a, b, c, d, e, g fe2
+	a.square(&theta)   // θ²
+	b.square(&lambda)  // λ²
+	c.mul(&lambda, &b) // λ³
+	d.mul(&r.z, &a)    // Zθ²
+	e.mul(&r.x, &b)    // Xλ²
+	g.add(&c, &d)
+	g.sub(&g, &e)
+	g.sub(&g, &e) // G = λ³ + Zθ² − 2Xλ²
+
+	var x3, y3, z3 fe2
+	x3.mul(&lambda, &g)
+	y3.sub(&e, &g)
+	y3.mul(&y3, &theta)
+	var t fe2
+	t.mul(&r.y, &c)
+	y3.sub(&y3, &t) // Y' = θ(Xλ² − G) − Yλ³
+	z3.mul(&r.z, &c)
+
+	coeff[0].mul(&theta, qx)
+	t.mul(&lambda, qy)
+	coeff[0].sub(&coeff[0], &t) // θqx − λqy
+	coeff[1].neg(&theta)
+	coeff[2] = lambda
+	r.x, r.y, r.z = x3, y3, z3
+}
+
+// ell folds a line evaluation at the affine G1 point (px, py) into f.
+func ell(f *fe12, coeff *[3]fe2, px, py *fe) {
+	var c1, c4 fe2
+	c1.mulByFe(&coeff[1], px)
+	c4.mulByFe(&coeff[2], py)
+	f.mulBy014(&coeff[0], &c1, &c4)
+}
+
+// millerLoop computes Π_i f_{x,Q_i}(P_i) over the shared |x| squaring
+// chain, seeding a fresh projective accumulator per pair from the affine
+// twist points (so prepared inputs stay reusable across calls). Callers
+// must pre-filter infinity points.
+func millerLoop(pxs, pys []fe, qaffs [][2]fe2) fe12 {
+	var f fe12
+	f.setOne()
+	n := len(qaffs)
+	rs := make([]g2Proj, n)
+	var one fe2
+	one.setOne()
+	for j := range qaffs {
+		rs[j] = g2Proj{x: qaffs[j][0], y: qaffs[j][1], z: one}
 	}
-	w := fp12W()
-	wInv := w.inv()
-	w2Inv := wInv.mul(wInv)
-	w3Inv := w2Inv.mul(wInv)
-	return g1Fp12{
-		x: fp12FromFp2(q.x).mul(w2Inv),
-		y: fp12FromFp2(q.y).mul(w3Inv),
-	}
-}
-
-// embedG1 lifts a G1 point into Fp12 coordinates.
-func embedG1(p G1) g1Fp12 {
-	if p.inf {
-		return g1Fp12{inf: true}
-	}
-	return g1Fp12{x: fp12Scalar(p.x), y: fp12Scalar(p.y)}
-}
-
-// lineDouble evaluates the tangent line at t through p and returns (2t,
-// line value).
-func lineDouble(t, p g1Fp12) (g1Fp12, fp12) {
-	three := fp12Scalar(fpFromInt(3))
-	two := fp12Scalar(fpFromInt(2))
-	lambda := three.mul(t.x.square()).mul(two.mul(t.y).inv())
-	x3 := lambda.square().sub2(t.x).sub2(t.x)
-	y3 := lambda.mul(t.x.sub2(x3)).sub2(t.y)
-	// line: l(P) = (yP − yT) − λ(xP − xT)
-	l := p.y.sub2(t.y).sub2(lambda.mul(p.x.sub2(t.x)))
-	return g1Fp12{x: x3, y: y3}, l
-}
-
-// lineAdd evaluates the chord through t and q at p and returns (t+q, line
-// value).
-func lineAdd(t, q, p g1Fp12) (g1Fp12, fp12, error) {
-	if t.x.equal(q.x) {
-		if t.y.equal(q.y) {
-			r, l := lineDouble(t, p)
-			return r, l, nil
+	var coeff [3]fe2
+	for i := blsXBitLen - 2; i >= 0; i-- {
+		f.square(&f)
+		for j := 0; j < n; j++ {
+			doublingStep(&coeff, &rs[j])
+			ell(&f, &coeff, &pxs[j], &pys[j])
 		}
-		// vertical line: l(P) = xP − xT
-		return g1Fp12{inf: true}, p.x.sub2(t.x), nil
-	}
-	lambda := q.y.sub2(t.y).mul(q.x.sub2(t.x).inv())
-	x3 := lambda.square().sub2(t.x).sub2(q.x)
-	y3 := lambda.mul(t.x.sub2(x3)).sub2(t.y)
-	l := p.y.sub2(t.y).sub2(lambda.mul(p.x.sub2(t.x)))
-	return g1Fp12{x: x3, y: y3}, l, nil
-}
-
-// sub2 is fp12 subtraction (named to avoid clashing with field helpers).
-func (a fp12) sub2(b fp12) fp12 { return fp12{a.a0.sub(b.a0), a.a1.sub(b.a1)} }
-
-// miller runs the Miller loop over |x| and conjugates at the end (x < 0).
-func miller(p G1, q G2) (fp12, error) {
-	if p.IsInfinity() || q.IsInfinity() {
-		return fp12One(), nil
-	}
-	pe := embedG1(p)
-	qe := untwist(q)
-	f := fp12One()
-	t := qe
-	for i := blsXAbs.BitLen() - 2; i >= 0; i-- {
-		var l fp12
-		t, l = lineDouble(t, pe)
-		f = f.square().mul(l)
-		if blsXAbs.Bit(i) == 1 {
-			var err error
-			t, l, err = lineAdd(t, qe, pe)
-			if err != nil {
-				return fp12{}, err
+		if blsX>>uint(i)&1 == 1 {
+			for j := 0; j < n; j++ {
+				additionStep(&coeff, &rs[j], &qaffs[j][0], &qaffs[j][1])
+				ell(&f, &coeff, &pxs[j], &pys[j])
 			}
-			f = f.mul(l)
 		}
 	}
-	// x is negative: replace f by its conjugate (valid up to final
-	// exponentiation, since conj(f) = f^{p⁶} and (p⁶+1)(p¹²−1)/r is a
-	// multiple of p¹²−1).
-	return f.conj(), nil
+	// x is negative: conjugate (valid up to final exponentiation).
+	f.conj(&f)
+	return f
 }
 
-// finalExp maps a Miller-loop output into the order-r subgroup GT.
-func finalExp(f fp12) fp12 {
-	// easy part: f^{(p⁶−1)(p²+1)}
-	f1 := f.conj().mul(f.inv())    // f^{p⁶−1}
-	f2 := f1.exp(pSquared).mul(f1) // f1^{p²+1}
-	// hard part: ^(p⁴−p²+1)/r
-	return f2.exp(hardExp)
+// preparePairs converts pairs to affine Miller-loop inputs, dropping any
+// pair with a point at infinity (its factor is 1).
+func preparePairs(ps []G1, qs []G2) (pxs, pys []fe, qaffs [][2]fe2) {
+	for i := range ps {
+		if ps[i].IsInfinity() || qs[i].IsInfinity() {
+			continue
+		}
+		px, py, _ := ps[i].affine()
+		qx, qy, _ := qs[i].affine()
+		pxs = append(pxs, px)
+		pys = append(pys, py)
+		qaffs = append(qaffs, [2]fe2{qx, qy})
+	}
+	return
+}
+
+// finalExp maps a Miller-loop output into the order-r subgroup GT:
+// easy part f^{(p⁶−1)(p²+1)}, then the hard part f^{3(p⁴−p²+1)/r} via the
+// Hayashida–Hayasaka–Teruya chain (x−1)²(x+p)(x²+p²−1) + 3 with
+// cyclotomic squarings inside each x-exponentiation.
+func finalExp(f fe12) fe12 {
+	// easy part
+	var t0, t1, m fe12
+	t0.conj(&f) // f^{p⁶}
+	t1.inv(&f)
+	m.mul(&t0, &t1) // f^{p⁶−1}
+	t0.frobeniusSquare(&m)
+	m.mul(&m, &t0) // f^{(p⁶−1)(p²+1)} — now in the cyclotomic subgroup
+
+	// hard part
+	var a, b, c fe12
+	a.cyclotomicSquare(&m) // m²
+	b.expByX(&m)           // m^x
+	c.conj(&m)             // m^{−1}
+	b.mul(&b, &c)          // m^{x−1}
+	c.expByX(&b)           // m^{x(x−1)}
+	b.conj(&b)             // m^{−(x−1)}
+	b.mul(&b, &c)          // m^{(x−1)²}
+	c.expByX(&b)           // m^{x(x−1)²}
+	b.frobenius(&b)        // m^{p(x−1)²}
+	b.mul(&b, &c)          // m^{(x−1)²(x+p)}
+	m.mul(&m, &a)          // m³
+	a.expByX(&b)           // m^{(x−1)²(x+p)x}
+	c.expByX(&a)           // m^{(x−1)²(x+p)x²}
+	a.frobeniusSquare(&b)  // m^{(x−1)²(x+p)p²}
+	b.conj(&b)             // m^{−(x−1)²(x+p)}
+	b.mul(&b, &c)          // m^{(x−1)²(x+p)(x²−1)}
+	b.mul(&b, &a)          // m^{(x−1)²(x+p)(x²+p²−1)}
+	m.mul(&m, &b)          // m^{3 + (x−1)²(x+p)(x²+p²−1)} = f^{3·(p⁴−p²+1)/r}
+	return m
 }
 
 // Pair computes the pairing e(p, q). Inputs must be valid curve points;
 // infinity maps to the identity of GT.
-func Pair(p G1, q G2) (fp12, error) {
-	f, err := miller(p, q)
-	if err != nil {
-		return fp12{}, err
+func Pair(p G1, q G2) (fe12, error) {
+	pxs, pys, qaffs := preparePairs([]G1{p}, []G2{q})
+	if len(qaffs) == 0 {
+		var one fe12
+		one.setOne()
+		return one, nil
 	}
-	return finalExp(f), nil
+	return finalExp(millerLoop(pxs, pys, qaffs)), nil
 }
 
 // GT is an element of the pairing target group, comparable with Equal.
-type GT struct{ v fp12 }
+type GT struct{ v fe12 }
 
 // PairGT is Pair returning an exported handle.
 func PairGT(p G1, q G2) (GT, error) {
@@ -131,24 +233,41 @@ func PairGT(p G1, q G2) (GT, error) {
 }
 
 // Equal reports GT equality.
-func (a GT) Equal(b GT) bool { return a.v.equal(b.v) }
+func (a GT) Equal(b GT) bool { return a.v.equal(&b.v) }
 
 // IsOne reports whether a is the identity.
 func (a GT) IsOne() bool { return a.v.isOne() }
 
-// PairingCheck reports whether Π e(p_i, q_i) = 1. BLS verification calls it
-// with ((−σ, G2), (H(m), pk)).
+// GTSize is the encoded size of a GT element.
+const GTSize = 12 * fpSize
+
+// Bytes encodes the element as the 12 Fp coefficients (a0.b0.c0 … a1.b2.c1,
+// each 48 big-endian bytes) — the known-answer-test format.
+func (a GT) Bytes() []byte {
+	out := make([]byte, 0, GTSize)
+	for _, f6 := range []*fe6{&a.v.a0, &a.v.a1} {
+		for _, f2 := range []*fe2{&f6.b0, &f6.b1, &f6.b2} {
+			for _, c := range []*fe{&f2.c0, &f2.c1} {
+				var buf [fpSize]byte
+				feToBytes(buf[:], c)
+				out = append(out, buf[:]...)
+			}
+		}
+	}
+	return out
+}
+
+// PairingCheck reports whether Π e(p_i, q_i) = 1. All Miller loops share
+// one squaring chain and exactly one final exponentiation runs regardless
+// of len(ps) — BLS verification calls it with ((−σ, G2), (H(m), pk)).
 func PairingCheck(ps []G1, qs []G2) (bool, error) {
 	if len(ps) != len(qs) {
 		return false, errors.New("bls: mismatched pairing vector lengths")
 	}
-	acc := fp12One()
-	for i := range ps {
-		f, err := miller(ps[i], qs[i])
-		if err != nil {
-			return false, err
-		}
-		acc = acc.mul(f)
+	pxs, pys, qaffs := preparePairs(ps, qs)
+	if len(qaffs) == 0 {
+		return true, nil
 	}
-	return finalExp(acc).isOne(), nil
+	out := finalExp(millerLoop(pxs, pys, qaffs))
+	return out.isOne(), nil
 }

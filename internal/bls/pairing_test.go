@@ -2,18 +2,47 @@ package bls
 
 import (
 	"crypto/rand"
+	"encoding/hex"
 	"math/big"
 	"testing"
 )
 
-func TestUntwistLandsOnCurve(t *testing.T) {
-	// untwisted G2 points must satisfy y² = x³ + 4 in Fp12.
-	q := untwist(G2Generator())
-	four := fp12Scalar(fpFromInt(4))
-	lhs := q.y.mul(q.y)
-	rhs := q.x.mul(q.x).mul(q.x).add2(four)
-	if !lhs.equal(rhs) {
-		t.Fatal("untwisted generator off curve in Fp12")
+// The production pairing computes f^{3·(p⁴−p²+1)/r}; the legacy oracle
+// computes f^{(p⁴−p²+1)/r}. They relate by a cube.
+func legacyCubed(p G1, q G2) fp12 {
+	e := legacyPair(p, q)
+	return e.mulL(e).mulL(e)
+}
+
+func TestPairingMatchesLegacyOracle(t *testing.T) {
+	// Differential test against the completely independent math/big
+	// untwist-based engine, on random scalar multiples of the generators.
+	for i := 0; i < 2; i++ {
+		a, _ := rand.Int(rand.Reader, rOrder)
+		b, _ := rand.Int(rand.Reader, rOrder)
+		P := G1Generator().Mul(a)
+		Q := G2Generator().Mul(b)
+		got, err := Pair(P, Q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fe12ToLegacy(&got).equalL(legacyCubed(P, Q)) {
+			t.Fatal("pairing disagrees with legacy oracle (up to the fixed cube)")
+		}
+	}
+}
+
+func TestPairingKnownAnswer(t *testing.T) {
+	// Pinned serialization of e(G1, G2): regenerating it must be
+	// byte-identical across refactors. The value was cross-checked against
+	// the legacy math/big engine (TestPairingMatchesLegacyOracle).
+	e, err := PairGT(G1Generator(), G2Generator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := hex.EncodeToString(e.Bytes())
+	if got != pairingKAT {
+		t.Fatalf("e(G1, G2) drifted:\n got %s\nwant %s", got, pairingKAT)
 	}
 }
 
@@ -26,14 +55,14 @@ func TestPairingNonDegenerate(t *testing.T) {
 		t.Fatal("e(G1, G2) = 1: degenerate pairing")
 	}
 	// GT has order r: e^r == 1.
-	if !e.exp(rOrder).isOne() {
+	if !fe12ToLegacy(&e).expL(rOrder).isOneL() {
 		t.Fatal("pairing output not of order dividing r")
 	}
 }
 
 func TestBilinearity(t *testing.T) {
 	// e(aP, bQ) == e(P, Q)^{ab}: the defining property. A wrong Miller
-	// loop, untwist, or final exponentiation virtually cannot pass this.
+	// loop, line evaluation, or final exponentiation virtually cannot pass.
 	a := big.NewInt(7)
 	b := big.NewInt(11)
 	P, Q := G1Generator(), G2Generator()
@@ -46,7 +75,7 @@ func TestBilinearity(t *testing.T) {
 		t.Fatal(err)
 	}
 	ab := new(big.Int).Mul(a, b)
-	if !lhs.equal(base.exp(ab)) {
+	if !fe12ToLegacy(&lhs).equalL(fe12ToLegacy(&base).expL(ab)) {
 		t.Fatal("bilinearity failed: e(aP,bQ) != e(P,Q)^{ab}")
 	}
 }
@@ -63,7 +92,7 @@ func TestBilinearityRandomScalars(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !lhs.equal(rhs) {
+	if !lhs.equal(&rhs) {
 		t.Fatal("e(aP, bQ) != e(abP, Q)")
 	}
 }
@@ -86,7 +115,9 @@ func TestPairingLinearLeft(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !lhs.equal(e1.mul(e2)) {
+	var prod fe12
+	prod.mul(&e1, &e2)
+	if !lhs.equal(&prod) {
 		t.Fatal("left linearity failed")
 	}
 }
@@ -130,9 +161,80 @@ func TestPairingCheck(t *testing.T) {
 	}
 }
 
-// add2 is a test-local alias for fp12 addition (production code only needs
-// sub2/mul).
-func (a fp12) add2(b fp12) fp12 { return fp12{a.a0.add(b.a0), a.a1.add(b.a1)} }
+func TestPairingCheckMatchesLegacy(t *testing.T) {
+	// Randomized differential test of the multi-pairing against the seed
+	// semantics: accept/reject decisions must be identical, including
+	// vectors that should verify (σ = s·H, pk = s·G2) and ones that must
+	// not (independent random scalars).
+	for i := 0; i < 2; i++ {
+		s, _ := rand.Int(rand.Reader, rOrder)
+		H := HashToG1("diff-test", []byte{byte(i)})
+		sig := H.Mul(s)
+		pk := G2Generator().Mul(s)
+		ps := []G1{sig.Neg(), H}
+		qs := []G2{G2Generator(), pk}
+		got, err := PairingCheck(ps, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := legacyPairingCheck(ps, qs); got != want {
+			t.Fatalf("valid vector: got %v legacy %v", got, want)
+		}
+		if !got {
+			t.Fatal("well-formed BLS relation rejected")
+		}
+		// Corrupt the signature: both engines must reject.
+		bad := sig.Add(G1Generator())
+		ps = []G1{bad.Neg(), H}
+		got, err = PairingCheck(ps, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := legacyPairingCheck(ps, qs); got != want {
+			t.Fatalf("corrupt vector: got %v legacy %v", got, want)
+		}
+		if got {
+			t.Fatal("corrupted BLS relation accepted")
+		}
+	}
+}
+
+func TestMultiPairingSharesFinalExp(t *testing.T) {
+	// The multi-pairing must equal the product of individual pairings
+	// (one shared final exponentiation cannot change the verdict), and
+	// must accept vectors whose product is 1 across many pairs.
+	const n = 5
+	ps := make([]G1, 0, 2*n)
+	qs := make([]G2, 0, 2*n)
+	for i := 0; i < n; i++ {
+		k := big.NewInt(int64(3*i + 2))
+		P := G1Generator().Mul(k)
+		Q := G2Generator().Mul(big.NewInt(int64(i + 1)))
+		ps = append(ps, P, P.Neg())
+		qs = append(qs, Q, Q)
+	}
+	ok, err := PairingCheck(ps, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("product of cancelling pairs should be 1")
+	}
+	// And the accumulated Miller-loop product matches multiplying the
+	// individually final-exponentiated pairings.
+	var prod fe12
+	prod.setOne()
+	for i := range ps {
+		e, err := Pair(ps[i], qs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod.mul(&prod, &e)
+	}
+	if !prod.isOne() {
+		t.Fatal("individual pairings disagree with multi-pairing verdict")
+	}
+}
 
 func BenchmarkPairing(b *testing.B) {
 	P, Q := G1Generator(), G2Generator()
@@ -140,6 +242,37 @@ func BenchmarkPairing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Pair(P, Q); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMillerLoop(b *testing.B) {
+	pxs, pys, qaffs := preparePairs([]G1{G1Generator()}, []G2{G2Generator()})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		millerLoop(pxs, pys, qaffs)
+	}
+}
+
+func BenchmarkFinalExp(b *testing.B) {
+	pxs, pys, qaffs := preparePairs([]G1{G1Generator()}, []G2{G2Generator()})
+	f := millerLoop(pxs, pys, qaffs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		finalExp(f)
+	}
+}
+
+func BenchmarkPairingCheck2(b *testing.B) {
+	// The BLS-verification shape: 2 pairs, one final exponentiation.
+	P, Q := G1Generator(), G2Generator()
+	ps := []G1{P.Neg(), P}
+	qs := []G2{Q, Q}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := PairingCheck(ps, qs)
+		if err != nil || !ok {
+			b.Fatal("check failed")
 		}
 	}
 }

@@ -29,9 +29,9 @@ func aesOnce(key, msg32 []byte) []byte {
 	return out[:]
 }
 
-// measurePairingRate times our from-scratch BLS12-381 pairing. Pairings are
-// slow (tens of ms), so measure a few explicitly rather than via timeRate's
-// 50 ms budget.
+// measurePairingRate times our from-scratch BLS12-381 pairing (a few ms
+// per operation on the limb-based engine, so timeRate's 50 ms budget still
+// only fits a couple of dozen iterations).
 func measurePairingRate() float64 {
 	p, q := bls.G1Generator(), bls.G2Generator()
 	return timeRate(func() {

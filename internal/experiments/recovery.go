@@ -42,7 +42,8 @@ func splitComponents(counts map[meter.Op]int64) RecoveryComponents {
 	return RecoveryComponents{
 		Log: simtime.CostOf(pick(meter.OpHMAC), d),
 		LocationHiding: simtime.CostOf(pick(meter.OpECMul, meter.OpECDSASign,
-			meter.OpECDSAVerify, meter.OpPairing, meter.OpBLSSign), d),
+			meter.OpECDSAVerify, meter.OpPairing, meter.OpMillerLoop,
+			meter.OpFinalExp, meter.OpBLSSign), d),
 		Puncturable: simtime.CostOf(pick(meter.OpElGamalDecrypt, meter.OpAES32,
 			meter.OpFlashRead32, meter.OpIORoundTrip, meter.OpIOByte), d),
 	}

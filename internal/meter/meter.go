@@ -28,8 +28,16 @@ const (
 	OpECDSASign Op = "ecdsa_sign"
 	// OpElGamalDecrypt is a hashed-ElGamal decryption.
 	OpElGamalDecrypt Op = "elgamal_decrypt"
-	// OpPairing is a BLS12-381 pairing evaluation.
+	// OpPairing is a full BLS12-381 pairing evaluation (one Miller loop
+	// plus one final exponentiation).
 	OpPairing Op = "pairing"
+	// OpMillerLoop is one Miller loop of a multi-pairing. An n-pair
+	// product costs n Miller loops but only one shared final
+	// exponentiation, so aggregate verification meters as
+	// 2×OpMillerLoop + 1×OpFinalExp rather than 2×OpPairing.
+	OpMillerLoop Op = "miller_loop"
+	// OpFinalExp is the shared final exponentiation of a multi-pairing.
+	OpFinalExp Op = "final_exp"
 	// OpBLSSign is a G1 hash-and-multiply signature.
 	OpBLSSign Op = "bls_sign"
 	// OpAES32 is an AES-128 operation over a 32-byte chunk (Table 7 unit).

@@ -70,7 +70,8 @@ const (
 func opClass(op meter.Op) class {
 	switch op {
 	case meter.OpECMul, meter.OpECDSAVerify, meter.OpECDSASign,
-		meter.OpElGamalDecrypt, meter.OpPairing, meter.OpBLSSign:
+		meter.OpElGamalDecrypt, meter.OpPairing, meter.OpMillerLoop,
+		meter.OpFinalExp, meter.OpBLSSign:
 		return classPublic
 	case meter.OpAES32, meter.OpHMAC, meter.OpFlashRead32:
 		return classSymmetric
@@ -92,6 +93,10 @@ func secondsPerOp(op meter.Op, d DeviceProfile) float64 {
 		return 1 / d.ElGamalDecPerSec
 	case meter.OpPairing:
 		return 1 / d.PairingPerSec
+	case meter.OpMillerLoop:
+		return 1 / d.MillerLoopPerSec()
+	case meter.OpFinalExp:
+		return 1 / d.FinalExpPerSec()
 	case meter.OpBLSSign:
 		// A G1 hash-and-multiply over the ~2.5× wider BLS12-381 base field;
 		// costed as two P-256 point multiplications.
