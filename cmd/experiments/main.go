@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"safetypin/internal/experiments"
 )
@@ -118,6 +119,32 @@ func main() {
 		fmt.Println(experiments.BandwidthReport(
 			experiments.PaperN, experiments.PaperClusterSize,
 			experiments.PaperBFEParams, experiments.PaperBFEParams.MaxPunctures()))
+	}
+	if want("load") {
+		ran = true
+		fleets := []int{24, 48, 96}
+		concs := []int{1, 8, 32}
+		users := 32
+		if *quick {
+			fleets = []int{16, 32}
+			concs = []int{1, 8}
+			users = 8
+		}
+		out, err := experiments.LoadSweep(fleets, concs, users, 2*time.Millisecond)
+		if err != nil {
+			fail("load", err)
+		}
+		fmt.Println(out)
+		cmp, err := experiments.RecoveryLatencyComparison(experiments.LoadConfig{
+			NumHSMs:     64,
+			ClusterSize: 40,
+			Threshold:   20,
+			HSMLatency:  2 * time.Millisecond,
+		})
+		if err != nil {
+			fail("load", err)
+		}
+		fmt.Println(cmp)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)

@@ -35,6 +35,9 @@ func main() {
 	guesses := flag.Int("guess-limit", 1, "recovery attempts allowed per user")
 	scheme := flag.String("scheme", "bls12381-multisig", "aggregate signature scheme (bls12381-multisig | ecdsa-concat)")
 	det := flag.Bool("deterministic-audit", false, "use Appendix B.3 deterministic chunk assignment")
+	epochMS := flag.Int("epoch-window-ms", 0, "epoch scheduler batching window in ms (0 → default; paper: ~10 minutes)")
+	epochBatch := flag.Int("epoch-max-batch", 0, "commit an epoch early at this many pending insertions (0 → default)")
+	epochWorkers := flag.Int("epoch-workers", 0, "audit fan-out worker pool size (0 → min(16, fleet))")
 	flag.Parse()
 
 	n := *hsms
@@ -75,6 +78,9 @@ func main() {
 		GuessLimit:    *guesses,
 		SchemeName:    *scheme,
 		Deterministic: *det,
+		EpochBatchMS:  *epochMS,
+		EpochMaxBatch: *epochBatch,
+		EpochWorkers:  *epochWorkers,
 	}
 	d, err := transport.NewProviderDaemon(cfg)
 	if err != nil {

@@ -72,6 +72,13 @@ type blsSigner struct {
 
 type blsPub struct{ pk *bls.PublicKey }
 
+// blsPubVersion prefixes the compressed wire encoding of BLS public keys.
+// Version 1 is the IETF/zcash 96-byte compressed G2 format, which roughly
+// halves roster bytes versus the seed's 193-byte uncompressed encoding;
+// the unversioned uncompressed format still parses for compatibility with
+// rosters serialized by older deployments.
+const blsPubVersion = 0x01
+
 func (blsScheme) Name() string { return "bls12381-multisig" }
 
 func (blsScheme) KeyGen(rng io.Reader) (Signer, error) {
@@ -88,10 +95,22 @@ func (s *blsSigner) Sign(msg []byte) ([]byte, error) {
 
 func (s *blsSigner) PublicKey() PublicKey { return blsPub{s.pk} }
 
-func (p blsPub) Bytes() []byte { return p.pk.Bytes() }
+func (p blsPub) Bytes() []byte {
+	return append([]byte{blsPubVersion}, p.pk.BytesCompressed()...)
+}
 
 func (blsScheme) ParsePublicKey(b []byte) (PublicKey, error) {
-	pk, err := bls.PublicKeyFromBytes(b)
+	var pk *bls.PublicKey
+	var err error
+	switch {
+	case len(b) == 1+bls.G2CompressedSize && b[0] == blsPubVersion:
+		pk, err = bls.PublicKeyFromCompressedBytes(b[1:])
+	case len(b) == bls.G2Size:
+		// Legacy unversioned uncompressed encoding (seed format).
+		pk, err = bls.PublicKeyFromBytes(b)
+	default:
+		return nil, fmt.Errorf("aggsig: unrecognized BLS public key encoding (%d bytes)", len(b))
+	}
 	if err != nil {
 		return nil, err
 	}

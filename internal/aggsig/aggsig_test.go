@@ -2,6 +2,7 @@ package aggsig
 
 import (
 	"crypto/rand"
+	"encoding/hex"
 	"testing"
 
 	"safetypin/internal/meter"
@@ -136,6 +137,62 @@ func TestPublicKeySerialization(t *testing.T) {
 				t.Fatal("garbage public key parsed")
 			}
 		})
+	}
+}
+
+// Golden encodings of the BLS public key g2^7: the seed's unversioned
+// 193-byte uncompressed format and the version-1 compressed wire format
+// (0x01 ‖ zcash 96-byte G2). Both must parse to the same key forever.
+const (
+	goldenLegacyPK = "04049cd1dbb2d2c3581e54c088135fef36505a6823d61b859437bfc79b617030" +
+		"dc8b40e32bad1fa85b9c0f368af6d38d3c0d0273f6bf31ed37c3b8d68083ec3d" +
+		"8e20b5f2cc170fa24b9b5be35b34ed013f9a921f1cad1644d4bdb14674247234" +
+		"c808b7ae4dbf802c17a6648842922c9467e460a71c88d393ee7af356da123a2f" +
+		"3619e80c3bdcc8e2b1da52f8cd9913ccdd05ecf93654b7a1885695aaeeb7caf4" +
+		"1b0239dc45e1022be55d37111af2aecef87799638bec572de86a7437898efa70" +
+		"20"
+	goldenCompressedPK = "018d0273f6bf31ed37c3b8d68083ec3d8e20b5f2cc170fa24b9b5be35b34ed01" +
+		"3f9a921f1cad1644d4bdb14674247234c8049cd1dbb2d2c3581e54c088135fef" +
+		"36505a6823d61b859437bfc79b617030dc8b40e32bad1fa85b9c0f368af6d38d" +
+		"3c"
+)
+
+func TestBLSPublicKeyWireFormats(t *testing.T) {
+	legacy, err := hex.DecodeString(goldenLegacyPK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed, err := hex.DecodeString(goldenCompressedPK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed compatibility: the unversioned uncompressed encoding still
+	// parses...
+	fromLegacy, err := BLS().ParsePublicKey(legacy)
+	if err != nil {
+		t.Fatalf("legacy uncompressed key rejected: %v", err)
+	}
+	// ...and re-serializes to the versioned compressed wire format.
+	if got := hex.EncodeToString(fromLegacy.Bytes()); got != goldenCompressedPK {
+		t.Fatalf("legacy key re-serialization:\n got %s\nwant %s", got, goldenCompressedPK)
+	}
+	fromCompressed, err := BLS().ParsePublicKey(compressed)
+	if err != nil {
+		t.Fatalf("compressed key rejected: %v", err)
+	}
+	if hex.EncodeToString(fromCompressed.Bytes()) != goldenCompressedPK {
+		t.Fatal("compressed key did not round trip")
+	}
+	// The compressed format roughly halves roster bytes.
+	if len(compressed)*2 >= len(legacy)+2 {
+		t.Fatalf("compressed key (%d bytes) is not about half of legacy (%d bytes)",
+			len(compressed), len(legacy))
+	}
+	// Unknown version bytes fail closed.
+	bad := append([]byte(nil), compressed...)
+	bad[0] = 0x7f
+	if _, err := BLS().ParsePublicKey(bad); err == nil {
+		t.Fatal("unknown version byte accepted")
 	}
 }
 

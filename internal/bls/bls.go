@@ -114,12 +114,27 @@ func AggregatePublicKeys(pks []*PublicKey) (*PublicKey, error) {
 	return &PublicKey{p: acc}, nil
 }
 
-// Bytes serializes the public key.
+// Bytes serializes the public key in the legacy uncompressed format (the
+// proof-of-possession domain hashes this encoding, so it is frozen).
 func (pk *PublicKey) Bytes() []byte { return pk.p.Bytes() }
 
-// PublicKeyFromBytes decodes and validates a public key.
+// BytesCompressed serializes the public key in the IETF/zcash 96-byte
+// compressed format — the wire encoding for rosters.
+func (pk *PublicKey) BytesCompressed() []byte { return pk.p.BytesCompressed() }
+
+// PublicKeyFromBytes decodes and validates an uncompressed public key.
 func PublicKeyFromBytes(b []byte) (*PublicKey, error) {
 	p, err := G2FromBytes(b)
+	if err != nil {
+		return nil, err
+	}
+	return &PublicKey{p: p}, nil
+}
+
+// PublicKeyFromCompressedBytes decodes and validates a compressed public
+// key.
+func PublicKeyFromCompressedBytes(b []byte) (*PublicKey, error) {
+	p, err := G2FromCompressedBytes(b)
 	if err != nil {
 		return nil, err
 	}

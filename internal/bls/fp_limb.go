@@ -49,6 +49,8 @@ var feRawOne = fe{1, 0, 0, 0, 0, 0}
 var (
 	pMinus2Limbs     [6]uint64  // p − 2, for inversion by Fermat
 	pPlus1Over4Limbs [6]uint64  // (p+1)/4, for sqrt (p ≡ 3 mod 4)
+	pMinus3Over4     [6]uint64  // (p−3)/4, for Fp2 sqrt
+	pMinus1Over2     [6]uint64  // (p−1)/2, for Fp2 sqrt and sign ordering
 	pMinus1Over6     [6]uint64  // (p−1)/6, for Frobenius constants
 	pSqMinus1Over6   [12]uint64 // (p²−1)/6, for Frobenius² constants
 )
@@ -78,10 +80,22 @@ func deriveFieldConstants() {
 	shiftRight1(pPlus1Over4Limbs[:])
 	shiftRight1(pPlus1Over4Limbs[:])
 
+	// (p−3)/4 = (p+1)/4 − 1, used as the Fp2 sqrt exponent.
+	copy(pMinus3Over4[:], pPlus1Over4Limbs[:])
+	var borrow uint64
+	pMinus3Over4[0], borrow = bits.Sub64(pMinus3Over4[0], 1, 0)
+	for i := 1; i < 6 && borrow != 0; i++ {
+		pMinus3Over4[i], borrow = bits.Sub64(pMinus3Over4[i], 0, borrow)
+	}
+
 	// (p−1)/6 by long division; p ≡ 1 (mod 6) so the remainder is 0.
 	var pm1 [6]uint64
 	copy(pm1[:], pLimbs[:])
 	pm1[0]-- // p[0] is odd, no borrow
+
+	// (p−1)/2 for the Euler criterion and lexicographic sign ordering.
+	copy(pMinus1Over2[:], pm1[:])
+	shiftRight1(pMinus1Over2[:])
 	if divBySmall(pMinus1Over6[:], pm1[:], 6) != 0 {
 		panic("bls: p-1 not divisible by 6")
 	}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"safetypin/internal/aead"
 	"safetypin/internal/ecgroup"
@@ -28,12 +29,20 @@ import (
 
 // ProviderAPI is the client's view of the service provider. The in-process
 // provider and the TCP transport both satisfy it.
+//
+// Recovery attempts are allocated with ReserveAttempt (atomic, so two
+// concurrent recoveries of one user never collide on an attempt index) and
+// committed to the log by the provider's epoch scheduler: the client
+// appends with LogRecoveryAttempt and blocks on WaitForCommit, sharing an
+// epoch with every other recovery in flight (the paper's ~10-minute
+// batching, §6.2).
 type ProviderAPI interface {
 	StoreCiphertext(user string, ct []byte) error
 	FetchCiphertext(user string) ([]byte, error)
 	AttemptCount(user string) int
+	ReserveAttempt(user string) (int, error)
 	LogRecoveryAttempt(user string, attempt int, commitment []byte) error
-	RunEpoch() error
+	WaitForCommit() error
 	FetchInclusionProof(user string, attempt int, commitment []byte) (*logtree.Trace, error)
 	RelayRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error)
 	FetchEscrowedReplies(user string) []*protocol.RecoveryReply
@@ -88,7 +97,9 @@ func (c *Client) Backup(msg []byte) error {
 }
 
 // Session carries the state of one in-flight recovery so that tests (and
-// the crash-recovery flow) can exercise partial executions.
+// the crash-recovery flow) can exercise partial executions. All fields
+// except shares are immutable after Begin; shares is guarded by mu so
+// RequestShares can fan out to the cluster concurrently.
 type Session struct {
 	client   *Client
 	ct       *lhe.Ciphertext
@@ -98,7 +109,9 @@ type Session struct {
 	nonce    []byte
 	trace    *logtree.Trace
 	ReplyKey ecgroup.KeyPair
-	shares   []lhe.DecryptedShare
+
+	mu     sync.Mutex
+	shares []lhe.DecryptedShare
 }
 
 // ErrTooFewShares is returned when fewer than t HSMs produced usable
@@ -133,15 +146,19 @@ func (c *Client) Begin(pin string) (*Session, error) {
 	if _, err := io.ReadFull(c.rng, nonce); err != nil {
 		return nil, err
 	}
-	attempt := c.provider.AttemptCount(c.user)
+	attempt, err := c.provider.ReserveAttempt(c.user)
+	if err != nil {
+		return nil, fmt.Errorf("client: reserving attempt: %w", err)
+	}
 	commit := protocol.Commitment(c.user, ct.Salt, protocol.HashCiphertext(blob), cluster, nonce)
 	if err := c.provider.LogRecoveryAttempt(c.user, attempt, commit); err != nil {
 		return nil, err
 	}
-	// The provider batches insertions and runs the log-update protocol
-	// periodically (every ~10 minutes in the paper); we trigger it
-	// synchronously here, standing in for the client's wait.
-	if err := c.provider.RunEpoch(); err != nil {
+	// The provider batches insertions from all concurrent recoveries and
+	// runs the log-update protocol on its epoch schedule (every ~10
+	// minutes in the paper); we block until the epoch holding our
+	// insertion commits.
+	if err := c.provider.WaitForCommit(); err != nil {
 		return nil, fmt.Errorf("client: log epoch failed: %w", err)
 	}
 	trace, err := c.provider.FetchInclusionProof(c.user, attempt, commit)
@@ -192,16 +209,90 @@ func (s *Session) RequestShare(j int) error {
 	if j < 0 || j >= len(s.cluster) {
 		return fmt.Errorf("client: share position %d out of range", j)
 	}
+	ds, err := s.fetchShare(j)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.shares = append(s.shares, ds)
+	s.mu.Unlock()
+	return nil
+}
+
+// fetchShare performs the relay round trip and reply decryption for one
+// cluster position without touching session state.
+func (s *Session) fetchShare(j int) (lhe.DecryptedShare, error) {
 	reply, err := s.client.provider.RelayRecover(s.request(j))
 	if err != nil {
-		return err
+		return lhe.DecryptedShare{}, err
 	}
-	ds, err := s.client.decryptReply(s.ReplyKey, s.ct.Salt, reply)
-	if err != nil {
-		return err
+	return s.client.decryptReply(s.ReplyKey, s.ct.Salt, reply)
+}
+
+// ShareError records the failure of one cluster position during a share
+// fan-out.
+type ShareError struct {
+	Pos int
+	Err error
+}
+
+func (e ShareError) Error() string {
+	return fmt.Sprintf("client: share position %d: %v", e.Pos, e.Err)
+}
+
+// RequestShares contacts every cluster member concurrently (step Ï at
+// datacenter speed: n parallel HSM round trips instead of n sequential
+// ones) and returns once the session holds at least t shares — the
+// early-exit path for latency-critical recoveries. Per-position failures
+// are collected and returned; they are not fatal as long as t shares come
+// back (Property 3, fault tolerance). On early exit the laggard requests
+// complete in the background and their replies stay escrowed at the
+// provider, but they are not added to the session.
+func (s *Session) RequestShares() []ShareError {
+	return s.fanOut(true)
+}
+
+// RequestAllShares contacts every cluster member concurrently and waits for
+// all of them to answer, so every reachable HSM has punctured by the time
+// it returns (the paper's forward-secrecy guarantee is immediate, not
+// eventual). Recover uses this.
+func (s *Session) RequestAllShares() []ShareError {
+	return s.fanOut(false)
+}
+
+// fanOut runs the parallel share collection; earlyExit stops waiting once
+// the threshold is met.
+func (s *Session) fanOut(earlyExit bool) []ShareError {
+	type result struct {
+		pos int
+		ds  lhe.DecryptedShare
+		err error
 	}
-	s.shares = append(s.shares, ds)
-	return nil
+	n := len(s.cluster)
+	results := make(chan result, n)
+	for j := 0; j < n; j++ {
+		go func(j int) {
+			ds, err := s.fetchShare(j)
+			results <- result{pos: j, ds: ds, err: err}
+		}(j)
+	}
+	need := s.client.params.Threshold()
+	var errs []ShareError
+	for seen := 0; seen < n; seen++ {
+		r := <-results
+		if r.err != nil {
+			errs = append(errs, ShareError{Pos: r.pos, Err: r.err})
+			continue
+		}
+		s.mu.Lock()
+		s.shares = append(s.shares, r.ds)
+		held := len(s.shares)
+		s.mu.Unlock()
+		if earlyExit && held >= need {
+			break
+		}
+	}
+	return errs
 }
 
 // decryptReply opens one escrowable HSM reply with the ephemeral key.
@@ -222,17 +313,24 @@ func (c *Client) decryptReply(kp ecgroup.KeyPair, salt []byte, reply *protocol.R
 }
 
 // SharesHeld returns how many usable shares the session has collected.
-func (s *Session) SharesHeld() int { return len(s.shares) }
+func (s *Session) SharesHeld() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.shares)
+}
 
 // Finish reconstructs the backed-up message from the collected shares
 // (step Ð + Reconstruct), clears the escrow, and rotates the client's salt
 // so future backups select a fresh cluster (§8).
 func (s *Session) Finish() ([]byte, error) {
-	if len(s.shares) < s.client.params.Threshold() {
+	s.mu.Lock()
+	shares := append([]lhe.DecryptedShare(nil), s.shares...)
+	s.mu.Unlock()
+	if len(shares) < s.client.params.Threshold() {
 		return nil, fmt.Errorf("%w: have %d, need %d",
-			ErrTooFewShares, len(s.shares), s.client.params.Threshold())
+			ErrTooFewShares, len(shares), s.client.params.Threshold())
 	}
-	msg, err := s.client.params.Reconstruct(s.client.user, s.ct, s.shares)
+	msg, err := s.client.params.Reconstruct(s.client.user, s.ct, shares)
 	if err != nil {
 		return nil, err
 	}
@@ -243,24 +341,19 @@ func (s *Session) Finish() ([]byte, error) {
 	return msg, nil
 }
 
-// Recover runs the complete recovery flow: Begin, contact every cluster
-// member, Finish. Individual HSM failures are tolerated as long as t
-// shares come back (Property 3, fault tolerance).
+// Recover runs the complete recovery flow: Begin, contact the whole
+// cluster in parallel, Finish. Individual HSM failures are tolerated as
+// long as t shares come back (Property 3, fault tolerance).
 func (c *Client) Recover(pin string) ([]byte, error) {
 	s, err := c.Begin(pin)
 	if err != nil {
 		return nil, err
 	}
-	var lastErr error
-	for j := range s.cluster {
-		if err := s.RequestShare(j); err != nil {
-			lastErr = err
-		}
-	}
+	errs := s.RequestAllShares()
 	msg, err := s.Finish()
 	if err != nil {
-		if lastErr != nil {
-			return nil, fmt.Errorf("%w (last HSM error: %v)", err, lastErr)
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("%w (last HSM error: %v)", err, errs[len(errs)-1].Err)
 		}
 		return nil, err
 	}

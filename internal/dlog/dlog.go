@@ -228,13 +228,18 @@ func (p *Provider) PendingLen() int {
 	return len(p.pending)
 }
 
+// ErrNoPending is returned by BuildEpoch when no insertions are queued;
+// epoch schedulers treat it as "everything already committed".
+var ErrNoPending = errors.New("dlog: no pending insertions")
+
 // BuildEpoch stages the pending batch into chunked extension records and
-// returns the epoch header. It fails if nothing is pending.
+// returns the epoch header. It fails with ErrNoPending if nothing is
+// pending.
 func (p *Provider) BuildEpoch() (EpochHeader, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.pending) == 0 {
-		return EpochHeader{}, errors.New("dlog: no pending insertions")
+		return EpochHeader{}, ErrNoPending
 	}
 	staging := p.tree.Clone()
 	oldDigest := staging.Digest()

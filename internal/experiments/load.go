@@ -1,0 +1,282 @@
+package experiments
+
+// load.go is the multi-user datacenter load experiment behind the
+// concurrent-engine work (§9's evaluation regime: thousands of recoveries
+// against a 100-HSM fleet with epochs batched every ~10 minutes). It
+// measures real wall-clock throughput of the in-process stack — sharded
+// provider, epoch scheduler, parallel share fan-out — at varying fleet
+// size and client concurrency.
+//
+// Recovery in the paper's deployment is HSM-latency-bound (a SoloKey
+// spends ~0.85s per recovery op), not host-CPU-bound, so LoadConfig can
+// inject a per-relay device latency to reproduce that regime: with it the
+// serial-vs-parallel comparison reflects the datacenter, not the host's
+// core count.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"safetypin"
+	"safetypin/internal/aggsig"
+	"safetypin/internal/bfe"
+	"safetypin/internal/client"
+	"safetypin/internal/protocol"
+)
+
+// LoadConfig parameterizes one multi-user load run.
+type LoadConfig struct {
+	NumHSMs     int
+	ClusterSize int
+	Threshold   int
+	BFE         bfe.Params
+	// Users is how many distinct clients back up and then recover.
+	Users int
+	// Concurrency is how many recoveries run simultaneously.
+	Concurrency int
+	// HSMLatency, when non-zero, is added to every relayed HSM request,
+	// modeling device/network time (the paper's SoloKeys cost ~0.85s per
+	// recovery op; 0 measures raw host speed).
+	HSMLatency time.Duration
+	// Scheme defaults to the cheap ECDSA ablation so the measurement
+	// isolates the system layer rather than pairing time.
+	Scheme aggsig.Scheme
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.NumHSMs == 0 {
+		c.NumHSMs = 24
+	}
+	if c.ClusterSize == 0 {
+		c.ClusterSize = 8
+	}
+	if c.Threshold == 0 {
+		c.Threshold = c.ClusterSize / 2
+	}
+	if c.BFE.M == 0 {
+		// Size the filters so Users recoveries fit without rotation.
+		c.BFE = bfe.Params{M: 2048, K: 4}
+	}
+	if c.Users == 0 {
+		c.Users = 8
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = c.Users
+	}
+	if c.Scheme == nil {
+		c.Scheme = aggsig.ECDSAConcat()
+	}
+	return c
+}
+
+// LoadResult summarizes one load run.
+type LoadResult struct {
+	Config           LoadConfig
+	Elapsed          time.Duration
+	RecoveriesPerSec float64
+	MeanLatency      time.Duration
+	MaxLatency       time.Duration
+}
+
+func (r LoadResult) String() string {
+	return fmt.Sprintf("N=%d n=%d users=%d conc=%d: %.1f recoveries/sec, mean latency %v, max %v",
+		r.Config.NumHSMs, r.Config.ClusterSize, r.Config.Users, r.Config.Concurrency,
+		r.RecoveriesPerSec, r.MeanLatency.Round(time.Microsecond), r.MaxLatency.Round(time.Microsecond))
+}
+
+// latencyAPI wraps a provider API, adding a fixed device latency to every
+// relayed HSM request.
+type latencyAPI struct {
+	client.ProviderAPI
+	delay time.Duration
+}
+
+func (l latencyAPI) RelayRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
+	if l.delay > 0 {
+		time.Sleep(l.delay)
+	}
+	return l.ProviderAPI.RelayRecover(req)
+}
+
+// loadDeployment builds the fleet and enrolled clients for a load run.
+func loadDeployment(cfg LoadConfig) (*safetypin.Deployment, []*client.Client, error) {
+	d, err := safetypin.NewDeployment(safetypin.Params{
+		NumHSMs:       cfg.NumHSMs,
+		ClusterSize:   cfg.ClusterSize,
+		Threshold:     cfg.Threshold,
+		BFE:           cfg.BFE,
+		MinSignerFrac: 0.5,
+		GuessLimit:    1 << 20,
+		Scheme:        cfg.Scheme,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	clients := make([]*client.Client, cfg.Users)
+	for i := range clients {
+		var api client.ProviderAPI = d.Provider
+		if cfg.HSMLatency > 0 {
+			api = latencyAPI{ProviderAPI: d.Provider, delay: cfg.HSMLatency}
+		}
+		c, err := client.New(fmt.Sprintf("load-user-%d", i), "123456", d.LHEParams(), d.Fleet(), api)
+		if err != nil {
+			return nil, nil, err
+		}
+		clients[i] = c
+	}
+	return d, clients, nil
+}
+
+// MultiUserLoad backs up Users clients, then recovers them all with
+// Concurrency simultaneous devices, measuring wall-clock throughput and
+// per-recovery latency. Every concurrent Begin batches its log insertion
+// through the provider's epoch scheduler, so throughput reflects shared
+// epochs, striped provider state, and parallel share fan-out together.
+func MultiUserLoad(cfg LoadConfig) (LoadResult, error) {
+	cfg = cfg.withDefaults()
+	_, clients, err := loadDeployment(cfg)
+	if err != nil {
+		return LoadResult{}, err
+	}
+	for i, c := range clients {
+		if err := c.Backup([]byte(fmt.Sprintf("disk-image-%d", i))); err != nil {
+			return LoadResult{}, err
+		}
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Concurrency)
+	latencies := make([]time.Duration, len(clients))
+	errs := make([]error, len(clients))
+	start := time.Now()
+	for i, c := range clients {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, c *client.Client) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			_, errs[i] = c.Recover("")
+			latencies[i] = time.Since(t0)
+		}(i, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var sum, max time.Duration
+	for i, err := range errs {
+		if err != nil {
+			return LoadResult{}, fmt.Errorf("load user %d: %w", i, err)
+		}
+		sum += latencies[i]
+		if latencies[i] > max {
+			max = latencies[i]
+		}
+	}
+	return LoadResult{
+		Config:           cfg,
+		Elapsed:          elapsed,
+		RecoveriesPerSec: float64(len(clients)) / elapsed.Seconds(),
+		MeanLatency:      sum / time.Duration(len(clients)),
+		MaxLatency:       max,
+	}, nil
+}
+
+// LatencyComparison reports one serial and one parallel recovery of the
+// same shape.
+type LatencyComparison struct {
+	Config   LoadConfig
+	Serial   time.Duration
+	Parallel time.Duration
+}
+
+// Speedup is the serial/parallel latency ratio.
+func (c LatencyComparison) Speedup() float64 {
+	if c.Parallel <= 0 {
+		return 0
+	}
+	return float64(c.Serial) / float64(c.Parallel)
+}
+
+func (c LatencyComparison) String() string {
+	return fmt.Sprintf("n=%d cluster, HSM latency %v: serial %v, parallel %v (%.1f× faster)",
+		c.Config.ClusterSize, c.Config.HSMLatency,
+		c.Serial.Round(time.Microsecond), c.Parallel.Round(time.Microsecond), c.Speedup())
+}
+
+// RecoveryLatencyComparison measures one recovery with the serial
+// share-by-share loop against one with the concurrent fan-out, on the same
+// fleet. With a 40-HSM cluster and any realistic per-HSM latency the
+// fan-out wins by roughly the cluster size.
+func RecoveryLatencyComparison(cfg LoadConfig) (LatencyComparison, error) {
+	cfg = cfg.withDefaults()
+	cfg.Users = 2
+	_, clients, err := loadDeployment(cfg)
+	if err != nil {
+		return LatencyComparison{}, err
+	}
+	for i, c := range clients {
+		if err := c.Backup([]byte(fmt.Sprintf("disk-image-%d", i))); err != nil {
+			return LatencyComparison{}, err
+		}
+	}
+	// Serial baseline: the pre-engine client loop, one HSM at a time.
+	s, err := clients[0].Begin("")
+	if err != nil {
+		return LatencyComparison{}, err
+	}
+	t0 := time.Now()
+	for j := range s.Cluster() {
+		if err := s.RequestShare(j); err != nil {
+			return LatencyComparison{}, err
+		}
+	}
+	serial := time.Since(t0)
+	if _, err := s.Finish(); err != nil {
+		return LatencyComparison{}, err
+	}
+	// Parallel fan-out.
+	s2, err := clients[1].Begin("")
+	if err != nil {
+		return LatencyComparison{}, err
+	}
+	t0 = time.Now()
+	if errs := s2.RequestAllShares(); len(errs) > 0 {
+		return LatencyComparison{}, fmt.Errorf("parallel fan-out: %v", errs[0])
+	}
+	parallel := time.Since(t0)
+	if _, err := s2.Finish(); err != nil {
+		return LatencyComparison{}, err
+	}
+	return LatencyComparison{Config: cfg, Serial: serial, Parallel: parallel}, nil
+}
+
+// LoadSweep runs MultiUserLoad across fleet sizes and concurrency levels
+// and renders a table (the cmd/experiments "load" experiment).
+func LoadSweep(fleets, concurrencies []int, users int, hsmLatency time.Duration) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-user recovery load (users=%d, per-HSM latency %v)\n", users, hsmLatency)
+	fmt.Fprintf(&b, "%8s %8s %8s %14s %14s\n", "N", "cluster", "conc", "rec/sec", "mean-latency")
+	for _, n := range fleets {
+		cluster := 8
+		if cluster > n/2 {
+			cluster = n / 2
+		}
+		for _, conc := range concurrencies {
+			res, err := MultiUserLoad(LoadConfig{
+				NumHSMs:     n,
+				ClusterSize: cluster,
+				Threshold:   cluster / 2,
+				Users:       users,
+				Concurrency: conc,
+				HSMLatency:  hsmLatency,
+			})
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%8d %8d %8d %14.1f %14v\n",
+				n, cluster, conc, res.RecoveriesPerSec, res.MeanLatency.Round(time.Microsecond))
+		}
+	}
+	return b.String(), nil
+}

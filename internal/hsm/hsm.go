@@ -53,23 +53,33 @@ func (c Config) withDefaults() Config {
 }
 
 // HSM is one simulated hardware security module.
+//
+// Locking is fine-grained so the three duties proceed concurrently under
+// the provider's fan-out: log auditing synchronizes inside the dlog
+// auditor, recovery share decryption serializes on keyMu (the puncturable
+// key mutates its outsourced store on every puncture, and a real HSM is a
+// serial device there anyway), and cheap state reads take stateMu.
 type HSM struct {
-	mu  sync.Mutex
 	id  int
 	cfg Config
 
+	// keyMu serializes every use of the puncturable key: a decrypt and
+	// its puncture must be atomic with respect to other recoveries, and
+	// rotation swaps the key wholesale.
+	keyMu  sync.Mutex
 	bfeKey *bfe.PrivateKey
-	bfePub *bfe.PublicKey
+
+	// stateMu guards the cheap mutable state below.
+	stateMu   sync.RWMutex
+	bfePub    *bfe.PublicKey
+	auditor   *dlog.Auditor
+	keyEpoch  int
+	punctures int64
+
 	signer aggsig.Signer
-
-	auditor *dlog.Auditor
-
 	oracle securestore.Oracle
 	rng    io.Reader
 	m      *meter.Meter
-
-	keyEpoch  int
-	punctures int64
 }
 
 // New provisions an HSM: it generates its puncturable keypair (outsourcing
@@ -111,8 +121,8 @@ func (h *HSM) ID() int { return h.id }
 
 // BFEPublicKey returns the current puncturable-encryption public key.
 func (h *HSM) BFEPublicKey() *bfe.PublicKey {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.stateMu.RLock()
+	defer h.stateMu.RUnlock()
 	return h.bfePub
 }
 
@@ -132,15 +142,15 @@ func (h *HSM) InstallRoster(roster []aggsig.PublicKey) error {
 	if err != nil {
 		return err
 	}
-	h.mu.Lock()
+	h.stateMu.Lock()
 	h.auditor = a
-	h.mu.Unlock()
+	h.stateMu.Unlock()
 	return nil
 }
 
 func (h *HSM) auditorOrErr() (*dlog.Auditor, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.stateMu.RLock()
+	defer h.stateMu.RUnlock()
 	if h.auditor == nil {
 		return nil, fmt.Errorf("hsm %d: roster not installed", h.id)
 	}
@@ -233,22 +243,26 @@ func (h *HSM) HandleRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryRe
 	if !a.VerifyInclusion(logID, commit, req.LogTrace) {
 		return nil, fmt.Errorf("hsm %d: recovery attempt not in log", h.id)
 	}
-	// Decrypt the share; the lhe layer verifies the username binding.
-	h.mu.Lock()
-	bfeKey := h.bfeKey
-	h.mu.Unlock()
-	ds, err := lhe.DecryptShare(bfeKey, req.User, req.Salt, req.SharePos, h.id, req.ShareCt)
+	// Decrypt the share; the lhe layer verifies the username binding. The
+	// decrypt and its puncture are one atomic key operation: a concurrent
+	// recovery of the same ciphertext must see either the live key or the
+	// punctured key, never the half-punctured store.
+	h.keyMu.Lock()
+	ds, err := lhe.DecryptShare(h.bfeKey, req.User, req.Salt, req.SharePos, h.id, req.ShareCt)
 	if err != nil {
+		h.keyMu.Unlock()
 		return nil, fmt.Errorf("hsm %d: %w", h.id, err)
 	}
 	// Forward secrecy: puncture before replying. An attacker who seizes
 	// this HSM after the reply leaves learns nothing about the ciphertext.
-	if err := bfeKey.Puncture(req.ShareCt); err != nil {
+	if err := h.bfeKey.Puncture(req.ShareCt); err != nil {
+		h.keyMu.Unlock()
 		return nil, fmt.Errorf("hsm %d: puncturing: %w", h.id, err)
 	}
-	h.mu.Lock()
+	h.keyMu.Unlock()
+	h.stateMu.Lock()
 	h.punctures++
-	h.mu.Unlock()
+	h.stateMu.Unlock()
 	// Seal the reply to the client's per-recovery key; the provider
 	// escrows a copy for crash recovery (§8).
 	h.m.Add(meter.OpECMul, 2)
@@ -264,47 +278,50 @@ func (h *HSM) HandleRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryRe
 
 // NeedsRotation reports whether the puncturable key is half spent.
 func (h *HSM) NeedsRotation() bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.keyMu.Lock()
+	defer h.keyMu.Unlock()
 	return h.bfeKey.NeedsRotation()
 }
 
 // RotateKey generates a fresh puncturable keypair on a fresh oracle,
 // destroying the old secret. Returns the new public key for distribution to
 // clients. This is the 75-hour operation of §9.1; the meter records its
-// full cost.
+// full cost. In-flight recoveries against the old key finish first (keyMu
+// is held across the swap).
 func (h *HSM) RotateKey(freshOracle securestore.Oracle) (*bfe.PublicKey, error) {
 	sk, pk, err := bfe.KeyGen(h.cfg.BFE, freshOracle, h.rng, h.m)
 	if err != nil {
 		return nil, fmt.Errorf("hsm %d: rotating key: %w", h.id, err)
 	}
-	h.mu.Lock()
+	h.keyMu.Lock()
 	h.bfeKey = sk
+	h.keyMu.Unlock()
+	h.stateMu.Lock()
 	h.bfePub = pk
 	h.oracle = freshOracle
 	h.keyEpoch++
-	h.mu.Unlock()
+	h.stateMu.Unlock()
 	return pk, nil
 }
 
 // KeyEpoch returns how many times this HSM has rotated its key.
 func (h *HSM) KeyEpoch() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.stateMu.RLock()
+	defer h.stateMu.RUnlock()
 	return h.keyEpoch
 }
 
 // Punctures returns the number of recovery shares served (and punctured).
 func (h *HSM) Punctures() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.stateMu.RLock()
+	defer h.stateMu.RUnlock()
 	return h.punctures
 }
 
 // Decrypter exposes the HSM's share decrypter for white-box tests only; the
 // production path goes through HandleRecover.
 func (h *HSM) Decrypter() lhe.ShareDecrypter {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.keyMu.Lock()
+	defer h.keyMu.Unlock()
 	return h.bfeKey
 }

@@ -4,6 +4,12 @@
 // traffic between clients and HSMs, and escrows HSM replies for
 // crash-during-recovery handling (§8).
 //
+// The provider is built as a concurrent engine: per-user state lives in
+// striped shards so thousands of clients can back up and recover in
+// parallel, and log insertions from concurrent recoveries accumulate into
+// shared epochs driven by the scheduler in scheduler.go (the paper's
+// ~10-minute batching, §6.2/§9).
+//
 // Nothing in this package is trusted: every security property is enforced
 // by the clients and HSMs on the other side of its interfaces. A test that
 // swaps in a misbehaving provider must fail closed, not open.
@@ -13,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"safetypin/internal/dlog"
 	"safetypin/internal/logtree"
@@ -29,44 +36,117 @@ type HSMHandle interface {
 	HandleRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error)
 }
 
-// Provider is the data-center state.
-type Provider struct {
-	mu sync.Mutex
-
-	log  *dlog.Provider
-	hsms map[int]HSMHandle
-
-	// ciphertext store: user → serialized recovery ciphertexts, newest
-	// last (clients back up repeatedly; §8 "multiple recovery
-	// ciphertexts").
-	cts map[string][][]byte
-
-	// per-HSM outsourced block stores.
-	oracles map[int]*securestore.MemOracle
-
-	// escrowed recovery replies: user → replies of the latest recovery.
-	escrow map[string][]*protocol.RecoveryReply
-
-	attempts map[string]int // user → consumed log attempts
+// EngineConfig tunes the provider's concurrency machinery. The zero value
+// gives test-friendly defaults; a production deployment would raise
+// BatchWindow toward the paper's ~10-minute epoch cadence.
+type EngineConfig struct {
+	// Shards is the number of lock stripes for per-user state (0 → 32).
+	Shards int
+	// BatchWindow is how long the epoch scheduler gathers concurrent log
+	// insertions before committing them as one epoch (0 → 2ms; the paper
+	// runs ~10 minutes).
+	BatchWindow time.Duration
+	// MaxBatch commits an epoch early once this many insertions are
+	// pending (0 → 256).
+	MaxBatch int
+	// EpochWorkers bounds the audit fan-out worker pool (0 → min(16, fleet)).
+	EpochWorkers int
+	// AuditTimeout caps how long the epoch waits on any single HSM's audit
+	// or commit before skipping it (0 → 30s). A hung HSM therefore delays
+	// an epoch by at most this much instead of wedging it.
+	AuditTimeout time.Duration
 }
 
-// New creates an empty provider around a distributed-log configuration.
-func New(logCfg dlog.Config) *Provider {
-	return &Provider{
-		log:      dlog.NewProvider(logCfg),
-		hsms:     make(map[int]HSMHandle),
-		cts:      make(map[string][][]byte),
-		oracles:  make(map[int]*securestore.MemOracle),
-		escrow:   make(map[string][]*protocol.RecoveryReply),
-		attempts: make(map[string]int),
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.Shards <= 0 {
+		c.Shards = 32
 	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.AuditTimeout <= 0 {
+		c.AuditTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// escrowBox holds the escrowed replies of one user's newest recovery
+// attempt. Replies from older attempts are dropped and replies are keyed by
+// share position, so a crash-looping client holds at most one cluster's
+// worth of provider memory.
+type escrowBox struct {
+	attempt int
+	replies map[int]*protocol.RecoveryReply // share position → reply
+	order   []int                           // positions in arrival order
+}
+
+// shard is one lock stripe of per-user state.
+type shard struct {
+	mu       sync.Mutex
+	cts      map[string][][]byte
+	escrow   map[string]*escrowBox
+	attempts map[string]int
+}
+
+// Provider is the data-center state.
+type Provider struct {
+	log    *dlog.Provider
+	sched  *epochScheduler
+	engine EngineConfig
+
+	shards []*shard
+
+	fleetMu sync.RWMutex
+	hsms    map[int]HSMHandle
+	oracles map[int]*securestore.MemOracle
+}
+
+// New creates an empty provider around a distributed-log configuration with
+// default engine settings.
+func New(logCfg dlog.Config) *Provider {
+	return NewWithEngine(logCfg, EngineConfig{})
+}
+
+// NewWithEngine creates a provider with explicit concurrency settings.
+func NewWithEngine(logCfg dlog.Config, engine EngineConfig) *Provider {
+	engine = engine.withDefaults()
+	p := &Provider{
+		log:     dlog.NewProvider(logCfg),
+		engine:  engine,
+		shards:  make([]*shard, engine.Shards),
+		hsms:    make(map[int]HSMHandle),
+		oracles: make(map[int]*securestore.MemOracle),
+	}
+	for i := range p.shards {
+		p.shards[i] = &shard{
+			cts:      make(map[string][][]byte),
+			escrow:   make(map[string]*escrowBox),
+			attempts: make(map[string]int),
+		}
+	}
+	p.sched = newEpochScheduler(p)
+	return p
+}
+
+// shardFor returns the lock stripe owning a user's state (inline FNV-1a:
+// this sits on every per-user hot path and must not allocate).
+func (p *Provider) shardFor(user string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(user); i++ {
+		h ^= uint32(user[i])
+		h *= 16777619
+	}
+	return p.shards[h%uint32(len(p.shards))]
 }
 
 // OracleFor returns (creating on demand) the outsourced block store hosted
 // for one HSM.
 func (p *Provider) OracleFor(hsmID int) *securestore.MemOracle {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.fleetMu.Lock()
+	defer p.fleetMu.Unlock()
 	o, ok := p.oracles[hsmID]
 	if !ok {
 		o = securestore.NewMemOracle()
@@ -77,8 +157,8 @@ func (p *Provider) OracleFor(hsmID int) *securestore.MemOracle {
 
 // ReplaceOracle installs a fresh store for an HSM key rotation.
 func (p *Provider) ReplaceOracle(hsmID int) *securestore.MemOracle {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.fleetMu.Lock()
+	defer p.fleetMu.Unlock()
 	o := securestore.NewMemOracle()
 	p.oracles[hsmID] = o
 	return o
@@ -86,16 +166,27 @@ func (p *Provider) ReplaceOracle(hsmID int) *securestore.MemOracle {
 
 // Register attaches an HSM handle to the fleet.
 func (p *Provider) Register(h HSMHandle) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.fleetMu.Lock()
+	defer p.fleetMu.Unlock()
 	p.hsms[h.ID()] = h
 }
 
 // FleetSize returns the number of registered HSMs.
 func (p *Provider) FleetSize() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.fleetMu.RLock()
+	defer p.fleetMu.RUnlock()
 	return len(p.hsms)
+}
+
+// handles snapshots the registered fleet.
+func (p *Provider) handles() []HSMHandle {
+	p.fleetMu.RLock()
+	defer p.fleetMu.RUnlock()
+	out := make([]HSMHandle, 0, len(p.hsms))
+	for _, h := range p.hsms {
+		out = append(out, h)
+	}
+	return out
 }
 
 // --- ciphertext storage ---
@@ -105,17 +196,19 @@ func (p *Provider) StoreCiphertext(user string, ct []byte) error {
 	if user == "" {
 		return errors.New("provider: empty user")
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.cts[user] = append(p.cts[user], append([]byte(nil), ct...))
+	s := p.shardFor(user)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cts[user] = append(s.cts[user], append([]byte(nil), ct...))
 	return nil
 }
 
 // FetchCiphertext returns the client's latest recovery ciphertext.
 func (p *Provider) FetchCiphertext(user string) ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	list := p.cts[user]
+	s := p.shardFor(user)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.cts[user]
 	if len(list) == 0 {
 		return nil, fmt.Errorf("provider: no backup for user %q", user)
 	}
@@ -124,94 +217,71 @@ func (p *Provider) FetchCiphertext(user string) ([]byte, error) {
 
 // CiphertextCount returns how many backups a user has stored.
 func (p *Provider) CiphertextCount(user string) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.cts[user])
+	s := p.shardFor(user)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cts[user])
 }
 
 // --- distributed log ---
 
-// AttemptCount returns the number of recovery attempts already logged for a
-// user (the next free attempt number).
+// AttemptCount returns the number of recovery attempts already reserved or
+// logged for a user (the next free attempt number).
 func (p *Provider) AttemptCount(user string) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.attempts[user]
+	s := p.shardFor(user)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attempts[user]
+}
+
+// ReserveAttempt atomically allocates the next attempt number for a user.
+// Two concurrent recoveries of the same user receive distinct indices, so
+// their log insertions never collide. The error is always nil in process;
+// the signature exists so the TCP transport can surface RPC failures
+// instead of inventing an attempt index.
+func (p *Provider) ReserveAttempt(user string) (int, error) {
+	s := p.shardFor(user)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.attempts[user]
+	s.attempts[user] = n + 1
+	return n, nil
 }
 
 // LogRecoveryAttempt inserts (LogID(user, attempt) → commitment) into the
-// pending log batch.
+// pending log batch for the next scheduled epoch.
 func (p *Provider) LogRecoveryAttempt(user string, attempt int, commitment []byte) error {
 	if err := p.log.Append(protocol.LogID(user, attempt), commitment); err != nil {
 		return err
 	}
-	p.mu.Lock()
-	if attempt >= p.attempts[user] {
-		p.attempts[user] = attempt + 1
+	s := p.shardFor(user)
+	s.mu.Lock()
+	// Direct callers may log attempt numbers they chose themselves; keep
+	// the counter ahead of any observed index (ReserveAttempt already
+	// advanced it for the client path).
+	if attempt >= s.attempts[user] {
+		s.attempts[user] = attempt + 1
 	}
-	p.mu.Unlock()
+	s.mu.Unlock()
+	p.sched.notePending(p.log.PendingLen())
 	return nil
 }
 
-// RunEpoch drives one log-update epoch across the registered fleet
-// (Figure 5): build, audit at every reachable HSM, aggregate, commit. HSMs
-// that fail mid-protocol are skipped; the epoch succeeds if a quorum signs.
+// RunEpoch forces one log-update epoch over everything currently pending
+// (Figure 5): build, audit at every reachable HSM in parallel, aggregate,
+// commit. HSMs that fail mid-protocol are skipped; the epoch succeeds if a
+// quorum signs. Tests and administrative tools call this directly; clients
+// wait on the scheduler via WaitForCommit instead.
 func (p *Provider) RunEpoch() error {
-	hdr, err := p.log.BuildEpoch()
-	if err != nil {
-		return err
-	}
-	p.mu.Lock()
-	handles := make([]HSMHandle, 0, len(p.hsms))
-	for _, h := range p.hsms {
-		handles = append(handles, h)
-	}
-	p.mu.Unlock()
+	return p.sched.commitNow()
+}
 
-	var sigs [][]byte
-	var signers []int
-	var firstErr error
-	for _, h := range handles {
-		chunks, err := h.LogChooseChunks(hdr)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		pkg, err := p.log.AuditPackageFor(chunks)
-		if err != nil {
-			p.log.Abort()
-			return err
-		}
-		sig, err := h.LogHandleAudit(pkg)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		sigs = append(sigs, sig)
-		signers = append(signers, h.ID())
-	}
-	if len(sigs) == 0 {
-		p.log.Abort()
-		if firstErr != nil {
-			return fmt.Errorf("provider: epoch gathered no signatures: %w", firstErr)
-		}
-		return errors.New("provider: epoch gathered no signatures")
-	}
-	cm, err := p.log.Commit(sigs, signers)
-	if err != nil {
-		return err
-	}
-	var commitErr error
-	for _, h := range handles {
-		if err := h.LogHandleCommit(cm); err != nil && commitErr == nil {
-			commitErr = err
-		}
-	}
-	return commitErr
+// WaitForCommit blocks until every log insertion appended before the call
+// has been committed by an epoch (or the epoch attempt failed). Many
+// concurrent callers share one epoch — this is the paper's batching,
+// compressed from ten minutes to the engine's BatchWindow.
+func (p *Provider) WaitForCommit() error {
+	return p.sched.waitForCommit()
 }
 
 // PendingLogLen returns queued-but-uncommitted log insertions.
@@ -235,9 +305,11 @@ func (p *Provider) LogDigest() logtree.Digest { return p.log.Digest() }
 // bounded-budget GarbageCollect).
 func (p *Provider) GarbageCollectLog() {
 	p.log.GarbageCollect()
-	p.mu.Lock()
-	p.attempts = make(map[string]int)
-	p.mu.Unlock()
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.attempts = make(map[string]int)
+		s.mu.Unlock()
+	}
 }
 
 // --- recovery relay ---
@@ -245,15 +317,18 @@ func (p *Provider) GarbageCollectLog() {
 // RelayRecover forwards a recovery request to the addressed HSM and escrows
 // the sealed reply so a replacement device can finish an interrupted
 // recovery (§8). The reply is encrypted under the client's ephemeral key,
-// so escrow reveals nothing to the provider.
+// so escrow reveals nothing to the provider. Escrow is keyed by
+// (user, attempt): a reply for a newer attempt evicts older ones, and
+// replies for attempts older than the newest seen are dropped, bounding
+// per-user escrow memory at one cluster of replies.
 func (p *Provider) RelayRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
 	if req.SharePos < 0 || req.SharePos >= len(req.Cluster) {
 		return nil, errors.New("provider: malformed cluster opening")
 	}
 	target := req.Cluster[req.SharePos]
-	p.mu.Lock()
+	p.fleetMu.RLock()
 	h, ok := p.hsms[target]
-	p.mu.Unlock()
+	p.fleetMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("provider: no HSM %d registered", target)
 	}
@@ -261,23 +336,59 @@ func (p *Provider) RelayRecover(req *protocol.RecoveryRequest) (*protocol.Recove
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	p.escrow[req.User] = append(p.escrow[req.User], reply)
-	p.mu.Unlock()
+	s := p.shardFor(req.User)
+	s.mu.Lock()
+	box := s.escrow[req.User]
+	switch {
+	case box == nil || req.Attempt > box.attempt:
+		box = &escrowBox{attempt: req.Attempt, replies: make(map[int]*protocol.RecoveryReply)}
+		s.escrow[req.User] = box
+	case req.Attempt < box.attempt:
+		// Stale attempt: serve the reply but do not escrow it.
+		s.mu.Unlock()
+		return reply, nil
+	}
+	if _, seen := box.replies[req.SharePos]; !seen {
+		box.order = append(box.order, req.SharePos)
+	}
+	box.replies[req.SharePos] = reply
+	s.mu.Unlock()
 	return reply, nil
 }
 
 // FetchEscrowedReplies returns the sealed replies of a user's latest
-// recovery for a replacement device.
+// recovery attempt for a replacement device.
 func (p *Provider) FetchEscrowedReplies(user string) []*protocol.RecoveryReply {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return append([]*protocol.RecoveryReply(nil), p.escrow[user]...)
+	s := p.shardFor(user)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	box := s.escrow[user]
+	if box == nil {
+		return nil
+	}
+	out := make([]*protocol.RecoveryReply, 0, len(box.order))
+	for _, pos := range box.order {
+		out = append(out, box.replies[pos])
+	}
+	return out
+}
+
+// EscrowedAttempt reports which attempt a user's escrow currently holds
+// (-1 when empty); exposed for escrow-bounding tests.
+func (p *Provider) EscrowedAttempt(user string) int {
+	s := p.shardFor(user)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if box := s.escrow[user]; box != nil {
+		return box.attempt
+	}
+	return -1
 }
 
 // ClearEscrow drops a user's escrowed replies (after a completed recovery).
 func (p *Provider) ClearEscrow(user string) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	delete(p.escrow, user)
+	s := p.shardFor(user)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.escrow, user)
 }

@@ -1,0 +1,285 @@
+package provider
+
+// scheduler.go implements the provider's epoch scheduler: the batching and
+// fan-out engine behind the distributed log (Figure 5, §6.2).
+//
+// The paper commits log updates every ~10 minutes, so thousands of
+// concurrent recoveries share one epoch's audit cost. The scheduler models
+// that: log insertions accumulate while a round gathers (BatchWindow, or
+// until MaxBatch insertions are pending), then one leader goroutine runs
+// the epoch for every waiter at once. Callers block on WaitForCommit
+// instead of driving epochs themselves.
+//
+// Epoch execution fans the choose/audit/commit exchanges out to the fleet
+// through a bounded worker pool, aggregating signatures as they arrive. A
+// slow or hung HSM is skipped after AuditTimeout, so it delays an epoch by
+// at most that much; the epoch still commits if a quorum signs.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"safetypin/internal/dlog"
+)
+
+// epochRound is one gathering window: every waiter that joins before the
+// round fires shares the same epoch execution and result.
+type epochRound struct {
+	fire  chan struct{} // closed to trigger the commit early
+	done  chan struct{} // closed once the epoch attempt finished
+	fired bool          // guarded by epochScheduler.mu
+	err   error         // valid after done is closed
+}
+
+// epochScheduler batches log insertions into shared epochs.
+type epochScheduler struct {
+	p  *Provider
+	mu sync.Mutex
+	// cur is the round currently gathering waiters; nil when none. A
+	// round is detached (cur = nil) before its epoch builds, so any
+	// insertion appended while a round is joinable is guaranteed to be
+	// included in that round's epoch.
+	cur *epochRound
+	// commitMu serializes epoch executions: the dlog stages exactly one
+	// epoch at a time.
+	commitMu sync.Mutex
+}
+
+func newEpochScheduler(p *Provider) *epochScheduler {
+	return &epochScheduler{p: p}
+}
+
+// waitForCommit joins the current round (starting one if needed) and blocks
+// until its epoch attempt finishes. "Nothing pending" is success here: it
+// means an earlier epoch already committed everything this caller appended.
+func (s *epochScheduler) waitForCommit() error {
+	r := s.join()
+	<-r.done
+	if errors.Is(r.err, dlog.ErrNoPending) {
+		return nil
+	}
+	return r.err
+}
+
+// join returns the gathering round, creating and leading a fresh one when
+// none is open.
+func (s *epochScheduler) join() *epochRound {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur == nil {
+		r := &epochRound{fire: make(chan struct{}), done: make(chan struct{})}
+		s.cur = r
+		go s.lead(r)
+	}
+	return s.cur
+}
+
+// notePending fires the gathering round early once the pending batch is
+// large enough (the size trigger; the timer is the time trigger).
+func (s *epochScheduler) notePending(pending int) {
+	if pending < s.p.engine.MaxBatch {
+		return
+	}
+	s.mu.Lock()
+	if r := s.cur; r != nil && !r.fired {
+		r.fired = true
+		close(r.fire)
+	}
+	s.mu.Unlock()
+}
+
+// commitNow forces an epoch over everything currently pending: it fires the
+// gathering round (or starts one) and waits for the result, errors
+// included. Provider.RunEpoch is this.
+func (s *epochScheduler) commitNow() error {
+	s.mu.Lock()
+	r := s.cur
+	if r == nil {
+		r = &epochRound{fire: make(chan struct{}), done: make(chan struct{})}
+		s.cur = r
+		go s.lead(r)
+	}
+	if !r.fired {
+		r.fired = true
+		close(r.fire)
+	}
+	s.mu.Unlock()
+	<-r.done
+	return r.err
+}
+
+// lead waits out the gathering window (or an early fire), detaches the
+// round, and executes its epoch.
+func (s *epochScheduler) lead(r *epochRound) {
+	t := time.NewTimer(s.p.engine.BatchWindow)
+	select {
+	case <-t.C:
+	case <-r.fire:
+		t.Stop()
+	}
+	s.mu.Lock()
+	if s.cur == r {
+		s.cur = nil
+	}
+	s.mu.Unlock()
+	s.commitMu.Lock()
+	r.err = s.p.runEpochNow()
+	s.commitMu.Unlock()
+	close(r.done)
+}
+
+// hsmResult is one HSM's contribution to an epoch phase (sig is nil for
+// the commit phase).
+type hsmResult struct {
+	id  int
+	sig []byte
+	err error
+}
+
+// fanOut runs fn against every handle through a pool of at most workers
+// goroutines and returns the results in completion order. Both epoch
+// phases (audit, commit) go through here so the bounding and skip
+// semantics live in one place.
+func fanOut(handles []HSMHandle, workers int, fn func(HSMHandle) hsmResult) []hsmResult {
+	if workers <= 0 {
+		workers = 16
+	}
+	if workers > len(handles) {
+		workers = len(handles)
+	}
+	jobs := make(chan HSMHandle)
+	results := make(chan hsmResult, len(handles))
+	for w := 0; w < workers; w++ {
+		go func() {
+			for h := range jobs {
+				results <- fn(h)
+			}
+		}()
+	}
+	go func() {
+		for _, h := range handles {
+			jobs <- h
+		}
+		close(jobs)
+	}()
+	out := make([]hsmResult, 0, len(handles))
+	for range handles {
+		out = append(out, <-results)
+	}
+	return out
+}
+
+// runEpochNow executes one epoch over the current pending batch: build,
+// fan out the audit to the fleet, aggregate, commit, fan out the commit.
+// The caller (scheduler) serializes invocations.
+func (p *Provider) runEpochNow() error {
+	hdr, err := p.log.BuildEpoch()
+	if err != nil {
+		return err
+	}
+	handles := p.handles()
+	if len(handles) == 0 {
+		p.log.Abort()
+		return errors.New("provider: epoch gathered no signatures")
+	}
+
+	// Audit fan-out: gather signatures from every reachable HSM.
+	var sigs [][]byte
+	var signers []int
+	var firstErr error
+	for _, r := range fanOut(handles, p.engine.EpochWorkers, func(h HSMHandle) hsmResult {
+		sig, err := p.auditOne(h, hdr)
+		return hsmResult{id: h.ID(), sig: sig, err: err}
+	}) {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		sigs = append(sigs, r.sig)
+		signers = append(signers, r.id)
+	}
+	if len(sigs) == 0 {
+		p.log.Abort()
+		if firstErr != nil {
+			return fmt.Errorf("provider: epoch gathered no signatures: %w", firstErr)
+		}
+		return errors.New("provider: epoch gathered no signatures")
+	}
+	cm, err := p.log.Commit(sigs, signers)
+	if err != nil {
+		return err
+	}
+
+	// Commit fan-out: every HSM learns the new digest. The provider's log
+	// has already committed; an unreachable HSM just misses the digest
+	// (and will refuse stale-digest work until re-synced), so delivery
+	// failures are fatal only when every delivery failed — one dead HSM
+	// must not fail every recovery batched into this epoch.
+	var commitErr error
+	delivered := 0
+	for _, r := range fanOut(handles, p.engine.EpochWorkers, func(h HSMHandle) hsmResult {
+		return hsmResult{id: h.ID(), err: p.commitOne(h, cm)}
+	}) {
+		if r.err != nil {
+			if commitErr == nil {
+				commitErr = r.err
+			}
+		} else {
+			delivered++
+		}
+	}
+	if delivered == 0 && commitErr != nil {
+		return fmt.Errorf("provider: no HSM accepted the epoch commit: %w", commitErr)
+	}
+	return nil
+}
+
+// auditOne runs the choose-chunks/audit exchange with one HSM, bounded by
+// the engine's audit timeout so a hung HSM cannot wedge the pool's worker.
+func (p *Provider) auditOne(h HSMHandle, hdr dlog.EpochHeader) ([]byte, error) {
+	type out struct {
+		sig []byte
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		chunks, err := h.LogChooseChunks(hdr)
+		if err != nil {
+			ch <- out{err: err}
+			return
+		}
+		pkg, err := p.log.AuditPackageFor(chunks)
+		if err != nil {
+			ch <- out{err: err}
+			return
+		}
+		sig, err := h.LogHandleAudit(pkg)
+		ch <- out{sig: sig, err: err}
+	}()
+	t := time.NewTimer(p.engine.AuditTimeout)
+	defer t.Stop()
+	select {
+	case o := <-ch:
+		return o.sig, o.err
+	case <-t.C:
+		return nil, fmt.Errorf("provider: HSM %d audit timed out", h.ID())
+	}
+}
+
+// commitOne delivers the commit message to one HSM under the audit timeout.
+func (p *Provider) commitOne(h HSMHandle, cm *dlog.CommitMessage) error {
+	ch := make(chan error, 1)
+	go func() { ch <- h.LogHandleCommit(cm) }()
+	t := time.NewTimer(p.engine.AuditTimeout)
+	defer t.Stop()
+	select {
+	case err := <-ch:
+		return err
+	case <-t.C:
+		return fmt.Errorf("provider: HSM %d commit timed out", h.ID())
+	}
+}

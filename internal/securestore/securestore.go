@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"sync"
 
 	"safetypin/internal/aead"
 	"safetypin/internal/meter"
@@ -36,7 +37,10 @@ type Oracle interface {
 }
 
 // MemOracle is an in-memory Oracle for tests and in-process deployments.
+// It is safe for concurrent use: the provider serves many HSMs' oracle
+// traffic (and remote OracleGet/OraclePut RPCs) in parallel.
 type MemOracle struct {
+	mu     sync.RWMutex
 	blocks map[uint64][]byte
 }
 
@@ -45,7 +49,9 @@ func NewMemOracle() *MemOracle { return &MemOracle{blocks: make(map[uint64][]byt
 
 // Get implements Oracle.
 func (o *MemOracle) Get(addr uint64) ([]byte, error) {
+	o.mu.RLock()
 	b, ok := o.blocks[addr]
+	o.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("securestore: no block at address %d", addr)
 	}
@@ -54,12 +60,18 @@ func (o *MemOracle) Get(addr uint64) ([]byte, error) {
 
 // Put implements Oracle.
 func (o *MemOracle) Put(addr uint64, block []byte) error {
+	o.mu.Lock()
 	o.blocks[addr] = append([]byte(nil), block...)
+	o.mu.Unlock()
 	return nil
 }
 
 // Len returns the number of stored blocks.
-func (o *MemOracle) Len() int { return len(o.blocks) }
+func (o *MemOracle) Len() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.blocks)
+}
 
 // Store is the HSM-side handle: the root key plus tree geometry. Only the
 // root key is secret; everything else is public parameters.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"safetypin/internal/aggsig"
 	"safetypin/internal/bfe"
@@ -39,10 +40,15 @@ func NewProviderDaemon(cfg FleetConfig) (*ProviderDaemon, error) {
 		Deterministic: cfg.Deterministic,
 		Scheme:        scheme,
 	}
+	engine := provider.EngineConfig{
+		BatchWindow:  time.Duration(cfg.EpochBatchMS) * time.Millisecond,
+		MaxBatch:     cfg.EpochMaxBatch,
+		EpochWorkers: cfg.EpochWorkers,
+	}
 	return &ProviderDaemon{
 		cfg:      cfg,
 		scheme:   scheme,
-		p:        provider.New(logCfg),
+		p:        provider.NewWithEngine(logCfg, engine),
 		fleetPKs: make([][]byte, cfg.NumHSMs),
 		aggPKs:   make([][]byte, cfg.NumHSMs),
 		hsmAddrs: make(map[int]string),
@@ -187,14 +193,32 @@ func (s *ProviderService) AttemptCount(user string, out *int) error {
 	return nil
 }
 
+// ReserveAttempt atomically allocates the next attempt number for a user.
+func (s *ProviderService) ReserveAttempt(user string, out *int) error {
+	n, err := s.d.p.ReserveAttempt(user)
+	if err != nil {
+		return err
+	}
+	*out = n
+	return nil
+}
+
 // LogRecoveryAttempt queues a recovery attempt for the next epoch.
 func (s *ProviderService) LogRecoveryAttempt(args LogAttemptArgs, _ *Nothing) error {
 	return s.d.p.LogRecoveryAttempt(args.User, args.Attempt, args.Commitment)
 }
 
-// RunEpoch drives one log-update epoch across the fleet.
+// RunEpoch forces one log-update epoch across the fleet.
 func (s *ProviderService) RunEpoch(_ Nothing, _ *Nothing) error {
 	return s.d.p.RunEpoch()
+}
+
+// WaitForCommit blocks until the caller's pending log insertions commit
+// through the epoch scheduler. net/rpc serves each call on its own
+// goroutine, so concurrent clients share one batched epoch here exactly as
+// they do in process.
+func (s *ProviderService) WaitForCommit(_ Nothing, _ *Nothing) error {
+	return s.d.p.WaitForCommit()
 }
 
 // FetchInclusionProof serves a log-inclusion proof.
@@ -304,15 +328,32 @@ func (r *RemoteProvider) AttemptCount(user string) int {
 	return out
 }
 
+// ReserveAttempt implements client.ProviderAPI. Unlike the read-only
+// AttemptCount, a reservation mutates state the HSM guess limit charges
+// against, so RPC failures surface instead of being mistaken for index 0.
+func (r *RemoteProvider) ReserveAttempt(user string) (int, error) {
+	var out int
+	if err := r.c.call("Provider.ReserveAttempt", user, &out); err != nil {
+		return 0, err
+	}
+	return out, nil
+}
+
 // LogRecoveryAttempt implements client.ProviderAPI.
 func (r *RemoteProvider) LogRecoveryAttempt(user string, attempt int, commitment []byte) error {
 	return r.c.call("Provider.LogRecoveryAttempt",
 		LogAttemptArgs{User: user, Attempt: attempt, Commitment: commitment}, &Nothing{})
 }
 
-// RunEpoch implements client.ProviderAPI.
+// RunEpoch forces an epoch over everything pending (administrative path;
+// clients use WaitForCommit).
 func (r *RemoteProvider) RunEpoch() error {
 	return r.c.call("Provider.RunEpoch", Nothing{}, &Nothing{})
+}
+
+// WaitForCommit implements client.ProviderAPI.
+func (r *RemoteProvider) WaitForCommit() error {
+	return r.c.call("Provider.WaitForCommit", Nothing{}, &Nothing{})
 }
 
 // FetchInclusionProof implements client.ProviderAPI.

@@ -118,6 +118,13 @@ type FleetConfig struct {
 	GuessLimit    int
 	SchemeName    string // "bls12381-multisig" or "ecdsa-concat"
 	Deterministic bool
+
+	// Provider-engine tuning (zero values → provider defaults): how long
+	// the epoch scheduler gathers concurrent log insertions, the size
+	// trigger that commits early, and the audit fan-out pool width.
+	EpochBatchMS  int
+	EpochMaxBatch int
+	EpochWorkers  int
 }
 
 // FleetStatus reports registration progress.

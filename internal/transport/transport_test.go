@@ -2,7 +2,9 @@ package transport
 
 import (
 	"bytes"
+	"fmt"
 	"net"
+	"sync"
 	"testing"
 
 	"safetypin/internal/client"
@@ -135,6 +137,48 @@ func TestTCPBackupRecover(t *testing.T) {
 	}
 	if !bytes.Equal(got, msg) {
 		t.Fatal("TCP round-trip mismatch")
+	}
+}
+
+func TestTCPConcurrentRecoveries(t *testing.T) {
+	// Concurrent clients over real sockets: their log insertions batch
+	// through the provider daemon's epoch scheduler (net/rpc serves each
+	// WaitForCommit on its own goroutine) and their share fan-outs run in
+	// parallel against the HSM daemons.
+	paddr, shutdown := startFleet(t, 4)
+	defer shutdown()
+	const users = 3
+	type device struct {
+		c  *client.Client
+		rp *RemoteProvider
+	}
+	devices := make([]device, users)
+	for i := range devices {
+		c, rp := newRemoteClient(t, paddr, fmt.Sprintf("tcp-user-%d", i), "123456")
+		devices[i] = device{c, rp}
+		defer rp.Close()
+		if err := c.Backup([]byte(fmt.Sprintf("image-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	got := make([][]byte, users)
+	errs := make([]error, users)
+	for i := range devices {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = devices[i].c.Recover("")
+		}(i)
+	}
+	wg.Wait()
+	for i := range devices {
+		if errs[i] != nil {
+			t.Fatalf("tcp-user-%d: %v", i, errs[i])
+		}
+		if want := fmt.Sprintf("image-%d", i); string(got[i]) != want {
+			t.Fatalf("tcp-user-%d: got %q want %q", i, got[i], want)
+		}
 	}
 }
 

@@ -22,6 +22,44 @@
 //
 // A Deployment hosts an in-process fleet; cmd/hsmd and cmd/providerd run
 // the same components as separate OS processes over TCP.
+//
+// # Architecture: concurrency and batching
+//
+// The system layer is a concurrent, batch-oriented engine shaped after the
+// paper's evaluation regime (§9: thousands of concurrent recoveries
+// against a ~100-HSM fleet, log epochs every ~10 minutes):
+//
+//   - The provider stripes per-user state (ciphertexts, escrow, attempt
+//     counters) across lock shards, so backups and recoveries of
+//     different users never contend on one mutex. Recovery attempt
+//     numbers are allocated with an atomic ReserveAttempt, so two devices
+//     racing to recover one account get distinct log identifiers.
+//   - Log insertions from concurrent recoveries accumulate in the epoch
+//     scheduler (internal/provider/scheduler.go) and commit as one shared
+//     epoch, either when the batching window elapses, when the batch-size
+//     trigger fires, or on demand. Clients block on WaitForCommit instead
+//     of driving epochs themselves — client.Begin never runs an epoch of
+//     its own, matching the paper's 10-minute batching.
+//   - Epoch execution fans the choose-chunks/audit/commit exchanges out
+//     to the fleet through a bounded worker pool, aggregating signatures
+//     as they arrive. A slow or hung HSM is skipped after a timeout; the
+//     epoch commits as long as a quorum signs.
+//   - The client's share collection (Session.RequestShares /
+//     RequestAllShares) contacts all n cluster members in parallel with
+//     per-share error collection, optionally returning as soon as t
+//     shares are held. Recovery latency is then bounded by the slowest
+//     single HSM instead of the sum over the cluster — on the paper's
+//     hardware (~0.85 s per HSM op) that is roughly an n-fold win.
+//   - HSMs use fine-grained locking: log auditing, recovery decryption
+//     (serialized per key, as the hardware would), and rotation proceed
+//     independently, so one HSM serves audit and recovery traffic
+//     concurrently.
+//
+// Params.Engine tunes all of this; the TCP transport exposes the same
+// engine through providerd's -epoch-window-ms/-epoch-max-batch/
+// -epoch-workers flags. The multi-user load experiment
+// (internal/experiments/load.go, `experiments -only load`) measures
+// recoveries/sec against fleet size and concurrency.
 package safetypin
 
 import (
@@ -72,6 +110,10 @@ type Params struct {
 	// Metered attaches a per-HSM operation meter for the evaluation
 	// harness.
 	Metered bool
+	// Engine tunes the provider's concurrency machinery: epoch batching
+	// window, batch-size trigger, audit fan-out pool width, lock striping
+	// (zero values → provider defaults).
+	Engine provider.EngineConfig
 }
 
 // DefaultBFEParams is a small Bloom filter adequate for examples and tests
@@ -154,7 +196,7 @@ func NewDeployment(p Params) (*Deployment, error) {
 	d := &Deployment{
 		params:   p,
 		lhe:      lheParams,
-		Provider: provider.New(logCfg),
+		Provider: provider.NewWithEngine(logCfg, p.Engine),
 		meters:   make([]*meter.Meter, p.NumHSMs),
 	}
 	pubs := make([]*bfe.PublicKey, p.NumHSMs)
