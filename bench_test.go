@@ -10,6 +10,7 @@
 package safetypin_test
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"testing"
@@ -22,6 +23,8 @@ import (
 	"safetypin/internal/meter"
 	"safetypin/internal/simtime"
 )
+
+var bctx = context.Background()
 
 // --- Table 2 / Table 7 ---
 
@@ -215,10 +218,10 @@ func benchEpoch(b *testing.B, scheme aggsig.Scheme, fleet int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := c.Backup([]byte("data")); err != nil {
+		if err := c.Backup(bctx, []byte("data")); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := c.Recover(""); err != nil {
+		if _, err := c.Recover(bctx, ""); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -300,10 +303,10 @@ func BenchmarkEpochFanOut(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				user := fmt.Sprintf("epoch-user-%d", i)
-				if err := d.Provider.LogRecoveryAttempt(user, 0, []byte{byte(i)}); err != nil {
+				if err := d.Provider.LogRecoveryAttempt(bctx, user, 0, []byte{byte(i)}); err != nil {
 					b.Fatal(err)
 				}
-				if err := d.Provider.RunEpoch(); err != nil {
+				if err := d.Provider.RunEpoch(bctx); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -337,10 +340,10 @@ func BenchmarkEndToEndRecovery(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := c.Backup([]byte("disk image goes here")); err != nil {
+		if err := c.Backup(bctx, []byte("disk image goes here")); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := c.Recover(""); err != nil {
+		if _, err := c.Recover(bctx, ""); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -369,7 +372,7 @@ func BenchmarkBackupOnly(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := c.Backup(msg); err != nil {
+		if err := c.Backup(bctx, msg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,10 +4,15 @@
 // this process; the multi-megabyte puncturable secret array is outsourced,
 // encrypted, to the provider via the secure-deletion store.
 //
+// The daemon serves wire protocol v2 (context-aware: a provider that
+// cancels an exchange aborts it here too) with the v1 net/rpc shim on the
+// same port.
+//
 //	hsmd -provider 127.0.0.1:7000 -id 0
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
@@ -22,14 +27,14 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
 	flag.Parse()
 
-	// Listen first so the registration can carry a live address; net/rpc
-	// needs the receiver at serve time, so provision before serving and
-	// register afterwards.
+	// Provision against the provider first (keys stream into the
+	// provider-hosted store over RPC), then serve and register with the
+	// live listen address.
 	d, reg, err := transport.ProvisionHSM(*providerAddr, *id, "")
 	if err != nil {
 		log.Fatalf("hsmd %d: provisioning: %v", *id, err)
 	}
-	ln, addr, err := transport.Serve("HSM", d.Service(), *listen)
+	ln, addr, err := transport.Serve("HSM", d.Service(), d.WireRegistry(), *listen)
 	if err != nil {
 		log.Fatalf("hsmd %d: %v", *id, err)
 	}
@@ -40,7 +45,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("hsmd %d: %v", *id, err)
 	}
-	if err := rp.RegisterHSM(reg); err != nil {
+	if err := rp.RegisterHSM(context.Background(), reg); err != nil {
 		log.Fatalf("hsmd %d: registering: %v", *id, err)
 	}
 	rp.Close()

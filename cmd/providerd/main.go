@@ -8,11 +8,18 @@
 //	for i in 0 1 2 3; do hsmd -provider 127.0.0.1:7000 -id $i & done
 //	# wait for "fleet complete"; then use cmd/safetypin to back up/recover.
 //
+// The daemon speaks wire protocol v2 (context-aware, cancellable) and
+// keeps a v1 net/rpc compat shim on the same port for older clients.
+// With -epoch-interval the epoch scheduler also commits pending log
+// insertions on a standing cadence (the paper's 10-minute epochs) even
+// when no client is blocked on WaitForCommit.
+//
 // The provider is untrusted: every security property is enforced by clients
 // and HSM daemons.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
@@ -38,6 +45,7 @@ func main() {
 	epochMS := flag.Int("epoch-window-ms", 0, "epoch scheduler batching window in ms (0 → default; paper: ~10 minutes)")
 	epochBatch := flag.Int("epoch-max-batch", 0, "commit an epoch early at this many pending insertions (0 → default)")
 	epochWorkers := flag.Int("epoch-workers", 0, "audit fan-out worker pool size (0 → min(16, fleet))")
+	epochInterval := flag.Duration("epoch-interval", 0, "standing epoch cadence (e.g. 10m): commit pending insertions on this timer even with no waiters (0 → disabled)")
 	flag.Parse()
 
 	n := *hsms
@@ -67,35 +75,41 @@ func main() {
 		}
 	}
 	cfg := transport.FleetConfig{
-		NumHSMs:       n,
-		ClusterSize:   cl,
-		Threshold:     th,
-		BFEM:          *bfeM,
-		BFEK:          *bfeK,
-		LogChunks:     ch,
-		AuditsPerHSM:  au,
-		MinSignerFrac: *quorum,
-		GuessLimit:    *guesses,
-		SchemeName:    *scheme,
-		Deterministic: *det,
-		EpochBatchMS:  *epochMS,
-		EpochMaxBatch: *epochBatch,
-		EpochWorkers:  *epochWorkers,
+		NumHSMs:         n,
+		ClusterSize:     cl,
+		Threshold:       th,
+		BFEM:            *bfeM,
+		BFEK:            *bfeK,
+		LogChunks:       ch,
+		AuditsPerHSM:    au,
+		MinSignerFrac:   *quorum,
+		GuessLimit:      *guesses,
+		SchemeName:      *scheme,
+		Deterministic:   *det,
+		EpochBatchMS:    *epochMS,
+		EpochMaxBatch:   *epochBatch,
+		EpochWorkers:    *epochWorkers,
+		EpochIntervalMS: int(epochInterval.Milliseconds()),
 	}
 	d, err := transport.NewProviderDaemon(cfg)
 	if err != nil {
 		log.Fatalf("providerd: %v", err)
 	}
-	ln, addr, err := transport.Serve("Provider", d.Service(), *listen)
+	defer d.Close()
+	ln, addr, err := transport.Serve("Provider", d.Service(), d.WireRegistry(), *listen)
 	if err != nil {
 		log.Fatalf("providerd: %v", err)
 	}
 	defer ln.Close()
-	log.Printf("providerd: listening on %s (fleet %d, cluster %d-of-%d, scheme %s)",
+	log.Printf("providerd: listening on %s (fleet %d, cluster %d-of-%d, scheme %s, wire v2 + v1 shim)",
 		addr, n, th, cl, cfg.SchemeName)
+	if *epochInterval > 0 {
+		log.Printf("providerd: standing epoch timer every %v", *epochInterval)
+	}
 
 	// Announce fleet completion and push rosters once every HSM registers.
 	go func() {
+		ctx := context.Background()
 		rp, err := transport.DialProvider(addr)
 		if err != nil {
 			return
@@ -103,7 +117,7 @@ func main() {
 		defer rp.Close()
 		for {
 			time.Sleep(500 * time.Millisecond)
-			st, err := rp.Status()
+			st, err := rp.Status(ctx)
 			if err != nil {
 				continue
 			}
@@ -111,7 +125,7 @@ func main() {
 				return
 			}
 			if len(st.Registered) == st.Expected {
-				if err := rp.InstallRosters(); err != nil {
+				if err := rp.InstallRosters(ctx); err != nil {
 					log.Printf("providerd: roster install: %v", err)
 					continue
 				}

@@ -1,17 +1,28 @@
 // Command safetypin is the client CLI: back up data under a PIN, recover it
-// later, and audit the provider's public log.
+// later (resumably), and audit the provider's public log.
 //
 //	echo "my disk image" | safetypin -provider 127.0.0.1:7000 -user alice -pin 123456 backup
 //	safetypin -provider 127.0.0.1:7000 -user alice -pin 123456 recover
 //	safetypin -provider 127.0.0.1:7000 audit
+//
+// -timeout bounds any command with a deadline that propagates through the
+// provider to every in-flight HSM exchange. With -session-file, recover
+// persists its session token before contacting any HSM; if the process
+// dies mid-recovery, rerun with the resume command to pick the recovery up
+// from the provider's escrow without consuming another attempt:
+//
+//	safetypin -user alice -pin 123456 -session-file alice.session recover
+//	safetypin -user alice -pin 123456 -session-file alice.session resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"time"
 
 	"safetypin/internal/client"
 	"safetypin/internal/dlog"
@@ -23,12 +34,20 @@ func main() {
 	providerAddr := flag.String("provider", "127.0.0.1:7000", "provider daemon address")
 	user := flag.String("user", "", "account username")
 	pin := flag.String("pin", "", "human-memorable PIN")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the command (0 → none); propagates to in-flight HSM requests")
+	sessionFile := flag.String("session-file", "", "persist the recovery session token here so a crashed recovery can be resumed")
 	flag.Parse()
 
 	cmd := flag.Arg(0)
 	if cmd == "" {
-		fmt.Fprintln(os.Stderr, "usage: safetypin [flags] backup|recover|audit")
+		fmt.Fprintln(os.Stderr, "usage: safetypin [flags] backup|recover|resume|audit")
 		os.Exit(2)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	rp, err := transport.DialProvider(*providerAddr)
 	if err != nil {
@@ -38,11 +57,11 @@ func main() {
 
 	switch cmd {
 	case "audit":
-		entries, err := rp.LogEntries()
+		entries, err := rp.LogEntries(ctx)
 		if err != nil {
 			log.Fatalf("safetypin: fetching log: %v", err)
 		}
-		digest, err := rp.LogDigest()
+		digest, err := rp.LogDigest(ctx)
 		if err != nil {
 			log.Fatalf("safetypin: fetching digest: %v", err)
 		}
@@ -54,7 +73,7 @@ func main() {
 			fmt.Printf("  %s\n", e.ID)
 		}
 		return
-	case "backup", "recover":
+	case "backup", "recover", "resume":
 		if *user == "" || *pin == "" {
 			log.Fatal("safetypin: -user and -pin are required")
 		}
@@ -62,11 +81,11 @@ func main() {
 		log.Fatalf("safetypin: unknown command %q", cmd)
 	}
 
-	cfg, err := rp.Config()
+	cfg, err := rp.Config(ctx)
 	if err != nil {
 		log.Fatalf("safetypin: fetching fleet config: %v", err)
 	}
-	fleet, err := rp.Fleet()
+	fleet, err := rp.Fleet(ctx)
 	if err != nil {
 		log.Fatalf("safetypin: fetching fleet keys: %v", err)
 	}
@@ -85,19 +104,63 @@ func main() {
 		if err != nil {
 			log.Fatalf("safetypin: reading stdin: %v", err)
 		}
-		if err := c.Backup(data); err != nil {
+		if err := c.Backup(ctx, data); err != nil {
 			log.Fatalf("safetypin: backup failed: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "backed up %d bytes for %s (cluster hidden among %d HSMs)\n",
 			len(data), *user, cfg.NumHSMs)
 	case "recover":
-		data, err := c.Recover("")
+		start := time.Now()
+		s, err := c.BeginRecovery(ctx, "")
 		if err != nil {
 			log.Fatalf("safetypin: recovery failed: %v", err)
 		}
-		if _, err := os.Stdout.Write(data); err != nil {
-			log.Fatalf("safetypin: %v", err)
+		if *sessionFile != "" {
+			tok, err := s.SessionToken()
+			if err != nil {
+				log.Fatalf("safetypin: serializing session: %v", err)
+			}
+			if err := os.WriteFile(*sessionFile, tok, 0o600); err != nil {
+				log.Fatalf("safetypin: writing session file: %v", err)
+			}
 		}
-		fmt.Fprintf(os.Stderr, "recovered %d bytes for %s\n", len(data), *user)
+		finishRecovery(ctx, s, *sessionFile, start)
+	case "resume":
+		if *sessionFile == "" {
+			log.Fatal("safetypin: resume requires -session-file")
+		}
+		tok, err := os.ReadFile(*sessionFile)
+		if err != nil {
+			log.Fatalf("safetypin: reading session file: %v", err)
+		}
+		s, err := c.ResumeRecovery(ctx, tok)
+		if err != nil {
+			log.Fatalf("safetypin: resume failed: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "resumed attempt %d with %d escrowed shares\n", s.Attempt(), s.SharesHeld())
+		finishRecovery(ctx, s, *sessionFile, time.Now())
 	}
+}
+
+// finishRecovery drains the remaining cluster positions, reconstructs, and
+// cleans up the session file on success.
+func finishRecovery(ctx context.Context, s *client.RecoverySession, sessionFile string, start time.Time) {
+	if errs := s.RequestAllShares(ctx); len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d cluster members failed (tolerated up to threshold)\n",
+			len(errs), len(s.Cluster()))
+	}
+	data, err := s.Finish(ctx)
+	if err != nil {
+		if sessionFile != "" {
+			log.Fatalf("safetypin: recovery failed: %v (session token kept in %s for resume)", err, sessionFile)
+		}
+		log.Fatalf("safetypin: recovery failed: %v", err)
+	}
+	if _, err := os.Stdout.Write(data); err != nil {
+		log.Fatalf("safetypin: %v", err)
+	}
+	if sessionFile != "" {
+		_ = os.Remove(sessionFile)
+	}
+	fmt.Fprintf(os.Stderr, "recovered %d bytes in %v\n", len(data), time.Since(start).Round(time.Millisecond))
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,13 +18,14 @@ import (
 )
 
 func main() {
-	fleet, err := safetypin.NewDeployment(safetypin.Params{
-		NumHSMs:     8,
-		ClusterSize: 4,
-		Threshold:   2,
-		GuessLimit:  8,
-		Scheme:      aggsig.ECDSAConcat(),
-	})
+	ctx := context.Background()
+	fleet, err := safetypin.New(
+		safetypin.WithFleet(8),
+		safetypin.WithCluster(4),
+		safetypin.WithThreshold(2),
+		safetypin.WithGuessLimit(8),
+		safetypin.WithScheme(aggsig.ECDSAConcat()),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,10 +36,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := c.Backup([]byte("data")); err != nil {
+		if err := c.Backup(ctx, []byte("data")); err != nil {
 			log.Fatal(err)
 		}
-		if _, err := c.Recover(""); err != nil {
+		if _, err := c.Recover(ctx, ""); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -56,10 +58,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := c.Backup([]byte("data")); err != nil {
+	if err := c.Backup(ctx, []byte("data")); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := c.Recover(""); err != nil {
+	if _, err := c.Recover(ctx, ""); err != nil {
 		log.Fatal(err)
 	}
 	snapshot2 := fleet.Provider.LogEntries()

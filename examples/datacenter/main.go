@@ -1,15 +1,20 @@
 // Data center: run the provider and each HSM as separate network services
 // over real TCP sockets — the same wiring as cmd/providerd + cmd/hsmd, in
 // one process for convenience. A client then backs up and recovers through
-// the sockets.
+// the sockets on the versioned wire protocol (v2: framed, context-aware;
+// the same port also answers legacy v1 net/rpc clients through the compat
+// shim). The client's deadline propagates across the sockets: cancelling
+// aborts the daemon-side handler and its in-flight HSM exchange.
 //
 //	go run ./examples/datacenter
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"safetypin/internal/client"
 	"safetypin/internal/lhe"
@@ -17,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const numHSMs = 4
 	cfg := transport.FleetConfig{
 		NumHSMs:       numHSMs,
@@ -31,17 +37,18 @@ func main() {
 		SchemeName:    "ecdsa-concat",
 	}
 
-	// Provider daemon.
+	// Provider daemon: wire v2 registry plus the v1 net/rpc shim.
 	pd, err := transport.NewProviderDaemon(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pln, paddr, err := transport.Serve("Provider", pd.Service(), "127.0.0.1:0")
+	defer pd.Close()
+	pln, paddr, err := transport.Serve("Provider", pd.Service(), pd.WireRegistry(), "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer pln.Close()
-	fmt.Printf("provider listening on %s\n", paddr)
+	fmt.Printf("provider listening on %s (wire v2 + v1 shim)\n", paddr)
 
 	// HSM daemons: provision (keys stream into the provider-hosted store
 	// over RPC), serve, register.
@@ -50,7 +57,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("hsm %d: %v", id, err)
 		}
-		hln, haddr, err := transport.Serve("HSM", hd.Service(), "127.0.0.1:0")
+		hln, haddr, err := transport.Serve("HSM", hd.Service(), hd.WireRegistry(), "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,7 +67,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := rp.RegisterHSM(reg); err != nil {
+		if err := rp.RegisterHSM(ctx, reg); err != nil {
 			log.Fatal(err)
 		}
 		rp.Close()
@@ -73,13 +80,15 @@ func main() {
 		log.Fatal(err)
 	}
 	defer rp.Close()
-	if err := rp.InstallRosters(); err != nil {
+	if err := rp.InstallRosters(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("fleet complete, rosters installed")
 
-	// A client over the same sockets.
-	fleetKeys, err := rp.Fleet()
+	// A client over the same sockets, with an end-to-end deadline: if the
+	// fleet wedged, the context — not a hang — would end the recovery, and
+	// the cancellation would ride the wire to every in-flight handler.
+	fleetKeys, err := rp.Fleet(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,10 +101,12 @@ func main() {
 		log.Fatal(err)
 	}
 	msg := []byte("bytes that crossed real sockets")
-	if err := c.Backup(msg); err != nil {
+	if err := c.Backup(ctx, msg); err != nil {
 		log.Fatal(err)
 	}
-	got, err := c.Recover("")
+	recoverCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	got, err := c.Recover(recoverCtx, "")
 	if err != nil {
 		log.Fatal(err)
 	}

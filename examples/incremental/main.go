@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,12 +17,13 @@ import (
 )
 
 func main() {
-	fleet, err := safetypin.NewDeployment(safetypin.Params{
-		NumHSMs:     16,
-		ClusterSize: 8,
-		Threshold:   4,
-		Scheme:      aggsig.ECDSAConcat(),
-	})
+	ctx := context.Background()
+	fleet, err := safetypin.New(
+		safetypin.WithFleet(16),
+		safetypin.WithCluster(8),
+		safetypin.WithThreshold(4),
+		safetypin.WithScheme(aggsig.ECDSAConcat()),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,7 +33,7 @@ func main() {
 	}
 
 	// One SafetyPin backup protects the master key…
-	master, err := phone.EnableIncrementalBackups()
+	master, err := phone.EnableIncrementalBackups(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +41,7 @@ func main() {
 
 	// …then every delta is a purely local encryption.
 	for day, delta := range []string{"monday's photos", "tuesday's messages", "wednesday's notes"} {
-		if err := phone.IncrementalBackup(master, []byte(delta)); err != nil {
+		if err := phone.IncrementalBackup(ctx, master, []byte(delta)); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("day %d: uploaded %q (no HSM touched)\n", day+1, delta)
@@ -51,11 +53,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	recoveredKey, err := replacement.Recover("")
+	recoveredKey, err := replacement.Recover(ctx, "")
 	if err != nil {
 		log.Fatal(err)
 	}
-	latest, err := replacement.FetchIncremental(recoveredKey)
+	latest, err := replacement.FetchIncremental(ctx, recoveredKey)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -16,13 +17,14 @@ import (
 )
 
 func main() {
-	fleet, err := safetypin.NewDeployment(safetypin.Params{
-		NumHSMs:     16,
-		ClusterSize: 8,
-		Threshold:   4,
-		GuessLimit:  3, // the provider's policy: three attempts per user
-		Scheme:      aggsig.ECDSAConcat(),
-	})
+	ctx := context.Background()
+	fleet, err := safetypin.New(
+		safetypin.WithFleet(16),
+		safetypin.WithCluster(8),
+		safetypin.WithThreshold(4),
+		safetypin.WithGuessLimit(3), // the provider's policy: three attempts per user
+		safetypin.WithScheme(aggsig.ECDSAConcat()),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,7 +32,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := victim.Backup([]byte("the victim's entire digital life")); err != nil {
+	if err := victim.Backup(ctx, []byte("the victim's entire digital life")); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("victim backed up under PIN 271828 (attacker doesn't know it)")
@@ -44,7 +46,7 @@ func main() {
 	}
 	guesses := []string{"000000", "123456", "111111", "271828" /* would be correct! */}
 	for i, guess := range guesses {
-		_, err := attacker.Recover(guess)
+		_, err := attacker.Recover(ctx, guess)
 		if err == nil {
 			fmt.Printf("guess %d (%s): SUCCEEDED — system broken!\n", i+1, guess)
 			return

@@ -9,9 +9,29 @@
 // recovery), salt reuse across backups (one puncture revokes all prior
 // ciphertexts), post-recovery salt refresh, and incremental backups under a
 // SafetyPin-protected master key.
+//
+// # The service API
+//
+// The client sees the provider through three small role-scoped interfaces —
+// BackupStore (ciphertext storage), LogService (the distributed log), and
+// RecoveryService (the HSM relay and crash escrow) — composed into
+// Provider. Every method takes a context.Context: deadlines and
+// cancellation propagate from the caller through the provider into each
+// in-flight per-HSM exchange, so an abandoning user cancels the laggard
+// share requests instead of leaking them, and a stuck epoch can be walked
+// away from without leaking a waiter.
+//
+// Recovery itself is a long-lived, resumable session rather than one
+// blocking call: BeginRecovery returns a RecoverySession whose
+// SessionToken serializes everything a replacement process needs —
+// the reserved attempt number, commitment opening, and the per-recovery
+// ephemeral key — so a device that crashes mid-recovery resumes with
+// ResumeRecovery against the provider's (user, attempt) escrow instead of
+// burning a second guess.
 package client
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -27,26 +47,48 @@ import (
 	"safetypin/internal/shamir"
 )
 
-// ProviderAPI is the client's view of the service provider. The in-process
-// provider and the TCP transport both satisfy it.
+// BackupStore is the ciphertext-storage role of the service provider: the
+// only part of the API a device needs at backup time (no HSM ever runs).
+type BackupStore interface {
+	StoreCiphertext(ctx context.Context, user string, ct []byte) error
+	FetchCiphertext(ctx context.Context, user string) ([]byte, error)
+}
+
+// LogService is the distributed-log role of the service provider (§6).
 //
 // Recovery attempts are allocated with ReserveAttempt (atomic, so two
 // concurrent recoveries of one user never collide on an attempt index) and
 // committed to the log by the provider's epoch scheduler: the client
 // appends with LogRecoveryAttempt and blocks on WaitForCommit, sharing an
 // epoch with every other recovery in flight (the paper's ~10-minute
-// batching, §6.2).
-type ProviderAPI interface {
-	StoreCiphertext(user string, ct []byte) error
-	FetchCiphertext(user string) ([]byte, error)
-	AttemptCount(user string) int
-	ReserveAttempt(user string) (int, error)
-	LogRecoveryAttempt(user string, attempt int, commitment []byte) error
-	WaitForCommit() error
-	FetchInclusionProof(user string, attempt int, commitment []byte) (*logtree.Trace, error)
-	RelayRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error)
-	FetchEscrowedReplies(user string) []*protocol.RecoveryReply
-	ClearEscrow(user string)
+// batching, §6.2). WaitForCommit honours cancellation: a caller that gives
+// up on a wedged epoch is unsubscribed and leaks nothing.
+type LogService interface {
+	AttemptCount(ctx context.Context, user string) (int, error)
+	ReserveAttempt(ctx context.Context, user string) (int, error)
+	LogRecoveryAttempt(ctx context.Context, user string, attempt int, commitment []byte) error
+	WaitForCommit(ctx context.Context) error
+	FetchInclusionProof(ctx context.Context, user string, attempt int, commitment []byte) (*logtree.Trace, error)
+}
+
+// RecoveryService is the recovery-relay role of the service provider: it
+// forwards share requests to HSMs and escrows the sealed replies keyed by
+// (user, attempt) for crash recovery (§8). Cancelling the context on
+// RelayRecover aborts the in-flight HSM exchange end to end.
+type RecoveryService interface {
+	RelayRecover(ctx context.Context, req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error)
+	FetchEscrowedReplies(ctx context.Context, user string) ([]*protocol.RecoveryReply, error)
+	ClearEscrow(ctx context.Context, user string) error
+}
+
+// Provider is the client's complete view of the service provider. The
+// in-process provider and the TCP transport both satisfy it. Code that
+// only stores backups, or only drives recoveries, should accept the
+// narrower role interface instead.
+type Provider interface {
+	BackupStore
+	LogService
+	RecoveryService
 }
 
 // Client is one user's device.
@@ -55,14 +97,14 @@ type Client struct {
 	pin      string
 	params   lhe.Params
 	fleet    lhe.Encryptor
-	provider ProviderAPI
+	provider Provider
 	rng      io.Reader
 	salt     []byte
 }
 
 // New creates a client with a fresh random salt. fleet must hold the
 // authentic public keys of all N HSMs (the trust anchor of §2).
-func New(user, pin string, params lhe.Params, fleet lhe.Encryptor, p ProviderAPI) (*Client, error) {
+func New(user, pin string, params lhe.Params, fleet lhe.Encryptor, p Provider) (*Client, error) {
 	c := &Client{user: user, pin: pin, params: params, fleet: fleet, provider: p, rng: rand.Reader}
 	if err := c.refreshSalt(); err != nil {
 		return nil, err
@@ -88,18 +130,18 @@ func (c *Client) Salt() []byte { return append([]byte(nil), c.salt...) }
 // Backup encrypts msg under the client's PIN and uploads the recovery
 // ciphertext. Successive backups reuse the same salt so they share one
 // cluster and die together on puncture (§8).
-func (c *Client) Backup(msg []byte) error {
+func (c *Client) Backup(ctx context.Context, msg []byte) error {
 	ct, err := c.params.EncryptWithSalt(c.fleet, c.user, c.pin, c.salt, msg, c.rng)
 	if err != nil {
 		return err
 	}
-	return c.provider.StoreCiphertext(c.user, ct.Bytes())
+	return c.provider.StoreCiphertext(ctx, c.user, ct.Bytes())
 }
 
 // Session carries the state of one in-flight recovery so that tests (and
 // the crash-recovery flow) can exercise partial executions. All fields
-// except shares are immutable after Begin; shares is guarded by mu so
-// RequestShares can fan out to the cluster concurrently.
+// except the share set are immutable after Begin; shares/held are guarded
+// by mu so RequestShares can fan out to the cluster concurrently.
 type Session struct {
 	client   *Client
 	ct       *lhe.Ciphertext
@@ -112,6 +154,7 @@ type Session struct {
 
 	mu     sync.Mutex
 	shares []lhe.DecryptedShare
+	held   map[int]bool // cluster positions already collected
 }
 
 // ErrTooFewShares is returned when fewer than t HSMs produced usable
@@ -121,12 +164,14 @@ var ErrTooFewShares = errors.New("client: too few shares recovered")
 // Begin runs steps Ë–Î of Figure 3: fetch the ciphertext, derive the
 // cluster from the PIN, log the recovery attempt, and obtain the inclusion
 // proof. pin overrides the client's stored PIN when non-empty (modelling a
-// user typing a guess on a fresh device).
-func (c *Client) Begin(pin string) (*Session, error) {
+// user typing a guess on a fresh device). Cancelling ctx aborts whichever
+// provider exchange is in flight — including the epoch wait, from which
+// the client is unsubscribed cleanly.
+func (c *Client) Begin(ctx context.Context, pin string) (*Session, error) {
 	if pin == "" {
 		pin = c.pin
 	}
-	blob, err := c.provider.FetchCiphertext(c.user)
+	blob, err := c.provider.FetchCiphertext(ctx, c.user)
 	if err != nil {
 		return nil, err
 	}
@@ -146,22 +191,22 @@ func (c *Client) Begin(pin string) (*Session, error) {
 	if _, err := io.ReadFull(c.rng, nonce); err != nil {
 		return nil, err
 	}
-	attempt, err := c.provider.ReserveAttempt(c.user)
+	attempt, err := c.provider.ReserveAttempt(ctx, c.user)
 	if err != nil {
 		return nil, fmt.Errorf("client: reserving attempt: %w", err)
 	}
 	commit := protocol.Commitment(c.user, ct.Salt, protocol.HashCiphertext(blob), cluster, nonce)
-	if err := c.provider.LogRecoveryAttempt(c.user, attempt, commit); err != nil {
+	if err := c.provider.LogRecoveryAttempt(ctx, c.user, attempt, commit); err != nil {
 		return nil, err
 	}
 	// The provider batches insertions from all concurrent recoveries and
 	// runs the log-update protocol on its epoch schedule (every ~10
 	// minutes in the paper); we block until the epoch holding our
 	// insertion commits.
-	if err := c.provider.WaitForCommit(); err != nil {
+	if err := c.provider.WaitForCommit(ctx); err != nil {
 		return nil, fmt.Errorf("client: log epoch failed: %w", err)
 	}
-	trace, err := c.provider.FetchInclusionProof(c.user, attempt, commit)
+	trace, err := c.provider.FetchInclusionProof(ctx, c.user, attempt, commit)
 	if err != nil {
 		return nil, err
 	}
@@ -174,11 +219,15 @@ func (c *Client) Begin(pin string) (*Session, error) {
 		nonce:    nonce,
 		trace:    trace,
 		ReplyKey: replyKP,
+		held:     make(map[int]bool),
 	}, nil
 }
 
 // Cluster returns the HSM indices this session will contact.
 func (s *Session) Cluster() []int { return append([]int(nil), s.cluster...) }
+
+// Attempt returns the log attempt index this session reserved.
+func (s *Session) Attempt() int { return s.attempt }
 
 // BuildRequest assembles the recovery request for cluster position j;
 // exposed so transports and fault-injection tests can manipulate requests
@@ -205,24 +254,33 @@ func (s *Session) request(j int) *protocol.RecoveryRequest {
 
 // RequestShare contacts the cluster member at position j (step Ï) and
 // stores the decrypted share on success.
-func (s *Session) RequestShare(j int) error {
+func (s *Session) RequestShare(ctx context.Context, j int) error {
 	if j < 0 || j >= len(s.cluster) {
 		return fmt.Errorf("client: share position %d out of range", j)
 	}
-	ds, err := s.fetchShare(j)
+	ds, err := s.fetchShare(ctx, j)
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	s.shares = append(s.shares, ds)
-	s.mu.Unlock()
+	s.addShare(j, ds)
 	return nil
+}
+
+// addShare records a decrypted share, deduplicating by cluster position
+// (a resumed session may race its escrowed copy against a live fetch).
+func (s *Session) addShare(pos int, ds lhe.DecryptedShare) {
+	s.mu.Lock()
+	if !s.held[pos] {
+		s.held[pos] = true
+		s.shares = append(s.shares, ds)
+	}
+	s.mu.Unlock()
 }
 
 // fetchShare performs the relay round trip and reply decryption for one
 // cluster position without touching session state.
-func (s *Session) fetchShare(j int) (lhe.DecryptedShare, error) {
-	reply, err := s.client.provider.RelayRecover(s.request(j))
+func (s *Session) fetchShare(ctx context.Context, j int) (lhe.DecryptedShare, error) {
+	reply, err := s.client.provider.RelayRecover(ctx, s.request(j))
 	if err != nil {
 		return lhe.DecryptedShare{}, err
 	}
@@ -240,56 +298,70 @@ func (e ShareError) Error() string {
 	return fmt.Sprintf("client: share position %d: %v", e.Pos, e.Err)
 }
 
-// RequestShares contacts every cluster member concurrently (step Ï at
-// datacenter speed: n parallel HSM round trips instead of n sequential
-// ones) and returns once the session holds at least t shares — the
-// early-exit path for latency-critical recoveries. Per-position failures
-// are collected and returned; they are not fatal as long as t shares come
-// back (Property 3, fault tolerance). On early exit the laggard requests
-// complete in the background and their replies stay escrowed at the
-// provider, but they are not added to the session.
-func (s *Session) RequestShares() []ShareError {
-	return s.fanOut(true)
+// RequestShares contacts every not-yet-collected cluster member
+// concurrently (step Ï at datacenter speed: parallel HSM round trips
+// instead of sequential ones) and returns once the session holds at least
+// t shares — the early-exit path for latency-critical recoveries. The
+// moment the threshold is met the remaining laggard requests are
+// cancelled: their contexts propagate through the provider to the
+// in-flight HSM exchanges, so nothing keeps running (or punctures keys)
+// for a recovery that is already decided. Per-position failures are
+// collected and returned; they are not fatal as long as t shares come
+// back (Property 3, fault tolerance).
+func (s *Session) RequestShares(ctx context.Context) []ShareError {
+	return s.fanOut(ctx, true)
 }
 
-// RequestAllShares contacts every cluster member concurrently and waits for
-// all of them to answer, so every reachable HSM has punctured by the time
-// it returns (the paper's forward-secrecy guarantee is immediate, not
-// eventual). Recover uses this.
-func (s *Session) RequestAllShares() []ShareError {
-	return s.fanOut(false)
+// RequestAllShares contacts every not-yet-collected cluster member
+// concurrently and waits for all of them to answer, so every reachable HSM
+// has punctured by the time it returns (the paper's forward-secrecy
+// guarantee is immediate, not eventual). Recover uses this.
+func (s *Session) RequestAllShares(ctx context.Context) []ShareError {
+	return s.fanOut(ctx, false)
 }
 
-// fanOut runs the parallel share collection; earlyExit stops waiting once
-// the threshold is met.
-func (s *Session) fanOut(earlyExit bool) []ShareError {
+// fanOut runs the parallel share collection; earlyExit stops waiting — and
+// cancels the laggards — once the threshold is met.
+func (s *Session) fanOut(ctx context.Context, earlyExit bool) []ShareError {
+	need := s.client.params.Threshold()
+	if earlyExit && s.SharesHeld() >= need {
+		return nil // e.g. a resumed session whose escrow already met t
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // early exit or return: abort every in-flight laggard
 	type result struct {
 		pos int
 		ds  lhe.DecryptedShare
 		err error
 	}
-	n := len(s.cluster)
-	results := make(chan result, n)
-	for j := 0; j < n; j++ {
+	s.mu.Lock()
+	todo := make([]int, 0, len(s.cluster))
+	for j := range s.cluster {
+		if !s.held[j] {
+			todo = append(todo, j)
+		}
+	}
+	s.mu.Unlock()
+	results := make(chan result, len(todo))
+	for _, j := range todo {
 		go func(j int) {
-			ds, err := s.fetchShare(j)
+			ds, err := s.fetchShare(ctx, j)
 			results <- result{pos: j, ds: ds, err: err}
 		}(j)
 	}
-	need := s.client.params.Threshold()
 	var errs []ShareError
-	for seen := 0; seen < n; seen++ {
+	for range todo {
 		r := <-results
 		if r.err != nil {
 			errs = append(errs, ShareError{Pos: r.pos, Err: r.err})
-			continue
+		} else {
+			s.addShare(r.pos, r.ds)
 		}
-		s.mu.Lock()
-		s.shares = append(s.shares, r.ds)
-		held := len(s.shares)
-		s.mu.Unlock()
-		if earlyExit && held >= need {
-			break
+		// Checked after failures too: a session that already holds t
+		// (escrow replay, earlier partial run) must not wait out — or
+		// keep burning punctures at — the remaining laggards.
+		if earlyExit && s.SharesHeld() >= need {
+			break // deferred cancel() reaps the laggards
 		}
 	}
 	return errs
@@ -321,8 +393,12 @@ func (s *Session) SharesHeld() int {
 
 // Finish reconstructs the backed-up message from the collected shares
 // (step Ð + Reconstruct), clears the escrow, and rotates the client's salt
-// so future backups select a fresh cluster (§8).
-func (s *Session) Finish() ([]byte, error) {
+// so future backups select a fresh cluster (§8). Escrow cleanup is
+// best-effort: once reconstruction succeeds the plaintext is returned even
+// if the ClearEscrow RPC fails — every HSM has already punctured, so
+// failing the recovery over a cleanup error would lose the data forever
+// (the provider's escrow bound evicts the leftovers on the next attempt).
+func (s *Session) Finish(ctx context.Context) ([]byte, error) {
 	s.mu.Lock()
 	shares := append([]lhe.DecryptedShare(nil), s.shares...)
 	s.mu.Unlock()
@@ -334,23 +410,27 @@ func (s *Session) Finish() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.client.provider.ClearEscrow(s.client.user)
+	// Rotate the salt before touching the escrow: if the rotation fails
+	// the escrow is still intact, so the caller can always fall back to
+	// CompleteFromEscrow — no failure ordering here can strand the data.
 	if err := s.client.refreshSalt(); err != nil {
 		return nil, err
 	}
+	_ = s.client.provider.ClearEscrow(ctx, s.client.user)
 	return msg, nil
 }
 
 // Recover runs the complete recovery flow: Begin, contact the whole
 // cluster in parallel, Finish. Individual HSM failures are tolerated as
-// long as t shares come back (Property 3, fault tolerance).
-func (c *Client) Recover(pin string) ([]byte, error) {
-	s, err := c.Begin(pin)
+// long as t shares come back (Property 3, fault tolerance). The context
+// bounds the whole flow; use BeginRecovery for a resumable session.
+func (c *Client) Recover(ctx context.Context, pin string) ([]byte, error) {
+	s, err := c.Begin(ctx, pin)
 	if err != nil {
 		return nil, err
 	}
-	errs := s.RequestAllShares()
-	msg, err := s.Finish()
+	errs := s.RequestAllShares(ctx)
+	msg, err := s.Finish(ctx)
 	if err != nil {
 		if len(errs) > 0 {
 			return nil, fmt.Errorf("%w (last HSM error: %v)", err, errs[len(errs)-1].Err)
@@ -364,9 +444,10 @@ func (c *Client) Recover(pin string) ([]byte, error) {
 // device (§8): given the recovered ephemeral keypair (itself restored via a
 // nested SafetyPin backup), decrypt the provider-escrowed HSM replies and
 // reconstruct. The original ciphertext is already punctured, so this is the
-// only remaining path to the data.
-func (c *Client) CompleteFromEscrow(replyKP ecgroup.KeyPair) ([]byte, error) {
-	blob, err := c.provider.FetchCiphertext(c.user)
+// only remaining path to the data. ResumeRecovery is the structured
+// version of this flow for devices that kept a session token.
+func (c *Client) CompleteFromEscrow(ctx context.Context, replyKP ecgroup.KeyPair) ([]byte, error) {
+	blob, err := c.provider.FetchCiphertext(ctx, c.user)
 	if err != nil {
 		return nil, err
 	}
@@ -374,7 +455,10 @@ func (c *Client) CompleteFromEscrow(replyKP ecgroup.KeyPair) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	replies := c.provider.FetchEscrowedReplies(c.user)
+	replies, err := c.provider.FetchEscrowedReplies(ctx, c.user)
+	if err != nil {
+		return nil, err
+	}
 	if len(replies) == 0 {
 		return nil, errors.New("client: no escrowed replies")
 	}
@@ -394,7 +478,8 @@ func (c *Client) CompleteFromEscrow(replyKP ecgroup.KeyPair) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.provider.ClearEscrow(c.user)
+	// Best-effort, as in Finish: the data outranks escrow hygiene.
+	_ = c.provider.ClearEscrow(ctx, c.user)
 	return msg, nil
 }
 
@@ -405,12 +490,12 @@ func (c *Client) incrUser() string { return c.user + "/incremental" }
 
 // EnableIncrementalBackups creates a master AES key, protects it with a
 // full SafetyPin backup, and returns it for local use.
-func (c *Client) EnableIncrementalBackups() ([]byte, error) {
+func (c *Client) EnableIncrementalBackups(ctx context.Context) ([]byte, error) {
 	key, err := aead.NewKey(c.rng)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.Backup(key); err != nil {
+	if err := c.Backup(ctx, key); err != nil {
 		return nil, err
 	}
 	return key, nil
@@ -418,18 +503,18 @@ func (c *Client) EnableIncrementalBackups() ([]byte, error) {
 
 // IncrementalBackup encrypts one incremental image under the master key and
 // uploads it. No HSM interaction occurs.
-func (c *Client) IncrementalBackup(masterKey, data []byte) error {
+func (c *Client) IncrementalBackup(ctx context.Context, masterKey, data []byte) error {
 	blob, err := aead.Seal(masterKey, data, []byte("safetypin/incremental/v1|"+c.user))
 	if err != nil {
 		return err
 	}
-	return c.provider.StoreCiphertext(c.incrUser(), blob)
+	return c.provider.StoreCiphertext(ctx, c.incrUser(), blob)
 }
 
 // FetchIncremental decrypts the latest incremental blob with the (possibly
 // just-recovered) master key.
-func (c *Client) FetchIncremental(masterKey []byte) ([]byte, error) {
-	blob, err := c.provider.FetchCiphertext(c.incrUser())
+func (c *Client) FetchIncremental(ctx context.Context, masterKey []byte) ([]byte, error) {
+	blob, err := c.provider.FetchCiphertext(ctx, c.incrUser())
 	if err != nil {
 		return nil, err
 	}

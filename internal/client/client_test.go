@@ -2,6 +2,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"errors"
 	"testing"
@@ -14,6 +15,8 @@ import (
 	"safetypin/internal/lhe"
 	"safetypin/internal/provider"
 )
+
+var tctx = context.Background()
 
 // rig wires a minimal fleet for client-level tests.
 type rig struct {
@@ -69,10 +72,10 @@ func (r *rig) client(t testing.TB, user, pin string) *Client {
 func TestRoundTrip(t *testing.T) {
 	r := newRig(t, 8)
 	c := r.client(t, "alice", "123456")
-	if err := c.Backup([]byte("msg")); err != nil {
+	if err := c.Backup(tctx, []byte("msg")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Recover("")
+	got, err := c.Recover(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +87,7 @@ func TestRoundTrip(t *testing.T) {
 func TestBeginWithoutBackup(t *testing.T) {
 	r := newRig(t, 8)
 	c := r.client(t, "ghost", "123456")
-	if _, err := c.Begin(""); err == nil {
+	if _, err := c.Begin(tctx, ""); err == nil {
 		t.Fatal("Begin succeeded without a stored backup")
 	}
 }
@@ -93,10 +96,10 @@ func TestSaltRotatesAfterRecovery(t *testing.T) {
 	r := newRig(t, 8)
 	c := r.client(t, "alice", "123456")
 	saltBefore := c.Salt()
-	if err := c.Backup([]byte("msg")); err != nil {
+	if err := c.Backup(tctx, []byte("msg")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Recover(""); err != nil {
+	if _, err := c.Recover(tctx, ""); err != nil {
 		t.Fatal(err)
 	}
 	if bytes.Equal(saltBefore, c.Salt()) {
@@ -107,17 +110,17 @@ func TestSaltRotatesAfterRecovery(t *testing.T) {
 func TestRequestShareOutOfRange(t *testing.T) {
 	r := newRig(t, 8)
 	c := r.client(t, "alice", "123456")
-	if err := c.Backup([]byte("msg")); err != nil {
+	if err := c.Backup(tctx, []byte("msg")); err != nil {
 		t.Fatal(err)
 	}
-	s, err := c.Begin("")
+	s, err := c.Begin(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.RequestShare(-1); err == nil {
+	if err := s.RequestShare(tctx, -1); err == nil {
 		t.Fatal("negative index accepted")
 	}
-	if err := s.RequestShare(len(s.Cluster())); err == nil {
+	if err := s.RequestShare(tctx, len(s.Cluster())); err == nil {
 		t.Fatal("out-of-range index accepted")
 	}
 }
@@ -125,14 +128,14 @@ func TestRequestShareOutOfRange(t *testing.T) {
 func TestFinishBelowThreshold(t *testing.T) {
 	r := newRig(t, 8)
 	c := r.client(t, "alice", "123456")
-	if err := c.Backup([]byte("msg")); err != nil {
+	if err := c.Backup(tctx, []byte("msg")); err != nil {
 		t.Fatal(err)
 	}
-	s, err := c.Begin("")
+	s, err := c.Begin(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Finish(); !errors.Is(err, ErrTooFewShares) {
+	if _, err := s.Finish(tctx); !errors.Is(err, ErrTooFewShares) {
 		t.Fatalf("want ErrTooFewShares, got %v", err)
 	}
 }
@@ -140,14 +143,14 @@ func TestFinishBelowThreshold(t *testing.T) {
 func TestCompleteFromEscrowRequiresEscrow(t *testing.T) {
 	r := newRig(t, 8)
 	c := r.client(t, "alice", "123456")
-	if err := c.Backup([]byte("msg")); err != nil {
+	if err := c.Backup(tctx, []byte("msg")); err != nil {
 		t.Fatal(err)
 	}
 	kp, err := ecgroup.GenerateKeyPair(rand.Reader)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.CompleteFromEscrow(kp); err == nil {
+	if _, err := c.CompleteFromEscrow(tctx, kp); err == nil {
 		t.Fatal("escrow completion without escrow succeeded")
 	}
 }
@@ -155,15 +158,15 @@ func TestCompleteFromEscrowRequiresEscrow(t *testing.T) {
 func TestCompleteFromEscrowWrongKey(t *testing.T) {
 	r := newRig(t, 8)
 	c := r.client(t, "alice", "123456")
-	if err := c.Backup([]byte("msg")); err != nil {
+	if err := c.Backup(tctx, []byte("msg")); err != nil {
 		t.Fatal(err)
 	}
-	s, err := c.Begin("")
+	s, err := c.Begin(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for j := range s.Cluster() {
-		if err := s.RequestShare(j); err != nil {
+		if err := s.RequestShare(tctx, j); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -173,11 +176,11 @@ func TestCompleteFromEscrowWrongKey(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.CompleteFromEscrow(wrong); err == nil {
+	if _, err := c.CompleteFromEscrow(tctx, wrong); err == nil {
 		t.Fatal("escrow decrypted under wrong ephemeral key")
 	}
 	// The right key works.
-	got, err := c.CompleteFromEscrow(s.ReplyKey)
+	got, err := c.CompleteFromEscrow(tctx, s.ReplyKey)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,18 +192,18 @@ func TestCompleteFromEscrowWrongKey(t *testing.T) {
 func TestIncrementalWrongKeyFails(t *testing.T) {
 	r := newRig(t, 8)
 	c := r.client(t, "alice", "123456")
-	master, err := c.EnableIncrementalBackups()
+	master, err := c.EnableIncrementalBackups(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.IncrementalBackup(master, []byte("delta")); err != nil {
+	if err := c.IncrementalBackup(tctx, master, []byte("delta")); err != nil {
 		t.Fatal(err)
 	}
 	bogus := make([]byte, len(master))
-	if _, err := c.FetchIncremental(bogus); err == nil {
+	if _, err := c.FetchIncremental(tctx, bogus); err == nil {
 		t.Fatal("incremental blob decrypted under wrong master key")
 	}
-	got, err := c.FetchIncremental(master)
+	got, err := c.FetchIncremental(tctx, master)
 	if err != nil || string(got) != "delta" {
 		t.Fatalf("incremental fetch broken: %q %v", got, err)
 	}
@@ -209,16 +212,16 @@ func TestIncrementalWrongKeyFails(t *testing.T) {
 func TestMultipleBackupsLatestWins(t *testing.T) {
 	r := newRig(t, 8)
 	c := r.client(t, "alice", "123456")
-	if err := c.Backup([]byte("v1")); err != nil {
+	if err := c.Backup(tctx, []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Backup([]byte("v2")); err != nil {
+	if err := c.Backup(tctx, []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Backup([]byte("v3")); err != nil {
+	if err := c.Backup(tctx, []byte("v3")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Recover("")
+	got, err := c.Recover(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,25 +246,25 @@ func TestSaltProtection(t *testing.T) {
 	// logged; the device detects whether PIN re-use is safe.
 	r := newRig(t, 8)
 	c := r.client(t, "alice", "123456")
-	if err := c.Backup([]byte("msg")); err != nil {
+	if err := c.Backup(tctx, []byte("msg")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.ProtectSalt(); err != nil {
+	if _, err := c.ProtectSalt(tctx); err != nil {
 		t.Fatal(err)
 	}
-	if c.SaltFetchCount() != 0 {
+	if mustSaltFetches(t, c) != 0 {
 		t.Fatal("no fetches should be logged yet")
 	}
 	// New device: recover the salt (one logged fetch), then the backup.
 	c2 := r.client(t, "alice", "123456")
-	salt, err := c2.RecoverSalt()
+	salt, err := c2.RecoverSalt(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(salt, c.Salt()) && len(salt) != lhe.SaltSize {
 		t.Fatal("recovered salt malformed")
 	}
-	got, err := c2.Recover("")
+	got, err := c2.Recover(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,18 +272,18 @@ func TestSaltProtection(t *testing.T) {
 		t.Fatal("backup recovery after salt recovery failed")
 	}
 	// The device performed exactly one salt fetch: PIN re-use is safe.
-	if !c2.PINReuseSafe(1) {
-		t.Fatal("own fetch flagged as attack")
+	if safe, err := c2.PINReuseSafe(tctx, 1); err != nil || !safe {
+		t.Fatalf("own fetch flagged as attack (%v)", err)
 	}
 	// An attacker (insider) also fetches the salt... but the vault is
 	// punctured, so their recovery fails — yet the *attempt* is logged,
 	// which is exactly what tips the user off if it had succeeded earlier.
 	attacker := r.client(t, "alice", "123456")
-	_, attackErr := attacker.RecoverSalt()
+	_, attackErr := attacker.RecoverSalt(tctx)
 	if attackErr == nil {
 		t.Fatal("punctured salt vault served a second recovery")
 	}
-	if c2.PINReuseSafe(1) {
+	if safe, _ := c2.PINReuseSafe(tctx, 1); safe {
 		t.Fatal("extra salt-fetch attempt not detected")
 	}
 }
@@ -289,7 +292,18 @@ func TestSaltRecoveryWrongVaultFails(t *testing.T) {
 	r := newRig(t, 8)
 	c := r.client(t, "alice", "123456")
 	// No protected salt stored.
-	if _, err := c.RecoverSalt(); err == nil {
+	if _, err := c.RecoverSalt(tctx); err == nil {
 		t.Fatal("salt recovery without a vault succeeded")
 	}
+}
+
+// mustSaltFetches fetches the salt-recovery count, failing the test on a
+// provider error.
+func mustSaltFetches(t testing.TB, c *Client) int {
+	t.Helper()
+	n, err := c.SaltFetchCount(tctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
 }

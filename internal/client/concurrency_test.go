@@ -24,7 +24,7 @@ func TestConcurrentBackupsAndRecoveriesDistinctUsers(t *testing.T) {
 		wg.Add(1)
 		go func(i int, c *Client) {
 			defer wg.Done()
-			if err := c.Backup([]byte(fmt.Sprintf("disk-%d", i))); err != nil {
+			if err := c.Backup(tctx, []byte(fmt.Sprintf("disk-%d", i))); err != nil {
 				t.Errorf("backup %d: %v", i, err)
 			}
 		}(i, c)
@@ -38,7 +38,7 @@ func TestConcurrentBackupsAndRecoveriesDistinctUsers(t *testing.T) {
 		wg.Add(1)
 		go func(i int, c *Client) {
 			defer wg.Done()
-			got[i], errs[i] = c.Recover("")
+			got[i], errs[i] = c.Recover(tctx, "")
 		}(i, c)
 	}
 	wg.Wait()
@@ -58,7 +58,7 @@ func TestConcurrentBeginSameUserDistinctAttempts(t *testing.T) {
 	// identifiers) via ReserveAttempt.
 	r := newRig(t, 8)
 	c := r.client(t, "alice", "123456")
-	if err := c.Backup([]byte("msg")); err != nil {
+	if err := c.Backup(tctx, []byte("msg")); err != nil {
 		t.Fatal(err)
 	}
 	const n = 3 // GuessLimit in the rig is 4
@@ -69,7 +69,7 @@ func TestConcurrentBeginSameUserDistinctAttempts(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sessions[i], errs[i] = c.Begin("")
+			sessions[i], errs[i] = c.Begin(tctx, "")
 		}(i)
 	}
 	wg.Wait()
@@ -93,7 +93,7 @@ func TestConcurrentRecoverySameUser(t *testing.T) {
 	// and any success must return the true plaintext.
 	r := newRig(t, 8)
 	c1 := r.client(t, "alice", "123456")
-	if err := c1.Backup([]byte("the disk image")); err != nil {
+	if err := c1.Backup(tctx, []byte("the disk image")); err != nil {
 		t.Fatal(err)
 	}
 	c2 := r.client(t, "alice", "123456")
@@ -105,7 +105,7 @@ func TestConcurrentRecoverySameUser(t *testing.T) {
 		wg.Add(1)
 		go func(i int, c *Client) {
 			defer wg.Done()
-			results[i], errs[i] = c.Recover("")
+			results[i], errs[i] = c.Recover(tctx, "")
 		}(i, c)
 	}
 	wg.Wait()
@@ -126,18 +126,18 @@ func TestRequestSharesEarlyExit(t *testing.T) {
 	// reconstruction succeeds from whatever subset arrived first.
 	r := newRig(t, 8)
 	c := r.client(t, "alice", "123456")
-	if err := c.Backup([]byte("resilient")); err != nil {
+	if err := c.Backup(tctx, []byte("resilient")); err != nil {
 		t.Fatal(err)
 	}
-	s, err := c.Begin("")
+	s, err := c.Begin(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	errs := s.RequestShares()
+	errs := s.RequestShares(tctx)
 	if s.SharesHeld() < r.params.Threshold() {
 		t.Fatalf("held %d shares, need %d (errors: %v)", s.SharesHeld(), r.params.Threshold(), errs)
 	}
-	got, err := s.Finish()
+	got, err := s.Finish(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -27,12 +28,12 @@ func (c *Client) saltUser() string { return c.user + "/salt" }
 // location-hiding backup of its own. Call once after New (or after a salt
 // rotation); the salt then never needs to live in cleartext at the
 // provider.
-func (c *Client) ProtectSalt() (*Client, error) {
+func (c *Client) ProtectSalt(ctx context.Context) (*Client, error) {
 	vault, err := New(c.saltUser(), nullPIN, c.params, c.fleet, c.provider)
 	if err != nil {
 		return nil, err
 	}
-	if err := vault.Backup(c.salt); err != nil {
+	if err := vault.Backup(ctx, c.salt); err != nil {
 		return nil, fmt.Errorf("client: protecting salt: %w", err)
 	}
 	return vault, nil
@@ -43,12 +44,12 @@ func (c *Client) ProtectSalt() (*Client, error) {
 // in the public log, and punctures the salt ciphertext (so it must be
 // re-protected afterwards). The recovered salt is installed as the client's
 // current salt.
-func (c *Client) RecoverSalt() ([]byte, error) {
+func (c *Client) RecoverSalt(ctx context.Context) ([]byte, error) {
 	vault, err := New(c.saltUser(), nullPIN, c.params, c.fleet, c.provider)
 	if err != nil {
 		return nil, err
 	}
-	salt, err := vault.Recover(nullPIN)
+	salt, err := vault.Recover(ctx, nullPIN)
 	if err != nil {
 		return nil, fmt.Errorf("client: recovering salt: %w", err)
 	}
@@ -59,8 +60,8 @@ func (c *Client) RecoverSalt() ([]byte, error) {
 // SaltFetchCount reports how many salt recoveries the public log records
 // for this user. Anyone can compute this from the log; the client uses it
 // for PINReuseSafe.
-func (c *Client) SaltFetchCount() int {
-	return c.provider.AttemptCount(c.saltUser())
+func (c *Client) SaltFetchCount(ctx context.Context) (int, error) {
+	return c.provider.AttemptCount(ctx, c.saltUser())
 }
 
 // PINReuseSafe reports whether it is safe for the user to keep their PIN
@@ -68,6 +69,10 @@ func (c *Client) SaltFetchCount() int {
 // device performed itself (expectedFetches). Any extra fetch means someone
 // else extracted the salt and may be grinding PINs offline — the user
 // should pick a fresh PIN (§6.3).
-func (c *Client) PINReuseSafe(expectedFetches int) bool {
-	return c.SaltFetchCount() <= expectedFetches
+func (c *Client) PINReuseSafe(ctx context.Context, expectedFetches int) (bool, error) {
+	n, err := c.SaltFetchCount(ctx)
+	if err != nil {
+		return false, err
+	}
+	return n <= expectedFetches, nil
 }

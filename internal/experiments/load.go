@@ -14,6 +14,7 @@ package experiments
 // core count.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -86,18 +87,26 @@ func (r LoadResult) String() string {
 		r.RecoveriesPerSec, r.MeanLatency.Round(time.Microsecond), r.MaxLatency.Round(time.Microsecond))
 }
 
-// latencyAPI wraps a provider API, adding a fixed device latency to every
-// relayed HSM request.
+// latencyAPI wraps a provider, adding a fixed device latency to every
+// relayed HSM request. The sleep honours the caller's context, exactly as
+// a network round trip would: a cancelled share request returns
+// immediately instead of finishing in the background.
 type latencyAPI struct {
-	client.ProviderAPI
+	client.Provider
 	delay time.Duration
 }
 
-func (l latencyAPI) RelayRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
+func (l latencyAPI) RelayRecover(ctx context.Context, req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
 	if l.delay > 0 {
-		time.Sleep(l.delay)
+		t := time.NewTimer(l.delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
-	return l.ProviderAPI.RelayRecover(req)
+	return l.Provider.RelayRecover(ctx, req)
 }
 
 // loadDeployment builds the fleet and enrolled clients for a load run.
@@ -116,9 +125,9 @@ func loadDeployment(cfg LoadConfig) (*safetypin.Deployment, []*client.Client, er
 	}
 	clients := make([]*client.Client, cfg.Users)
 	for i := range clients {
-		var api client.ProviderAPI = d.Provider
+		var api client.Provider = d.Provider
 		if cfg.HSMLatency > 0 {
-			api = latencyAPI{ProviderAPI: d.Provider, delay: cfg.HSMLatency}
+			api = latencyAPI{Provider: d.Provider, delay: cfg.HSMLatency}
 		}
 		c, err := client.New(fmt.Sprintf("load-user-%d", i), "123456", d.LHEParams(), d.Fleet(), api)
 		if err != nil {
@@ -141,7 +150,7 @@ func MultiUserLoad(cfg LoadConfig) (LoadResult, error) {
 		return LoadResult{}, err
 	}
 	for i, c := range clients {
-		if err := c.Backup([]byte(fmt.Sprintf("disk-image-%d", i))); err != nil {
+		if err := c.Backup(context.Background(), []byte(fmt.Sprintf("disk-image-%d", i))); err != nil {
 			return LoadResult{}, err
 		}
 	}
@@ -157,7 +166,7 @@ func MultiUserLoad(cfg LoadConfig) (LoadResult, error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			t0 := time.Now()
-			_, errs[i] = c.Recover("")
+			_, errs[i] = c.Recover(context.Background(), "")
 			latencies[i] = time.Since(t0)
 		}(i, c)
 	}
@@ -216,36 +225,36 @@ func RecoveryLatencyComparison(cfg LoadConfig) (LatencyComparison, error) {
 		return LatencyComparison{}, err
 	}
 	for i, c := range clients {
-		if err := c.Backup([]byte(fmt.Sprintf("disk-image-%d", i))); err != nil {
+		if err := c.Backup(context.Background(), []byte(fmt.Sprintf("disk-image-%d", i))); err != nil {
 			return LatencyComparison{}, err
 		}
 	}
 	// Serial baseline: the pre-engine client loop, one HSM at a time.
-	s, err := clients[0].Begin("")
+	s, err := clients[0].Begin(context.Background(), "")
 	if err != nil {
 		return LatencyComparison{}, err
 	}
 	t0 := time.Now()
 	for j := range s.Cluster() {
-		if err := s.RequestShare(j); err != nil {
+		if err := s.RequestShare(context.Background(), j); err != nil {
 			return LatencyComparison{}, err
 		}
 	}
 	serial := time.Since(t0)
-	if _, err := s.Finish(); err != nil {
+	if _, err := s.Finish(context.Background()); err != nil {
 		return LatencyComparison{}, err
 	}
 	// Parallel fan-out.
-	s2, err := clients[1].Begin("")
+	s2, err := clients[1].Begin(context.Background(), "")
 	if err != nil {
 		return LatencyComparison{}, err
 	}
 	t0 = time.Now()
-	if errs := s2.RequestAllShares(); len(errs) > 0 {
+	if errs := s2.RequestAllShares(context.Background()); len(errs) > 0 {
 		return LatencyComparison{}, fmt.Errorf("parallel fan-out: %v", errs[0])
 	}
 	parallel := time.Since(t0)
-	if _, err := s2.Finish(); err != nil {
+	if _, err := s2.Finish(context.Background()); err != nil {
 		return LatencyComparison{}, err
 	}
 	return LatencyComparison{Config: cfg, Serial: serial, Parallel: parallel}, nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -149,25 +150,25 @@ func measureOn(d *safetypin.Deployment, clusterSize int, user string) (*Recovery
 		return nil, err
 	}
 	start := time.Now()
-	if err := c.Backup([]byte("0123456789abcdef")); err != nil {
+	if err := c.Backup(context.Background(), []byte("0123456789abcdef")); err != nil {
 		return nil, err
 	}
 	saveWall := time.Since(start)
-	blob, err := d.Provider.FetchCiphertext(user)
+	blob, err := d.Provider.FetchCiphertext(context.Background(), user)
 	if err != nil {
 		return nil, err
 	}
-	s, err := c.Begin("")
+	s, err := c.Begin(context.Background(), "")
 	if err != nil {
 		return nil, err
 	}
 	d.ResetMeters() // exclude provisioning and the log epoch build
 	for j := range s.Cluster() {
-		if err := s.RequestShare(j); err != nil {
+		if err := s.RequestShare(context.Background(), j); err != nil {
 			return nil, err
 		}
 	}
-	if _, err := s.Finish(); err != nil {
+	if _, err := s.Finish(context.Background()); err != nil {
 		return nil, err
 	}
 	m := &RecoveryMeasurement{

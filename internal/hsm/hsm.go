@@ -18,6 +18,7 @@
 package hsm
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -158,9 +159,17 @@ func (h *HSM) auditorOrErr() (*dlog.Auditor, error) {
 }
 
 // --- distributed-log participant interface ---
+//
+// The context on each exchange models the transport link to the HSM: the
+// state machine itself is sequential, but a cancelled context (provider
+// deadline, client gone) makes the exchange fail fast instead of queueing
+// more work at a device that nobody is waiting on.
 
 // LogChooseChunks selects this HSM's audit assignment for an epoch.
-func (h *HSM) LogChooseChunks(hdr dlog.EpochHeader) ([]int, error) {
+func (h *HSM) LogChooseChunks(ctx context.Context, hdr dlog.EpochHeader) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	a, err := h.auditorOrErr()
 	if err != nil {
 		return nil, err
@@ -169,7 +178,10 @@ func (h *HSM) LogChooseChunks(hdr dlog.EpochHeader) ([]int, error) {
 }
 
 // LogHandleAudit audits an epoch package and returns this HSM's signature.
-func (h *HSM) LogHandleAudit(pkg *dlog.AuditPackage) ([]byte, error) {
+func (h *HSM) LogHandleAudit(ctx context.Context, pkg *dlog.AuditPackage) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	a, err := h.auditorOrErr()
 	if err != nil {
 		return nil, err
@@ -178,7 +190,10 @@ func (h *HSM) LogHandleAudit(pkg *dlog.AuditPackage) ([]byte, error) {
 }
 
 // LogHandleCommit verifies the aggregate signature and advances the digest.
-func (h *HSM) LogHandleCommit(cm *dlog.CommitMessage) error {
+func (h *HSM) LogHandleCommit(ctx context.Context, cm *dlog.CommitMessage) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	a, err := h.auditorOrErr()
 	if err != nil {
 		return err
@@ -219,7 +234,16 @@ var ErrGuessLimit = errors.New("hsm: recovery attempt exceeds guess limit")
 //  4. decrypt the share (verifying the embedded username),
 //  5. puncture the key so this ciphertext is dead forever after,
 //  6. seal the share to the client's ephemeral reply key.
-func (h *HSM) HandleRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
+//
+// The context is checked before any state changes: a client that cancelled
+// (it already holds a threshold of shares) is turned away before this HSM
+// decrypts and punctures, so an abandoned request does not burn a share.
+// Once the puncture begins the operation runs to completion — the key
+// mutation is atomic with respect to cancellation.
+func (h *HSM) HandleRecover(ctx context.Context, req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -242,6 +266,11 @@ func (h *HSM) HandleRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryRe
 	logID := protocol.LogID(req.User, req.Attempt)
 	if !a.VerifyInclusion(logID, commit, req.LogTrace) {
 		return nil, fmt.Errorf("hsm %d: recovery attempt not in log", h.id)
+	}
+	// Last cancellation point: past here the decrypt-and-puncture runs to
+	// completion so the key store never ends up half-mutated.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Decrypt the share; the lhe layer verifies the username binding. The
 	// decrypt and its puncture are one atomic key operation: a concurrent

@@ -1,6 +1,7 @@
 package hsm
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"testing"
@@ -15,6 +16,8 @@ import (
 	"safetypin/internal/provider"
 	"safetypin/internal/securestore"
 )
+
+var tctx = context.Background()
 
 // rig is a minimal single-purpose harness: a few HSMs wired to a provider,
 // plus helpers to run the log and build valid recovery requests.
@@ -85,13 +88,13 @@ func (r *rig) backupAndLog(t testing.TB, user, pin string) (*lhe.Ciphertext, []b
 		t.Fatal(err)
 	}
 	commit := protocol.Commitment(user, ct.Salt, protocol.HashCiphertext(blob), cluster, nonce)
-	if err := r.prov.LogRecoveryAttempt(user, 0, commit); err != nil {
+	if err := r.prov.LogRecoveryAttempt(tctx, user, 0, commit); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.prov.RunEpoch(); err != nil {
+	if err := r.prov.RunEpoch(tctx); err != nil {
 		t.Fatal(err)
 	}
-	trace, err := r.prov.FetchInclusionProof(user, 0, commit)
+	trace, err := r.prov.FetchInclusionProof(tctx, user, 0, commit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +122,7 @@ func TestHandleRecoverHappyPath(t *testing.T) {
 	_, _, cluster, _, _, req := r.backupAndLog(t, "alice", "123456")
 	h := r.hsms[cluster[0]]
 	before := h.Punctures()
-	reply, err := h.HandleRecover(req)
+	reply, err := h.HandleRecover(tctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +145,7 @@ func TestHandleRecoverWrongHSM(t *testing.T) {
 			break
 		}
 	}
-	if _, err := other.HandleRecover(req); err == nil {
+	if _, err := other.HandleRecover(tctx, req); err == nil {
 		t.Fatal("foreign HSM served the request")
 	}
 }
@@ -151,7 +154,7 @@ func TestHandleRecoverGuessLimit(t *testing.T) {
 	r := newRig(t, 8)
 	_, _, cluster, _, _, req := r.backupAndLog(t, "alice", "123456")
 	req.Attempt = r.cfg.GuessLimit // one past the budget
-	if _, err := r.hsms[cluster[0]].HandleRecover(req); !errors.Is(err, ErrGuessLimit) {
+	if _, err := r.hsms[cluster[0]].HandleRecover(tctx, req); !errors.Is(err, ErrGuessLimit) {
 		t.Fatalf("want ErrGuessLimit, got %v", err)
 	}
 }
@@ -160,7 +163,7 @@ func TestHandleRecoverBadCommitmentOpening(t *testing.T) {
 	r := newRig(t, 8)
 	_, _, cluster, _, _, req := r.backupAndLog(t, "alice", "123456")
 	req.CommitNonce = make([]byte, protocol.CommitNonceSize) // wrong nonce
-	if _, err := r.hsms[cluster[0]].HandleRecover(req); err == nil {
+	if _, err := r.hsms[cluster[0]].HandleRecover(tctx, req); err == nil {
 		t.Fatal("wrong commitment opening accepted")
 	}
 }
@@ -169,7 +172,7 @@ func TestHandleRecoverUnloggedAttempt(t *testing.T) {
 	r := newRig(t, 8)
 	_, _, cluster, _, _, req := r.backupAndLog(t, "alice", "123456")
 	req.Attempt = 1 // logged attempt was #0; #1 is unlogged
-	if _, err := r.hsms[cluster[0]].HandleRecover(req); err == nil {
+	if _, err := r.hsms[cluster[0]].HandleRecover(tctx, req); err == nil {
 		t.Fatal("unlogged attempt accepted")
 	}
 }
@@ -188,7 +191,7 @@ func TestHandleRecoverBeforeRoster(t *testing.T) {
 		CommitNonce: make([]byte, protocol.CommitNonceSize),
 		ShareCt:     []byte("x"), LogTrace: nil, ReplyPK: kp.PK,
 	}
-	if _, err := h.HandleRecover(req); err == nil {
+	if _, err := h.HandleRecover(tctx, req); err == nil {
 		t.Fatal("request served before roster installation")
 	}
 }

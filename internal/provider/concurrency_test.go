@@ -6,6 +6,7 @@ package provider
 // relays racing epochs, and slow HSMs stalling the audit pool.
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"sync"
@@ -50,7 +51,7 @@ func TestReserveAttemptAtomic(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got[i], _ = p.ReserveAttempt("alice")
+			got[i], _ = p.ReserveAttempt(tctx, "alice")
 		}(i)
 	}
 	wg.Wait()
@@ -64,8 +65,8 @@ func TestReserveAttemptAtomic(t *testing.T) {
 		}
 		seen[a] = true
 	}
-	if p.AttemptCount("alice") != workers {
-		t.Fatalf("AttemptCount = %d, want %d", p.AttemptCount("alice"), workers)
+	if n, _ := p.AttemptCount(tctx, "alice"); n != workers {
+		t.Fatalf("AttemptCount = %d, want %d", n, workers)
 	}
 }
 
@@ -76,11 +77,11 @@ type countingHSM struct {
 	commits int
 }
 
-func (c *countingHSM) LogHandleCommit(cm *dlog.CommitMessage) error {
+func (c *countingHSM) LogHandleCommit(ctx context.Context, cm *dlog.CommitMessage) error {
 	c.mu.Lock()
 	c.commits++
 	c.mu.Unlock()
-	return c.stubHSM.LogHandleCommit(cm)
+	return c.stubHSM.LogHandleCommit(ctx, cm)
 }
 
 func (c *countingHSM) Commits() int {
@@ -108,12 +109,12 @@ func TestConcurrentWaitersShareOneEpoch(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			user := fmt.Sprintf("user-%d", i)
-			a, _ := p.ReserveAttempt(user)
-			if err := p.LogRecoveryAttempt(user, a, []byte{byte(i)}); err != nil {
+			a, _ := p.ReserveAttempt(tctx, user)
+			if err := p.LogRecoveryAttempt(tctx, user, a, []byte{byte(i)}); err != nil {
 				errs[i] = err
 				return
 			}
-			errs[i] = p.WaitForCommit()
+			errs[i] = p.WaitForCommit(tctx)
 		}(i)
 	}
 	wg.Wait()
@@ -158,7 +159,7 @@ func TestConcurrentRunEpochAndRelayRecover(t *testing.T) {
 					Attempt: i,
 					Cluster: []int{w},
 				}
-				if _, err := p.RelayRecover(req); err != nil {
+				if _, err := p.RelayRecover(tctx, req); err != nil {
 					t.Errorf("relay: %v", err)
 					return
 				}
@@ -168,10 +169,10 @@ func TestConcurrentRunEpochAndRelayRecover(t *testing.T) {
 	// ...while epochs run concurrently.
 	for e := 0; e < 8; e++ {
 		user := fmt.Sprintf("epoch-user-%d", e)
-		if err := p.LogRecoveryAttempt(user, 0, []byte{byte(e)}); err != nil {
+		if err := p.LogRecoveryAttempt(tctx, user, 0, []byte{byte(e)}); err != nil {
 			t.Fatal(err)
 		}
-		if err := p.RunEpoch(); err != nil {
+		if err := p.RunEpoch(tctx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -192,7 +193,7 @@ func TestEscrowKeyedByAttemptAndBounded(t *testing.T) {
 			SharePos: pos,
 			Cluster:  []int{pos % 2, (pos + 1) % 2},
 		}
-		if _, err := p.RelayRecover(req); err != nil {
+		if _, err := p.RelayRecover(tctx, req); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -202,24 +203,24 @@ func TestEscrowKeyedByAttemptAndBounded(t *testing.T) {
 		relay(0, 0)
 		relay(0, 1)
 	}
-	if got := len(p.FetchEscrowedReplies("alice")); got != 2 {
-		t.Fatalf("escrow holds %d replies after retries, want 2", got)
+	if replies, _ := p.FetchEscrowedReplies(tctx, "alice"); len(replies) != 2 {
+		t.Fatalf("escrow holds %d replies after retries, want 2", len(replies))
 	}
 	// A newer attempt evicts the old one...
 	relay(3, 0)
 	if got := p.EscrowedAttempt("alice"); got != 3 {
 		t.Fatalf("escrowed attempt %d, want 3", got)
 	}
-	if got := len(p.FetchEscrowedReplies("alice")); got != 1 {
-		t.Fatalf("escrow holds %d replies after new attempt, want 1", got)
+	if replies, _ := p.FetchEscrowedReplies(tctx, "alice"); len(replies) != 1 {
+		t.Fatalf("escrow holds %d replies after new attempt, want 1", len(replies))
 	}
 	// ...and a stale attempt's reply is served but not stored.
 	relay(1, 1)
 	if got := p.EscrowedAttempt("alice"); got != 3 {
 		t.Fatalf("stale attempt overwrote escrow (attempt %d)", got)
 	}
-	if got := len(p.FetchEscrowedReplies("alice")); got != 1 {
-		t.Fatalf("stale reply escrowed (%d replies)", got)
+	if replies, _ := p.FetchEscrowedReplies(tctx, "alice"); len(replies) != 1 {
+		t.Fatalf("stale reply escrowed (%d replies)", len(replies))
 	}
 }
 
@@ -230,13 +231,13 @@ type laggardHSM struct {
 	release chan struct{} // non-nil: block until closed instead of sleeping
 }
 
-func (l *laggardHSM) LogChooseChunks(hdr dlog.EpochHeader) ([]int, error) {
+func (l *laggardHSM) LogChooseChunks(ctx context.Context, hdr dlog.EpochHeader) ([]int, error) {
 	if l.release != nil {
 		<-l.release
 	} else {
 		time.Sleep(l.delay)
 	}
-	return l.stubHSM.LogChooseChunks(hdr)
+	return l.stubHSM.LogChooseChunks(ctx, hdr)
 }
 
 func TestSlowHSMDelaysButDoesNotWedgeEpoch(t *testing.T) {
@@ -260,11 +261,11 @@ func TestSlowHSMDelaysButDoesNotWedgeEpoch(t *testing.T) {
 			p.Register(s)
 		}
 	}
-	if err := p.LogRecoveryAttempt("alice", 0, []byte("h")); err != nil {
+	if err := p.LogRecoveryAttempt(tctx, "alice", 0, []byte("h")); err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	if err := p.RunEpoch(); err != nil {
+	if err := p.RunEpoch(tctx); err != nil {
 		t.Fatalf("epoch failed despite quorum: %v", err)
 	}
 	elapsed := time.Since(start)
@@ -279,10 +280,10 @@ func TestSlowHSMDelaysButDoesNotWedgeEpoch(t *testing.T) {
 		t.Fatalf("epoch took %v; hung HSM wedged the pool", elapsed)
 	}
 	// A second epoch still works with the HSM still hung.
-	if err := p.LogRecoveryAttempt("bob", 0, []byte("h2")); err != nil {
+	if err := p.LogRecoveryAttempt(tctx, "bob", 0, []byte("h2")); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.RunEpoch(); err != nil {
+	if err := p.RunEpoch(tctx); err != nil {
 		t.Fatalf("second epoch failed: %v", err)
 	}
 }
@@ -297,13 +298,13 @@ func TestWaitForCommitAfterEpochAlreadyCommitted(t *testing.T) {
 	for _, s := range buildStubs(t, cfg, 2) {
 		p.Register(s)
 	}
-	if err := p.LogRecoveryAttempt("alice", 0, []byte("h")); err != nil {
+	if err := p.LogRecoveryAttempt(tctx, "alice", 0, []byte("h")); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.RunEpoch(); err != nil {
+	if err := p.RunEpoch(tctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.WaitForCommit(); err != nil {
+	if err := p.WaitForCommit(tctx); err != nil {
 		t.Fatalf("WaitForCommit with nothing pending: %v", err)
 	}
 }

@@ -10,12 +10,20 @@
 // shared epochs driven by the scheduler in scheduler.go (the paper's
 // ~10-minute batching, §6.2/§9).
 //
+// Every service method takes a context.Context: *Provider satisfies the
+// client package's role-scoped Provider interface directly, so callers get
+// identical cancellation and deadline semantics whether they talk to the
+// in-process engine or to providerd over TCP. Cancellation propagates all
+// the way down — a cancelled WaitForCommit is unsubscribed from its epoch
+// round, and a cancelled RelayRecover aborts the per-HSM exchange.
+//
 // Nothing in this package is trusted: every security property is enforced
 // by the clients and HSMs on the other side of its interfaces. A test that
 // swaps in a misbehaving provider must fail closed, not open.
 package provider
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -28,17 +36,21 @@ import (
 )
 
 // HSMHandle is the provider's view of one HSM: its message interface only.
+// Every exchange takes a context so the epoch fan-out and the recovery
+// relay can cancel in-flight work (locally or over a transport) when a
+// deadline passes or the caller goes away.
 type HSMHandle interface {
 	ID() int
-	LogChooseChunks(hdr dlog.EpochHeader) ([]int, error)
-	LogHandleAudit(pkg *dlog.AuditPackage) ([]byte, error)
-	LogHandleCommit(cm *dlog.CommitMessage) error
-	HandleRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error)
+	LogChooseChunks(ctx context.Context, hdr dlog.EpochHeader) ([]int, error)
+	LogHandleAudit(ctx context.Context, pkg *dlog.AuditPackage) ([]byte, error)
+	LogHandleCommit(ctx context.Context, cm *dlog.CommitMessage) error
+	HandleRecover(ctx context.Context, req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error)
 }
 
 // EngineConfig tunes the provider's concurrency machinery. The zero value
 // gives test-friendly defaults; a production deployment would raise
-// BatchWindow toward the paper's ~10-minute epoch cadence.
+// BatchWindow (or set EpochInterval) toward the paper's ~10-minute epoch
+// cadence.
 type EngineConfig struct {
 	// Shards is the number of lock stripes for per-user state (0 → 32).
 	Shards int
@@ -55,6 +67,12 @@ type EngineConfig struct {
 	// or commit before skipping it (0 → 30s). A hung HSM therefore delays
 	// an epoch by at most this much instead of wedging it.
 	AuditTimeout time.Duration
+	// EpochInterval, when non-zero, runs a standing timer that commits
+	// pending log insertions on this cadence even when no WaitForCommit
+	// waiter is blocked — the daemon mode for the paper's true 10-minute
+	// epochs with idle-trickle LogRecoveryAttempt traffic. Stop it with
+	// Provider.Close.
+	EpochInterval time.Duration
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -131,6 +149,14 @@ func NewWithEngine(logCfg dlog.Config, engine EngineConfig) *Provider {
 	return p
 }
 
+// Close stops the provider's background machinery (the standing epoch
+// timer, when EngineConfig.EpochInterval enabled one). Safe to call more
+// than once; a provider without a standing timer needs no Close.
+func (p *Provider) Close() error {
+	p.sched.close()
+	return nil
+}
+
 // shardFor returns the lock stripe owning a user's state (inline FNV-1a:
 // this sits on every per-user hot path and must not allocate).
 func (p *Provider) shardFor(user string) *shard {
@@ -189,10 +215,13 @@ func (p *Provider) handles() []HSMHandle {
 	return out
 }
 
-// --- ciphertext storage ---
+// --- ciphertext storage (client.BackupStore) ---
 
 // StoreCiphertext saves a client's recovery ciphertext.
-func (p *Provider) StoreCiphertext(user string, ct []byte) error {
+func (p *Provider) StoreCiphertext(ctx context.Context, user string, ct []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if user == "" {
 		return errors.New("provider: empty user")
 	}
@@ -204,7 +233,10 @@ func (p *Provider) StoreCiphertext(user string, ct []byte) error {
 }
 
 // FetchCiphertext returns the client's latest recovery ciphertext.
-func (p *Provider) FetchCiphertext(user string) ([]byte, error) {
+func (p *Provider) FetchCiphertext(ctx context.Context, user string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s := p.shardFor(user)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -223,23 +255,27 @@ func (p *Provider) CiphertextCount(user string) int {
 	return len(s.cts[user])
 }
 
-// --- distributed log ---
+// --- distributed log (client.LogService) ---
 
 // AttemptCount returns the number of recovery attempts already reserved or
 // logged for a user (the next free attempt number).
-func (p *Provider) AttemptCount(user string) int {
+func (p *Provider) AttemptCount(ctx context.Context, user string) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	s := p.shardFor(user)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.attempts[user]
+	return s.attempts[user], nil
 }
 
 // ReserveAttempt atomically allocates the next attempt number for a user.
 // Two concurrent recoveries of the same user receive distinct indices, so
-// their log insertions never collide. The error is always nil in process;
-// the signature exists so the TCP transport can surface RPC failures
-// instead of inventing an attempt index.
-func (p *Provider) ReserveAttempt(user string) (int, error) {
+// their log insertions never collide.
+func (p *Provider) ReserveAttempt(ctx context.Context, user string) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	s := p.shardFor(user)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -250,7 +286,10 @@ func (p *Provider) ReserveAttempt(user string) (int, error) {
 
 // LogRecoveryAttempt inserts (LogID(user, attempt) → commitment) into the
 // pending log batch for the next scheduled epoch.
-func (p *Provider) LogRecoveryAttempt(user string, attempt int, commitment []byte) error {
+func (p *Provider) LogRecoveryAttempt(ctx context.Context, user string, attempt int, commitment []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := p.log.Append(protocol.LogID(user, attempt), commitment); err != nil {
 		return err
 	}
@@ -270,25 +309,31 @@ func (p *Provider) LogRecoveryAttempt(user string, attempt int, commitment []byt
 // RunEpoch forces one log-update epoch over everything currently pending
 // (Figure 5): build, audit at every reachable HSM in parallel, aggregate,
 // commit. HSMs that fail mid-protocol are skipped; the epoch succeeds if a
-// quorum signs. Tests and administrative tools call this directly; clients
-// wait on the scheduler via WaitForCommit instead.
-func (p *Provider) RunEpoch() error {
-	return p.sched.commitNow()
+// quorum signs. Cancelling ctx abandons the wait (the epoch still runs for
+// other subscribers). Tests and administrative tools call this directly;
+// clients wait on the scheduler via WaitForCommit instead.
+func (p *Provider) RunEpoch(ctx context.Context) error {
+	return p.sched.commitNow(ctx)
 }
 
 // WaitForCommit blocks until every log insertion appended before the call
 // has been committed by an epoch (or the epoch attempt failed). Many
 // concurrent callers share one epoch — this is the paper's batching,
-// compressed from ten minutes to the engine's BatchWindow.
-func (p *Provider) WaitForCommit() error {
-	return p.sched.waitForCommit()
+// compressed from ten minutes to the engine's BatchWindow. A caller whose
+// ctx is cancelled is unsubscribed from the round and returns ctx.Err();
+// the shared epoch is unaffected.
+func (p *Provider) WaitForCommit(ctx context.Context) error {
+	return p.sched.waitForCommit(ctx)
 }
 
 // PendingLogLen returns queued-but-uncommitted log insertions.
 func (p *Provider) PendingLogLen() int { return p.log.PendingLen() }
 
 // FetchInclusionProof serves a log-inclusion proof for a committed entry.
-func (p *Provider) FetchInclusionProof(user string, attempt int, commitment []byte) (*logtree.Trace, error) {
+func (p *Provider) FetchInclusionProof(ctx context.Context, user string, attempt int, commitment []byte) (*logtree.Trace, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return p.log.ProveInclusion(protocol.LogID(user, attempt), commitment)
 }
 
@@ -312,7 +357,7 @@ func (p *Provider) GarbageCollectLog() {
 	}
 }
 
-// --- recovery relay ---
+// --- recovery relay (client.RecoveryService) ---
 
 // RelayRecover forwards a recovery request to the addressed HSM and escrows
 // the sealed reply so a replacement device can finish an interrupted
@@ -320,8 +365,11 @@ func (p *Provider) GarbageCollectLog() {
 // so escrow reveals nothing to the provider. Escrow is keyed by
 // (user, attempt): a reply for a newer attempt evicts older ones, and
 // replies for attempts older than the newest seen are dropped, bounding
-// per-user escrow memory at one cluster of replies.
-func (p *Provider) RelayRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
+// per-user escrow memory at one cluster of replies. The context propagates
+// into the HSM exchange: a client that cancels (say, because it already
+// holds a threshold of shares) aborts the in-flight HSM request rather
+// than leaking it.
+func (p *Provider) RelayRecover(ctx context.Context, req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
 	if req.SharePos < 0 || req.SharePos >= len(req.Cluster) {
 		return nil, errors.New("provider: malformed cluster opening")
 	}
@@ -332,7 +380,7 @@ func (p *Provider) RelayRecover(req *protocol.RecoveryRequest) (*protocol.Recove
 	if !ok {
 		return nil, fmt.Errorf("provider: no HSM %d registered", target)
 	}
-	reply, err := h.HandleRecover(req)
+	reply, err := h.HandleRecover(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -358,19 +406,22 @@ func (p *Provider) RelayRecover(req *protocol.RecoveryRequest) (*protocol.Recove
 
 // FetchEscrowedReplies returns the sealed replies of a user's latest
 // recovery attempt for a replacement device.
-func (p *Provider) FetchEscrowedReplies(user string) []*protocol.RecoveryReply {
+func (p *Provider) FetchEscrowedReplies(ctx context.Context, user string) ([]*protocol.RecoveryReply, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s := p.shardFor(user)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	box := s.escrow[user]
 	if box == nil {
-		return nil
+		return nil, nil
 	}
 	out := make([]*protocol.RecoveryReply, 0, len(box.order))
 	for _, pos := range box.order {
 		out = append(out, box.replies[pos])
 	}
-	return out
+	return out, nil
 }
 
 // EscrowedAttempt reports which attempt a user's escrow currently holds
@@ -386,9 +437,13 @@ func (p *Provider) EscrowedAttempt(user string) int {
 }
 
 // ClearEscrow drops a user's escrowed replies (after a completed recovery).
-func (p *Provider) ClearEscrow(user string) {
+func (p *Provider) ClearEscrow(ctx context.Context, user string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s := p.shardFor(user)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.escrow, user)
+	return nil
 }

@@ -1,6 +1,7 @@
 package provider
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"testing"
@@ -9,6 +10,8 @@ import (
 	"safetypin/internal/dlog"
 	"safetypin/internal/protocol"
 )
+
+var tctx = context.Background()
 
 func logCfg() dlog.Config {
 	return dlog.Config{
@@ -21,19 +24,19 @@ func logCfg() dlog.Config {
 
 func TestCiphertextStore(t *testing.T) {
 	p := New(logCfg())
-	if err := p.StoreCiphertext("", []byte("x")); err == nil {
+	if err := p.StoreCiphertext(tctx, "", []byte("x")); err == nil {
 		t.Fatal("empty user accepted")
 	}
-	if _, err := p.FetchCiphertext("ghost"); err == nil {
+	if _, err := p.FetchCiphertext(tctx, "ghost"); err == nil {
 		t.Fatal("fetch for unknown user succeeded")
 	}
-	if err := p.StoreCiphertext("alice", []byte("v1")); err != nil {
+	if err := p.StoreCiphertext(tctx, "alice", []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.StoreCiphertext("alice", []byte("v2")); err != nil {
+	if err := p.StoreCiphertext(tctx, "alice", []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := p.FetchCiphertext("alice")
+	got, err := p.FetchCiphertext(tctx, "alice")
 	if err != nil || string(got) != "v2" {
 		t.Fatalf("latest fetch wrong: %q %v", got, err)
 	}
@@ -42,7 +45,7 @@ func TestCiphertextStore(t *testing.T) {
 	}
 	// Returned slices are copies.
 	got[0] = 'X'
-	again, _ := p.FetchCiphertext("alice")
+	again, _ := p.FetchCiphertext(tctx, "alice")
 	if string(again) != "v2" {
 		t.Fatal("internal state aliased to caller")
 	}
@@ -50,27 +53,27 @@ func TestCiphertextStore(t *testing.T) {
 
 func TestAttemptAccounting(t *testing.T) {
 	p := New(logCfg())
-	if p.AttemptCount("alice") != 0 {
+	if n, _ := p.AttemptCount(tctx, "alice"); n != 0 {
 		t.Fatal("fresh user should have zero attempts")
 	}
-	if err := p.LogRecoveryAttempt("alice", 0, []byte("h0")); err != nil {
+	if err := p.LogRecoveryAttempt(tctx, "alice", 0, []byte("h0")); err != nil {
 		t.Fatal(err)
 	}
-	if p.AttemptCount("alice") != 1 {
+	if n, _ := p.AttemptCount(tctx, "alice"); n != 1 {
 		t.Fatal("attempt not counted")
 	}
 	// Duplicate (user, attempt) is a duplicate log identifier.
-	if err := p.LogRecoveryAttempt("alice", 0, []byte("h1")); err == nil {
+	if err := p.LogRecoveryAttempt(tctx, "alice", 0, []byte("h1")); err == nil {
 		t.Fatal("duplicate attempt id accepted")
 	}
 }
 
 func TestRunEpochNoParticipants(t *testing.T) {
 	p := New(logCfg())
-	if err := p.LogRecoveryAttempt("alice", 0, []byte("h")); err != nil {
+	if err := p.LogRecoveryAttempt(tctx, "alice", 0, []byte("h")); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.RunEpoch(); err == nil {
+	if err := p.RunEpoch(tctx); err == nil {
 		t.Fatal("epoch without HSMs should fail")
 	}
 	// Pending entries survive for a retry.
@@ -88,25 +91,25 @@ type stubHSM struct {
 }
 
 func (s *stubHSM) ID() int { return s.id }
-func (s *stubHSM) LogChooseChunks(hdr dlog.EpochHeader) ([]int, error) {
+func (s *stubHSM) LogChooseChunks(_ context.Context, hdr dlog.EpochHeader) ([]int, error) {
 	if s.failing {
 		return nil, errors.New("down")
 	}
 	return s.auditor.ChooseChunks(hdr)
 }
-func (s *stubHSM) LogHandleAudit(pkg *dlog.AuditPackage) ([]byte, error) {
+func (s *stubHSM) LogHandleAudit(_ context.Context, pkg *dlog.AuditPackage) ([]byte, error) {
 	if s.failing {
 		return nil, errors.New("down")
 	}
 	return s.auditor.HandleAudit(pkg)
 }
-func (s *stubHSM) LogHandleCommit(cm *dlog.CommitMessage) error {
+func (s *stubHSM) LogHandleCommit(_ context.Context, cm *dlog.CommitMessage) error {
 	if s.failing {
 		return errors.New("down")
 	}
 	return s.auditor.HandleCommit(cm)
 }
-func (s *stubHSM) HandleRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
+func (s *stubHSM) HandleRecover(_ context.Context, req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
 	if s.failing {
 		return nil, errors.New("down")
 	}
@@ -142,10 +145,10 @@ func newStubFleet(t *testing.T, p *Provider, n int, failing map[int]bool) []*stu
 func TestRunEpochToleratesFailures(t *testing.T) {
 	p := New(logCfg())
 	newStubFleet(t, p, 4, map[int]bool{3: true})
-	if err := p.LogRecoveryAttempt("alice", 0, []byte("h")); err != nil {
+	if err := p.LogRecoveryAttempt(tctx, "alice", 0, []byte("h")); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.RunEpoch(); err != nil && !errors.Is(err, errStubDown) {
+	if err := p.RunEpoch(tctx); err != nil && !errors.Is(err, errStubDown) {
 		// The failing HSM's commit error may surface; the epoch itself must
 		// have committed, which we verify via the digest.
 	}
@@ -163,7 +166,7 @@ func TestRelayRecoverRouting(t *testing.T) {
 	p := New(logCfg())
 	newStubFleet(t, p, 4, nil)
 	req := &protocol.RecoveryRequest{User: "alice", SharePos: 0, Cluster: []int{2}}
-	reply, err := p.RelayRecover(req)
+	reply, err := p.RelayRecover(tctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,21 +174,21 @@ func TestRelayRecoverRouting(t *testing.T) {
 		t.Fatal("routed to wrong HSM")
 	}
 	// Escrowed for crash recovery.
-	if got := p.FetchEscrowedReplies("alice"); len(got) != 1 {
+	if got, _ := p.FetchEscrowedReplies(tctx, "alice"); len(got) != 1 {
 		t.Fatalf("escrow has %d replies", len(got))
 	}
-	p.ClearEscrow("alice")
-	if got := p.FetchEscrowedReplies("alice"); len(got) != 0 {
+	p.ClearEscrow(tctx, "alice")
+	if got, _ := p.FetchEscrowedReplies(tctx, "alice"); len(got) != 0 {
 		t.Fatal("escrow not cleared")
 	}
 }
 
 func TestRelayRecoverValidation(t *testing.T) {
 	p := New(logCfg())
-	if _, err := p.RelayRecover(&protocol.RecoveryRequest{SharePos: 0, Cluster: nil}); err == nil {
+	if _, err := p.RelayRecover(tctx, &protocol.RecoveryRequest{SharePos: 0, Cluster: nil}); err == nil {
 		t.Fatal("malformed cluster accepted")
 	}
-	if _, err := p.RelayRecover(&protocol.RecoveryRequest{SharePos: 0, Cluster: []int{7}}); err == nil {
+	if _, err := p.RelayRecover(tctx, &protocol.RecoveryRequest{SharePos: 0, Cluster: []int{7}}); err == nil {
 		t.Fatal("unknown HSM accepted")
 	}
 }
@@ -193,21 +196,21 @@ func TestRelayRecoverValidation(t *testing.T) {
 func TestGarbageCollectResetsAttempts(t *testing.T) {
 	p := New(logCfg())
 	newStubFleet(t, p, 2, nil)
-	if err := p.LogRecoveryAttempt("alice", 0, []byte("h")); err != nil {
+	if err := p.LogRecoveryAttempt(tctx, "alice", 0, []byte("h")); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.RunEpoch(); err != nil {
+	if err := p.RunEpoch(tctx); err != nil {
 		t.Fatal(err)
 	}
 	p.GarbageCollectLog()
-	if p.AttemptCount("alice") != 0 {
+	if n, _ := p.AttemptCount(tctx, "alice"); n != 0 {
 		t.Fatal("attempts not reset by GC")
 	}
 	if len(p.LogEntries()) != 0 {
 		t.Fatal("log not cleared by GC")
 	}
 	// Same id is insertable again.
-	if err := p.LogRecoveryAttempt("alice", 0, []byte("h2")); err != nil {
+	if err := p.LogRecoveryAttempt(tctx, "alice", 0, []byte("h2")); err != nil {
 		t.Fatal(err)
 	}
 }

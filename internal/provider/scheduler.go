@@ -7,15 +7,28 @@ package provider
 // concurrent recoveries share one epoch's audit cost. The scheduler models
 // that: log insertions accumulate while a round gathers (BatchWindow, or
 // until MaxBatch insertions are pending), then one leader goroutine runs
-// the epoch for every waiter at once. Callers block on WaitForCommit
-// instead of driving epochs themselves.
+// the epoch for every waiter at once. Callers block on WaitForCommit(ctx)
+// instead of driving epochs themselves; a caller whose context is cancelled
+// is unsubscribed from the round immediately — the shared epoch still runs
+// for the remaining waiters, but nothing holds a reference to the
+// abandoned one.
+//
+// Two triggers fire a round: the gathering window and the batch-size
+// limit. A third, optional standing timer (EngineConfig.EpochInterval)
+// commits pending insertions on a fixed cadence even when no WaitForCommit
+// waiter is blocked — the daemon configuration for the paper's true
+// 10-minute epochs, where raw LogRecoveryAttempt traffic trickles in
+// without anyone waiting on it.
 //
 // Epoch execution fans the choose/audit/commit exchanges out to the fleet
-// through a bounded worker pool, aggregating signatures as they arrive. A
-// slow or hung HSM is skipped after AuditTimeout, so it delays an epoch by
-// at most that much; the epoch still commits if a quorum signs.
+// through a bounded worker pool, aggregating signatures as they arrive.
+// Each per-HSM exchange runs under a context bounded by AuditTimeout, so a
+// slow or hung HSM is skipped (and, over a context-aware transport, its
+// in-flight RPC cancelled) after at most that long; the epoch still
+// commits if a quorum signs.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -24,13 +37,18 @@ import (
 	"safetypin/internal/dlog"
 )
 
-// epochRound is one gathering window: every waiter that joins before the
+// waiter is one WaitForCommit subscription: the round's result is delivered
+// on ch (buffered, so the leader never blocks on a slow receiver).
+type waiter struct {
+	ch chan error
+}
+
+// epochRound is one gathering window: every waiter subscribed before the
 // round fires shares the same epoch execution and result.
 type epochRound struct {
-	fire  chan struct{} // closed to trigger the commit early
-	done  chan struct{} // closed once the epoch attempt finished
-	fired bool          // guarded by epochScheduler.mu
-	err   error         // valid after done is closed
+	fire    chan struct{}        // closed to trigger the commit early
+	fired   bool                 // guarded by epochScheduler.mu
+	waiters map[*waiter]struct{} // guarded by epochScheduler.mu
 }
 
 // epochScheduler batches log insertions into shared epochs.
@@ -45,35 +63,92 @@ type epochScheduler struct {
 	// commitMu serializes epoch executions: the dlog stages exactly one
 	// epoch at a time.
 	commitMu sync.Mutex
+
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
 func newEpochScheduler(p *Provider) *epochScheduler {
-	return &epochScheduler{p: p}
-}
-
-// waitForCommit joins the current round (starting one if needed) and blocks
-// until its epoch attempt finishes. "Nothing pending" is success here: it
-// means an earlier epoch already committed everything this caller appended.
-func (s *epochScheduler) waitForCommit() error {
-	r := s.join()
-	<-r.done
-	if errors.Is(r.err, dlog.ErrNoPending) {
-		return nil
+	s := &epochScheduler{p: p, stop: make(chan struct{})}
+	if p.engine.EpochInterval > 0 {
+		go s.standingTimer(p.engine.EpochInterval)
 	}
-	return r.err
+	return s
 }
 
-// join returns the gathering round, creating and leading a fresh one when
-// none is open.
-func (s *epochScheduler) join() *epochRound {
+// close stops the standing timer (idempotent).
+func (s *epochScheduler) close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// standingTimer commits pending insertions on a fixed cadence even when no
+// waiter is blocked — the daemon mode for the paper's 10-minute epochs.
+func (s *epochScheduler) standingTimer(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if s.p.log.PendingLen() > 0 {
+				_ = s.commitNow(context.Background())
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// waitForCommit subscribes to the current round (starting one if needed)
+// and blocks until its epoch attempt finishes or ctx is cancelled. A
+// cancelled waiter is removed from the round's subscription list before
+// returning. "Nothing pending" is success here: it means an earlier epoch
+// already committed everything this caller appended.
+func (s *epochScheduler) waitForCommit(ctx context.Context) error {
+	w := &waiter{ch: make(chan error, 1)}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	r := s.openRoundLocked()
+	r.waiters[w] = struct{}{}
+	s.mu.Unlock()
+	select {
+	case err := <-w.ch:
+		if errors.Is(err, dlog.ErrNoPending) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		s.unsubscribe(r, w)
+		return ctx.Err()
+	}
+}
+
+// openRoundLocked returns the gathering round, creating and leading a fresh
+// one when none is open. Callers hold s.mu.
+func (s *epochScheduler) openRoundLocked() *epochRound {
 	if s.cur == nil {
-		r := &epochRound{fire: make(chan struct{}), done: make(chan struct{})}
+		r := &epochRound{fire: make(chan struct{}), waiters: make(map[*waiter]struct{})}
 		s.cur = r
 		go s.lead(r)
 	}
 	return s.cur
+}
+
+// unsubscribe removes a cancelled waiter from a round's subscription list.
+// After the round delivered its result the list is nil and this is a no-op.
+func (s *epochScheduler) unsubscribe(r *epochRound, w *waiter) {
+	s.mu.Lock()
+	delete(r.waiters, w)
+	s.mu.Unlock()
+}
+
+// waiterCount reports the current round's live subscriptions (0 when no
+// round is gathering); exposed inside the package for leak tests.
+func (s *epochScheduler) waiterCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur == nil {
+		return 0
+	}
+	return len(s.cur.waiters)
 }
 
 // notePending fires the gathering round early once the pending batch is
@@ -92,26 +167,30 @@ func (s *epochScheduler) notePending(pending int) {
 
 // commitNow forces an epoch over everything currently pending: it fires the
 // gathering round (or starts one) and waits for the result, errors
-// included. Provider.RunEpoch is this.
-func (s *epochScheduler) commitNow() error {
+// included. Provider.RunEpoch is this. Cancelling ctx abandons the wait
+// (the epoch itself still runs for any other subscriber).
+func (s *epochScheduler) commitNow(ctx context.Context) error {
+	w := &waiter{ch: make(chan error, 1)}
 	s.mu.Lock()
-	r := s.cur
-	if r == nil {
-		r = &epochRound{fire: make(chan struct{}), done: make(chan struct{})}
-		s.cur = r
-		go s.lead(r)
-	}
+	r := s.openRoundLocked()
+	r.waiters[w] = struct{}{}
 	if !r.fired {
 		r.fired = true
 		close(r.fire)
 	}
 	s.mu.Unlock()
-	<-r.done
-	return r.err
+	select {
+	case err := <-w.ch:
+		return err
+	case <-ctx.Done():
+		s.unsubscribe(r, w)
+		return ctx.Err()
+	}
 }
 
 // lead waits out the gathering window (or an early fire), detaches the
-// round, and executes its epoch.
+// round, executes its epoch, and delivers the result to every waiter still
+// subscribed.
 func (s *epochScheduler) lead(r *epochRound) {
 	t := time.NewTimer(s.p.engine.BatchWindow)
 	select {
@@ -125,9 +204,15 @@ func (s *epochScheduler) lead(r *epochRound) {
 	}
 	s.mu.Unlock()
 	s.commitMu.Lock()
-	r.err = s.p.runEpochNow()
+	err := s.p.runEpochNow(context.Background())
 	s.commitMu.Unlock()
-	close(r.done)
+	s.mu.Lock()
+	ws := r.waiters
+	r.waiters = nil // late unsubscribes become no-ops
+	s.mu.Unlock()
+	for w := range ws {
+		w.ch <- err
+	}
 }
 
 // hsmResult is one HSM's contribution to an epoch phase (sig is nil for
@@ -142,7 +227,7 @@ type hsmResult struct {
 // goroutines and returns the results in completion order. Both epoch
 // phases (audit, commit) go through here so the bounding and skip
 // semantics live in one place.
-func fanOut(handles []HSMHandle, workers int, fn func(HSMHandle) hsmResult) []hsmResult {
+func fanOut(ctx context.Context, handles []HSMHandle, workers int, fn func(context.Context, HSMHandle) hsmResult) []hsmResult {
 	if workers <= 0 {
 		workers = 16
 	}
@@ -154,7 +239,7 @@ func fanOut(handles []HSMHandle, workers int, fn func(HSMHandle) hsmResult) []hs
 	for w := 0; w < workers; w++ {
 		go func() {
 			for h := range jobs {
-				results <- fn(h)
+				results <- fn(ctx, h)
 			}
 		}()
 	}
@@ -174,7 +259,7 @@ func fanOut(handles []HSMHandle, workers int, fn func(HSMHandle) hsmResult) []hs
 // runEpochNow executes one epoch over the current pending batch: build,
 // fan out the audit to the fleet, aggregate, commit, fan out the commit.
 // The caller (scheduler) serializes invocations.
-func (p *Provider) runEpochNow() error {
+func (p *Provider) runEpochNow(ctx context.Context) error {
 	hdr, err := p.log.BuildEpoch()
 	if err != nil {
 		return err
@@ -189,8 +274,8 @@ func (p *Provider) runEpochNow() error {
 	var sigs [][]byte
 	var signers []int
 	var firstErr error
-	for _, r := range fanOut(handles, p.engine.EpochWorkers, func(h HSMHandle) hsmResult {
-		sig, err := p.auditOne(h, hdr)
+	for _, r := range fanOut(ctx, handles, p.engine.EpochWorkers, func(ctx context.Context, h HSMHandle) hsmResult {
+		sig, err := p.auditOne(ctx, h, hdr)
 		return hsmResult{id: h.ID(), sig: sig, err: err}
 	}) {
 		if r.err != nil {
@@ -221,8 +306,8 @@ func (p *Provider) runEpochNow() error {
 	// must not fail every recovery batched into this epoch.
 	var commitErr error
 	delivered := 0
-	for _, r := range fanOut(handles, p.engine.EpochWorkers, func(h HSMHandle) hsmResult {
-		return hsmResult{id: h.ID(), err: p.commitOne(h, cm)}
+	for _, r := range fanOut(ctx, handles, p.engine.EpochWorkers, func(ctx context.Context, h HSMHandle) hsmResult {
+		return hsmResult{id: h.ID(), err: p.commitOne(ctx, h, cm)}
 	}) {
 		if r.err != nil {
 			if commitErr == nil {
@@ -238,16 +323,20 @@ func (p *Provider) runEpochNow() error {
 	return nil
 }
 
-// auditOne runs the choose-chunks/audit exchange with one HSM, bounded by
-// the engine's audit timeout so a hung HSM cannot wedge the pool's worker.
-func (p *Provider) auditOne(h HSMHandle, hdr dlog.EpochHeader) ([]byte, error) {
+// auditOne runs the choose-chunks/audit exchange with one HSM under a
+// context bounded by the engine's audit timeout, so a hung HSM cannot
+// wedge the pool's worker — and over a context-aware transport the
+// in-flight RPC itself is cancelled at the deadline.
+func (p *Provider) auditOne(ctx context.Context, h HSMHandle, hdr dlog.EpochHeader) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, p.engine.AuditTimeout)
+	defer cancel()
 	type out struct {
 		sig []byte
 		err error
 	}
 	ch := make(chan out, 1)
 	go func() {
-		chunks, err := h.LogChooseChunks(hdr)
+		chunks, err := h.LogChooseChunks(ctx, hdr)
 		if err != nil {
 			ch <- out{err: err}
 			return
@@ -257,29 +346,27 @@ func (p *Provider) auditOne(h HSMHandle, hdr dlog.EpochHeader) ([]byte, error) {
 			ch <- out{err: err}
 			return
 		}
-		sig, err := h.LogHandleAudit(pkg)
+		sig, err := h.LogHandleAudit(ctx, pkg)
 		ch <- out{sig: sig, err: err}
 	}()
-	t := time.NewTimer(p.engine.AuditTimeout)
-	defer t.Stop()
 	select {
 	case o := <-ch:
 		return o.sig, o.err
-	case <-t.C:
-		return nil, fmt.Errorf("provider: HSM %d audit timed out", h.ID())
+	case <-ctx.Done():
+		return nil, fmt.Errorf("provider: HSM %d audit timed out: %w", h.ID(), ctx.Err())
 	}
 }
 
 // commitOne delivers the commit message to one HSM under the audit timeout.
-func (p *Provider) commitOne(h HSMHandle, cm *dlog.CommitMessage) error {
+func (p *Provider) commitOne(ctx context.Context, h HSMHandle, cm *dlog.CommitMessage) error {
+	ctx, cancel := context.WithTimeout(ctx, p.engine.AuditTimeout)
+	defer cancel()
 	ch := make(chan error, 1)
-	go func() { ch <- h.LogHandleCommit(cm) }()
-	t := time.NewTimer(p.engine.AuditTimeout)
-	defer t.Stop()
+	go func() { ch <- h.LogHandleCommit(ctx, cm) }()
 	select {
 	case err := <-ch:
 		return err
-	case <-t.C:
-		return fmt.Errorf("provider: HSM %d commit timed out", h.ID())
+	case <-ctx.Done():
+		return fmt.Errorf("provider: HSM %d commit timed out: %w", h.ID(), ctx.Err())
 	}
 }

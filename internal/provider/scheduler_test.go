@@ -1,0 +1,171 @@
+package provider
+
+// scheduler_test.go pins the epoch scheduler's context semantics: a
+// cancelled waiter is removed from the round's subscription list (no
+// leak), a cancelled waiter does not disturb the shared epoch (the log
+// stays consistent for everyone else), and the standing timer commits
+// pending insertions with no waiter at all. All meant for -race.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"safetypin/internal/protocol"
+)
+
+// TestWaitForCommitCancelledWaiterUnsubscribed: a waiter whose context is
+// cancelled must be removed from the scheduler's subscription list
+// immediately, not retained until the round fires.
+func TestWaitForCommitCancelledWaiterUnsubscribed(t *testing.T) {
+	cfg := logCfg()
+	// A long gathering window keeps the round open while we inspect it.
+	p := NewWithEngine(cfg, EngineConfig{BatchWindow: 30 * time.Second})
+	newStubFleet(t, p, 2, nil)
+	if err := p.LogRecoveryAttempt(tctx, "alice", 0, []byte("h")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.WaitForCommit(ctx) }()
+	// Wait until the waiter is subscribed, then cancel it.
+	deadline := time.After(5 * time.Second)
+	for p.sched.waiterCount() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never subscribed")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("cancelled waiter returned %v", err)
+	}
+	for p.sched.waiterCount() != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("cancelled waiter still subscribed (%d)", p.sched.waiterCount())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// The round is still gathering; flush it so the insertion commits.
+	if err := p.RunEpoch(tctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMidEpochCancellationLeavesLogConsistent: one of two concurrent
+// waiters abandons the epoch mid-flight; the shared epoch still commits
+// both insertions and the survivor sees success.
+func TestMidEpochCancellationLeavesLogConsistent(t *testing.T) {
+	cfg := logCfg()
+	p := NewWithEngine(cfg, EngineConfig{BatchWindow: 50 * time.Millisecond})
+	newStubFleet(t, p, 3, nil)
+	if err := p.LogRecoveryAttempt(tctx, "alice", 0, []byte("ha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LogRecoveryAttempt(tctx, "bob", 0, []byte("hb")); err != nil {
+		t.Fatal(err)
+	}
+	quitter, cancel := context.WithCancel(context.Background())
+	quitterDone := make(chan error, 1)
+	survivorDone := make(chan error, 1)
+	go func() { quitterDone <- p.WaitForCommit(quitter) }()
+	go func() { survivorDone <- p.WaitForCommit(tctx) }()
+	cancel()
+	if err := <-quitterDone; err != context.Canceled {
+		t.Fatalf("quitter returned %v", err)
+	}
+	if err := <-survivorDone; err != nil {
+		t.Fatalf("survivor failed after peer cancelled: %v", err)
+	}
+	// Both insertions — including the quitter's — are committed.
+	for _, user := range []string{"alice", "bob"} {
+		if _, ok := p.Get(protocol.LogID(user, 0)); !ok {
+			t.Fatalf("%s's insertion missing after epoch", user)
+		}
+	}
+}
+
+// TestStandingTimerCommitsWithoutWaiters: EpochInterval drives epochs on a
+// fixed cadence even when nothing blocks on WaitForCommit — raw
+// LogRecoveryAttempt traffic alone must reach the committed log.
+func TestStandingTimerCommitsWithoutWaiters(t *testing.T) {
+	cfg := logCfg()
+	p := NewWithEngine(cfg, EngineConfig{
+		BatchWindow:   time.Hour, // the gathering window never fires on its own
+		EpochInterval: 10 * time.Millisecond,
+	})
+	defer p.Close()
+	newStubFleet(t, p, 2, nil)
+	if err := p.LogRecoveryAttempt(tctx, "idle-user", 0, []byte("h")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		if _, ok := p.Get(protocol.LogID("idle-user", 0)); ok {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("standing timer never committed the pending insertion")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if p.PendingLogLen() != 0 {
+		t.Fatal("pending batch left behind")
+	}
+}
+
+// TestStandingTimerStopsOnClose: Close stops the ticker; insertions after
+// Close stay pending (no background commits from a closed provider).
+func TestStandingTimerStopsOnClose(t *testing.T) {
+	cfg := logCfg()
+	p := NewWithEngine(cfg, EngineConfig{
+		BatchWindow:   time.Hour,
+		EpochInterval: 5 * time.Millisecond,
+	})
+	newStubFleet(t, p, 2, nil)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := p.LogRecoveryAttempt(tctx, "late-user", 0, []byte("h")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if p.PendingLogLen() != 1 {
+		t.Fatal("closed provider still running standing epochs")
+	}
+}
+
+// TestRunEpochCancelledCallerStillCommits: RunEpoch with a cancelled
+// context abandons the *wait*, not the epoch — the epoch it fired still
+// commits for the log's sake.
+func TestRunEpochCancelledCallerStillCommits(t *testing.T) {
+	cfg := logCfg()
+	p := NewWithEngine(cfg, EngineConfig{BatchWindow: time.Hour})
+	newStubFleet(t, p, 2, nil)
+	if err := p.LogRecoveryAttempt(tctx, "alice", 0, []byte("h")); err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.RunEpoch(cancelled); err != context.Canceled {
+		t.Fatalf("RunEpoch with cancelled ctx returned %v", err)
+	}
+	// The fired epoch still runs to completion in the background.
+	deadline := time.After(5 * time.Second)
+	for {
+		if _, ok := p.Get(protocol.LogID("alice", 0)); ok {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("epoch abandoned because its caller cancelled")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 
@@ -14,30 +15,33 @@ import (
 
 // RemoteOracle lets an HSM daemon keep its outsourced key array at the
 // provider, block by block, over RPC — the paper's host-hosted storage.
+// securestore.Oracle has no context parameter (block I/O is part of every
+// HSM key operation, which must run to completion once started), so calls
+// ride context.Background().
 type RemoteOracle struct {
-	c     *rpcClient
+	c     *Conn
 	hsmID int
 }
 
 // DialOracle connects an HSM daemon's oracle to the provider.
 func DialOracle(providerAddr string, hsmID int) (*RemoteOracle, error) {
-	c, err := Dial(providerAddr)
+	c, err := DialWire(providerAddr)
 	if err != nil {
 		return nil, err
 	}
-	return &RemoteOracle{c: &rpcClient{c: c}, hsmID: hsmID}, nil
+	return &RemoteOracle{c: c, hsmID: hsmID}, nil
 }
 
 // Get implements securestore.Oracle.
 func (o *RemoteOracle) Get(addr uint64) ([]byte, error) {
-	var out []byte
-	err := o.c.call("Provider.OracleGet", OracleArgs{HSMID: o.hsmID, Addr: addr}, &out)
-	return out, err
+	var out BytesReply
+	err := o.c.Call(context.Background(), MsgOracleGet, OracleArgs{HSMID: o.hsmID, Addr: addr}, &out)
+	return out.B, err
 }
 
 // Put implements securestore.Oracle.
 func (o *RemoteOracle) Put(addr uint64, block []byte) error {
-	return o.c.call("Provider.OraclePut", OracleArgs{HSMID: o.hsmID, Addr: addr, Block: block}, &Nothing{})
+	return o.c.Call(context.Background(), MsgOraclePut, OracleArgs{HSMID: o.hsmID, Addr: addr, Block: block}, nil)
 }
 
 var _ securestore.Oracle = (*RemoteOracle)(nil)
@@ -51,11 +55,12 @@ type HSMDaemon struct {
 // the provider, generate keys (the secret array streams into the provider-
 // hosted oracle over RPC), and return the daemon plus registration args.
 func ProvisionHSM(providerAddr string, id int, listenAddr string) (*HSMDaemon, RegisterArgs, error) {
+	ctx := context.Background()
 	rp, err := DialProvider(providerAddr)
 	if err != nil {
 		return nil, RegisterArgs{}, err
 	}
-	cfg, err := rp.Config()
+	cfg, err := rp.Config(ctx)
 	if err != nil {
 		return nil, RegisterArgs{}, err
 	}
@@ -90,29 +95,6 @@ func ProvisionHSM(providerAddr string, id int, listenAddr string) (*HSMDaemon, R
 	}, nil
 }
 
-// HSMService is the RPC surface of an HSM daemon.
-type HSMService struct {
-	d *HSMDaemon
-}
-
-// Service returns the RPC receiver.
-func (d *HSMDaemon) Service() *HSMService { return &HSMService{d} }
-
-// Recover serves the recovery protocol (Figure 3, steps Ï–Ð).
-func (s *HSMService) Recover(req protocol.RecoveryRequest, out *RecoverReplyMsg) error {
-	reply, err := s.d.H.HandleRecover(&req)
-	if err != nil {
-		return err
-	}
-	out.Reply = *reply
-	return nil
-}
-
-// InstallRoster installs the fleet signing roster.
-func (s *HSMService) InstallRoster(roster [][]byte, _ *Nothing) error {
-	return s.d.installRoster(roster)
-}
-
 func (d *HSMDaemon) installRoster(raw [][]byte) error {
 	scheme := d.H.Scheme()
 	keys := make([]aggsig.PublicKey, len(raw))
@@ -126,9 +108,68 @@ func (d *HSMDaemon) installRoster(raw [][]byte) error {
 	return d.H.InstallRoster(keys)
 }
 
+// WireRegistry builds the HSM daemon's v2 dispatch table. The per-call
+// context reaches the HSM state machine, so a provider that cancels (its
+// own client vanished, or the epoch audit deadline passed) aborts the
+// exchange before the device commits to irreversible work.
+func (d *HSMDaemon) WireRegistry() *Registry {
+	reg := NewRegistry()
+	handleWire(reg, MsgHSMRecover, func(ctx context.Context, req *protocol.RecoveryRequest) (*RecoverReplyMsg, error) {
+		reply, err := d.H.HandleRecover(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return &RecoverReplyMsg{Reply: *reply}, nil
+	})
+	handleWire(reg, MsgHSMInstallRoster, func(ctx context.Context, a *RosterMsg) (*Nothing, error) {
+		return &Nothing{}, d.installRoster(a.Roster)
+	})
+	handleWire(reg, MsgHSMChooseChunks, func(ctx context.Context, a *EpochHeaderMsg) (*ChunksMsg, error) {
+		idx, err := d.H.LogChooseChunks(ctx, a.Hdr)
+		if err != nil {
+			return nil, err
+		}
+		return &ChunksMsg{Chunks: idx}, nil
+	})
+	handleWire(reg, MsgHSMHandleAudit, func(ctx context.Context, a *AuditPackageMsg) (*BytesReply, error) {
+		sig, err := d.H.LogHandleAudit(ctx, &a.Pkg)
+		if err != nil {
+			return nil, err
+		}
+		return &BytesReply{B: sig}, nil
+	})
+	handleWire(reg, MsgHSMHandleCommit, func(ctx context.Context, a *CommitMsg) (*Nothing, error) {
+		return &Nothing{}, d.H.LogHandleCommit(ctx, &a.CM)
+	})
+	return reg
+}
+
+// HSMService is the legacy (wire v1) net/rpc surface of an HSM daemon.
+type HSMService struct {
+	d *HSMDaemon
+}
+
+// Service returns the legacy net/rpc receiver.
+func (d *HSMDaemon) Service() *HSMService { return &HSMService{d} }
+
+// Recover serves the recovery protocol (Figure 3, steps Ï–Ð).
+func (s *HSMService) Recover(req protocol.RecoveryRequest, out *RecoverReplyMsg) error {
+	reply, err := s.d.H.HandleRecover(context.Background(), &req)
+	if err != nil {
+		return err
+	}
+	out.Reply = *reply
+	return nil
+}
+
+// InstallRoster installs the fleet signing roster.
+func (s *HSMService) InstallRoster(roster [][]byte, _ *Nothing) error {
+	return s.d.installRoster(roster)
+}
+
 // LogChooseChunks returns this HSM's audit assignment.
 func (s *HSMService) LogChooseChunks(hdr dlog.EpochHeader, out *[]int) error {
-	idx, err := s.d.H.LogChooseChunks(hdr)
+	idx, err := s.d.H.LogChooseChunks(context.Background(), hdr)
 	if err != nil {
 		return err
 	}
@@ -138,7 +179,7 @@ func (s *HSMService) LogChooseChunks(hdr dlog.EpochHeader, out *[]int) error {
 
 // LogHandleAudit audits an epoch package.
 func (s *HSMService) LogHandleAudit(pkg AuditPackageMsg, out *[]byte) error {
-	sig, err := s.d.H.LogHandleAudit(&pkg.Pkg)
+	sig, err := s.d.H.LogHandleAudit(context.Background(), &pkg.Pkg)
 	if err != nil {
 		return err
 	}
@@ -148,58 +189,60 @@ func (s *HSMService) LogHandleAudit(pkg AuditPackageMsg, out *[]byte) error {
 
 // LogHandleCommit finalizes an epoch.
 func (s *HSMService) LogHandleCommit(cm CommitMsg, _ *Nothing) error {
-	return s.d.H.LogHandleCommit(&cm.CM)
+	return s.d.H.LogHandleCommit(context.Background(), &cm.CM)
 }
 
-// --- provider-side proxy ---
+// --- provider-side proxy (wire v2) ---
 
-// RemoteHSM implements provider.HSMHandle over RPC.
+// RemoteHSM implements provider.HSMHandle over the v2 wire protocol: the
+// provider's per-exchange contexts (audit timeouts, relayed client
+// cancellations) cancel the matching daemon-side handler.
 type RemoteHSM struct {
 	id int
-	c  *rpcClient
+	c  *Conn
 }
 
 // NewRemoteHSM dials an HSM daemon.
 func NewRemoteHSM(id int, addr string) (*RemoteHSM, error) {
-	c, err := Dial(addr)
+	c, err := DialWire(addr)
 	if err != nil {
 		return nil, err
 	}
-	return &RemoteHSM{id: id, c: &rpcClient{c: c}}, nil
+	return &RemoteHSM{id: id, c: c}, nil
 }
 
 // ID implements provider.HSMHandle.
 func (r *RemoteHSM) ID() int { return r.id }
 
 // LogChooseChunks implements provider.HSMHandle.
-func (r *RemoteHSM) LogChooseChunks(hdr dlog.EpochHeader) ([]int, error) {
-	var out []int
-	err := r.c.call("HSM.LogChooseChunks", hdr, &out)
-	return out, err
+func (r *RemoteHSM) LogChooseChunks(ctx context.Context, hdr dlog.EpochHeader) ([]int, error) {
+	var out ChunksMsg
+	err := r.c.Call(ctx, MsgHSMChooseChunks, EpochHeaderMsg{Hdr: hdr}, &out)
+	return out.Chunks, err
 }
 
 // LogHandleAudit implements provider.HSMHandle.
-func (r *RemoteHSM) LogHandleAudit(pkg *dlog.AuditPackage) ([]byte, error) {
-	var out []byte
-	err := r.c.call("HSM.LogHandleAudit", AuditPackageMsg{Pkg: *pkg}, &out)
-	return out, err
+func (r *RemoteHSM) LogHandleAudit(ctx context.Context, pkg *dlog.AuditPackage) ([]byte, error) {
+	var out BytesReply
+	err := r.c.Call(ctx, MsgHSMHandleAudit, AuditPackageMsg{Pkg: *pkg}, &out)
+	return out.B, err
 }
 
 // LogHandleCommit implements provider.HSMHandle.
-func (r *RemoteHSM) LogHandleCommit(cm *dlog.CommitMessage) error {
-	return r.c.call("HSM.LogHandleCommit", CommitMsg{CM: *cm}, &Nothing{})
+func (r *RemoteHSM) LogHandleCommit(ctx context.Context, cm *dlog.CommitMessage) error {
+	return r.c.Call(ctx, MsgHSMHandleCommit, CommitMsg{CM: *cm}, nil)
 }
 
 // HandleRecover implements provider.HSMHandle.
-func (r *RemoteHSM) HandleRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
+func (r *RemoteHSM) HandleRecover(ctx context.Context, req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
 	var out RecoverReplyMsg
-	if err := r.c.call("HSM.Recover", *req, &out); err != nil {
+	if err := r.c.Call(ctx, MsgHSMRecover, req, &out); err != nil {
 		return nil, err
 	}
 	return &out.Reply, nil
 }
 
 // InstallRoster pushes the fleet roster.
-func (r *RemoteHSM) InstallRoster(roster [][]byte) error {
-	return r.c.call("HSM.InstallRoster", roster, &Nothing{})
+func (r *RemoteHSM) InstallRoster(ctx context.Context, roster [][]byte) error {
+	return r.c.Call(ctx, MsgHSMInstallRoster, RosterMsg{Roster: roster}, nil)
 }

@@ -1,13 +1,14 @@
 package transport
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"safetypin/internal/aggsig"
 	"safetypin/internal/bfe"
+	"safetypin/internal/client"
 	"safetypin/internal/dlog"
 	"safetypin/internal/logtree"
 	"safetypin/internal/protocol"
@@ -41,9 +42,10 @@ func NewProviderDaemon(cfg FleetConfig) (*ProviderDaemon, error) {
 		Scheme:        scheme,
 	}
 	engine := provider.EngineConfig{
-		BatchWindow:  time.Duration(cfg.EpochBatchMS) * time.Millisecond,
-		MaxBatch:     cfg.EpochMaxBatch,
-		EpochWorkers: cfg.EpochWorkers,
+		BatchWindow:   time.Duration(cfg.EpochBatchMS) * time.Millisecond,
+		MaxBatch:      cfg.EpochMaxBatch,
+		EpochWorkers:  cfg.EpochWorkers,
+		EpochInterval: time.Duration(cfg.EpochIntervalMS) * time.Millisecond,
 	}
 	return &ProviderDaemon{
 		cfg:      cfg,
@@ -56,6 +58,9 @@ func NewProviderDaemon(cfg FleetConfig) (*ProviderDaemon, error) {
 	}, nil
 }
 
+// Close stops the daemon's provider engine (standing epoch timer).
+func (d *ProviderDaemon) Close() error { return d.p.Close() }
+
 func schemeByName(name string) (aggsig.Scheme, error) {
 	switch name {
 	case "", "bls12381-multisig":
@@ -67,12 +72,192 @@ func schemeByName(name string) (aggsig.Scheme, error) {
 	}
 }
 
-// ProviderService is the RPC surface of the provider daemon.
+// --- daemon-side service logic (shared by both wire versions) ---
+
+func (d *ProviderDaemon) register(args *RegisterArgs) error {
+	if args.ID < 0 || args.ID >= d.cfg.NumHSMs {
+		return fmt.Errorf("transport: HSM id %d outside fleet of %d", args.ID, d.cfg.NumHSMs)
+	}
+	remote, err := NewRemoteHSM(args.ID, args.Addr)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.fleetPKs[args.ID] = args.BFEPub
+	d.aggPKs[args.ID] = args.AggSigPub
+	d.hsmAddrs[args.ID] = args.Addr
+	d.remotes[args.ID] = remote
+	d.mu.Unlock()
+	d.p.Register(remote)
+	return nil
+}
+
+func (d *ProviderDaemon) status() FleetStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := FleetStatus{Expected: d.cfg.NumHSMs, RosterSent: d.rosterOK}
+	for id := range d.remotes {
+		st.Registered = append(st.Registered, id)
+	}
+	return st
+}
+
+func (d *ProviderDaemon) installRosters(ctx context.Context) error {
+	d.mu.Lock()
+	if len(d.remotes) != d.cfg.NumHSMs {
+		n := len(d.remotes)
+		d.mu.Unlock()
+		return fmt.Errorf("transport: only %d of %d HSMs registered", n, d.cfg.NumHSMs)
+	}
+	roster := make([][]byte, d.cfg.NumHSMs)
+	copy(roster, d.aggPKs)
+	remotes := make([]*RemoteHSM, 0, len(d.remotes))
+	for _, r := range d.remotes {
+		remotes = append(remotes, r)
+	}
+	d.mu.Unlock()
+	for _, r := range remotes {
+		if err := r.InstallRoster(ctx, roster); err != nil {
+			return err
+		}
+	}
+	d.mu.Lock()
+	d.rosterOK = true
+	d.mu.Unlock()
+	return nil
+}
+
+func (d *ProviderDaemon) fleetKeys() ([][]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for id, pk := range d.fleetPKs {
+		if pk == nil {
+			return nil, fmt.Errorf("transport: HSM %d not yet registered", id)
+		}
+	}
+	return append([][]byte(nil), d.fleetPKs...), nil
+}
+
+// --- v2 wire registry ---
+
+// WireRegistry builds the daemon's v2 dispatch table. Handlers receive the
+// per-call context: cancellation (a cancel frame, or the client
+// disconnecting) aborts the underlying provider operation, including a
+// blocked WaitForCommit and in-flight RelayRecover HSM exchanges.
+func (d *ProviderDaemon) WireRegistry() *Registry {
+	reg := NewRegistry()
+	handleWire(reg, MsgProviderConfig, func(ctx context.Context, _ *Nothing) (*FleetConfig, error) {
+		cfg := d.cfg
+		return &cfg, nil
+	})
+	handleWire(reg, MsgOracleGet, func(ctx context.Context, a *OracleArgs) (*BytesReply, error) {
+		b, err := d.p.OracleFor(a.HSMID).Get(a.Addr)
+		if err != nil {
+			return nil, err
+		}
+		return &BytesReply{B: b}, nil
+	})
+	handleWire(reg, MsgOraclePut, func(ctx context.Context, a *OracleArgs) (*Nothing, error) {
+		return &Nothing{}, d.p.OracleFor(a.HSMID).Put(a.Addr, a.Block)
+	})
+	handleWire(reg, MsgRegister, func(ctx context.Context, a *RegisterArgs) (*Nothing, error) {
+		return &Nothing{}, d.register(a)
+	})
+	handleWire(reg, MsgStatus, func(ctx context.Context, _ *Nothing) (*FleetStatus, error) {
+		st := d.status()
+		return &st, nil
+	})
+	handleWire(reg, MsgInstallRosters, func(ctx context.Context, _ *Nothing) (*Nothing, error) {
+		return &Nothing{}, d.installRosters(ctx)
+	})
+	handleWire(reg, MsgFetchFleet, func(ctx context.Context, _ *Nothing) (*FleetMsg, error) {
+		keys, err := d.fleetKeys()
+		if err != nil {
+			return nil, err
+		}
+		return &FleetMsg{Keys: keys}, nil
+	})
+	handleWire(reg, MsgStoreCiphertext, func(ctx context.Context, a *StoreCiphertextArgs) (*Nothing, error) {
+		return &Nothing{}, d.p.StoreCiphertext(ctx, a.User, a.CT)
+	})
+	handleWire(reg, MsgFetchCiphertext, func(ctx context.Context, a *UserArg) (*BytesReply, error) {
+		b, err := d.p.FetchCiphertext(ctx, a.User)
+		if err != nil {
+			return nil, err
+		}
+		return &BytesReply{B: b}, nil
+	})
+	handleWire(reg, MsgAttemptCount, func(ctx context.Context, a *UserArg) (*IntReply, error) {
+		n, err := d.p.AttemptCount(ctx, a.User)
+		if err != nil {
+			return nil, err
+		}
+		return &IntReply{N: n}, nil
+	})
+	handleWire(reg, MsgReserveAttempt, func(ctx context.Context, a *UserArg) (*IntReply, error) {
+		n, err := d.p.ReserveAttempt(ctx, a.User)
+		if err != nil {
+			return nil, err
+		}
+		return &IntReply{N: n}, nil
+	})
+	handleWire(reg, MsgLogRecoveryAttempt, func(ctx context.Context, a *LogAttemptArgs) (*Nothing, error) {
+		return &Nothing{}, d.p.LogRecoveryAttempt(ctx, a.User, a.Attempt, a.Commitment)
+	})
+	handleWire(reg, MsgRunEpoch, func(ctx context.Context, _ *Nothing) (*Nothing, error) {
+		return &Nothing{}, d.p.RunEpoch(ctx)
+	})
+	handleWire(reg, MsgWaitForCommit, func(ctx context.Context, _ *Nothing) (*Nothing, error) {
+		return &Nothing{}, d.p.WaitForCommit(ctx)
+	})
+	handleWire(reg, MsgFetchInclusionProof, func(ctx context.Context, a *InclusionArgs) (*TraceMsg, error) {
+		tr, err := d.p.FetchInclusionProof(ctx, a.User, a.Attempt, a.Commitment)
+		if err != nil {
+			return nil, err
+		}
+		return &TraceMsg{Trace: *tr}, nil
+	})
+	handleWire(reg, MsgRelayRecover, func(ctx context.Context, req *protocol.RecoveryRequest) (*RecoverReplyMsg, error) {
+		reply, err := d.p.RelayRecover(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return &RecoverReplyMsg{Reply: *reply}, nil
+	})
+	handleWire(reg, MsgFetchEscrow, func(ctx context.Context, a *UserArg) (*EscrowMsg, error) {
+		replies, err := d.p.FetchEscrowedReplies(ctx, a.User)
+		if err != nil {
+			return nil, err
+		}
+		out := &EscrowMsg{}
+		for _, r := range replies {
+			out.Replies = append(out.Replies, *r)
+		}
+		return out, nil
+	})
+	handleWire(reg, MsgClearEscrow, func(ctx context.Context, a *UserArg) (*Nothing, error) {
+		return &Nothing{}, d.p.ClearEscrow(ctx, a.User)
+	})
+	handleWire(reg, MsgLogEntries, func(ctx context.Context, _ *Nothing) (*EntriesMsg, error) {
+		return &EntriesMsg{Entries: d.p.LogEntries()}, nil
+	})
+	handleWire(reg, MsgLogDigest, func(ctx context.Context, _ *Nothing) (*DigestMsg, error) {
+		return &DigestMsg{Digest: d.p.LogDigest()}, nil
+	})
+	return reg
+}
+
+// --- v1 compat shim (legacy net/rpc surface) ---
+
+// ProviderService is the legacy (wire v1) net/rpc surface of the provider
+// daemon, kept so pre-v2 clients still parse: same method names and
+// message shapes as before the protocol was versioned. Handlers run under
+// context.Background() — v1 has no cancellation on the wire.
 type ProviderService struct {
 	d *ProviderDaemon
 }
 
-// Service returns the RPC receiver.
+// Service returns the legacy net/rpc receiver.
 func (d *ProviderDaemon) Service() *ProviderService { return &ProviderService{d} }
 
 // Config hands the fleet configuration to HSM daemons.
@@ -98,88 +283,40 @@ func (s *ProviderService) OraclePut(args OracleArgs, _ *Nothing) error {
 
 // Register records a provisioned HSM daemon and connects back to it.
 func (s *ProviderService) Register(args RegisterArgs, _ *Nothing) error {
-	d := s.d
-	if args.ID < 0 || args.ID >= d.cfg.NumHSMs {
-		return fmt.Errorf("transport: HSM id %d outside fleet of %d", args.ID, d.cfg.NumHSMs)
-	}
-	remote, err := NewRemoteHSM(args.ID, args.Addr)
-	if err != nil {
-		return err
-	}
-	d.mu.Lock()
-	d.fleetPKs[args.ID] = args.BFEPub
-	d.aggPKs[args.ID] = args.AggSigPub
-	d.hsmAddrs[args.ID] = args.Addr
-	d.remotes[args.ID] = remote
-	d.mu.Unlock()
-	d.p.Register(remote)
-	return nil
+	return s.d.register(&args)
 }
 
 // Status reports registration progress.
 func (s *ProviderService) Status(_ Nothing, out *FleetStatus) error {
-	d := s.d
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	st := FleetStatus{Expected: d.cfg.NumHSMs, RosterSent: d.rosterOK}
-	for id := range d.remotes {
-		st.Registered = append(st.Registered, id)
-	}
-	*out = st
+	*out = s.d.status()
 	return nil
 }
 
 // InstallRosters pushes the complete signing roster to every registered HSM
 // once the fleet is full.
 func (s *ProviderService) InstallRosters(_ Nothing, _ *Nothing) error {
-	d := s.d
-	d.mu.Lock()
-	if len(d.remotes) != d.cfg.NumHSMs {
-		n := len(d.remotes)
-		d.mu.Unlock()
-		return fmt.Errorf("transport: only %d of %d HSMs registered", n, d.cfg.NumHSMs)
-	}
-	roster := make([][]byte, d.cfg.NumHSMs)
-	copy(roster, d.aggPKs)
-	remotes := make([]*RemoteHSM, 0, len(d.remotes))
-	for _, r := range d.remotes {
-		remotes = append(remotes, r)
-	}
-	d.mu.Unlock()
-	for _, r := range remotes {
-		if err := r.InstallRoster(roster); err != nil {
-			return err
-		}
-	}
-	d.mu.Lock()
-	d.rosterOK = true
-	d.mu.Unlock()
-	return nil
+	return s.d.installRosters(context.Background())
 }
 
 // FetchFleet returns all HSM BFE public keys in fleet order. Clients should
 // verify the digest out of band (§2).
 func (s *ProviderService) FetchFleet(_ Nothing, out *[][]byte) error {
-	d := s.d
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for id, pk := range d.fleetPKs {
-		if pk == nil {
-			return fmt.Errorf("transport: HSM %d not yet registered", id)
-		}
+	keys, err := s.d.fleetKeys()
+	if err != nil {
+		return err
 	}
-	*out = append([][]byte(nil), d.fleetPKs...)
+	*out = keys
 	return nil
 }
 
 // StoreCiphertext uploads a backup.
 func (s *ProviderService) StoreCiphertext(args StoreCiphertextArgs, _ *Nothing) error {
-	return s.d.p.StoreCiphertext(args.User, args.CT)
+	return s.d.p.StoreCiphertext(context.Background(), args.User, args.CT)
 }
 
 // FetchCiphertext downloads the latest backup.
 func (s *ProviderService) FetchCiphertext(user string, out *[]byte) error {
-	b, err := s.d.p.FetchCiphertext(user)
+	b, err := s.d.p.FetchCiphertext(context.Background(), user)
 	if err != nil {
 		return err
 	}
@@ -189,13 +326,17 @@ func (s *ProviderService) FetchCiphertext(user string, out *[]byte) error {
 
 // AttemptCount returns the next free attempt number.
 func (s *ProviderService) AttemptCount(user string, out *int) error {
-	*out = s.d.p.AttemptCount(user)
+	n, err := s.d.p.AttemptCount(context.Background(), user)
+	if err != nil {
+		return err
+	}
+	*out = n
 	return nil
 }
 
 // ReserveAttempt atomically allocates the next attempt number for a user.
 func (s *ProviderService) ReserveAttempt(user string, out *int) error {
-	n, err := s.d.p.ReserveAttempt(user)
+	n, err := s.d.p.ReserveAttempt(context.Background(), user)
 	if err != nil {
 		return err
 	}
@@ -205,12 +346,12 @@ func (s *ProviderService) ReserveAttempt(user string, out *int) error {
 
 // LogRecoveryAttempt queues a recovery attempt for the next epoch.
 func (s *ProviderService) LogRecoveryAttempt(args LogAttemptArgs, _ *Nothing) error {
-	return s.d.p.LogRecoveryAttempt(args.User, args.Attempt, args.Commitment)
+	return s.d.p.LogRecoveryAttempt(context.Background(), args.User, args.Attempt, args.Commitment)
 }
 
 // RunEpoch forces one log-update epoch across the fleet.
 func (s *ProviderService) RunEpoch(_ Nothing, _ *Nothing) error {
-	return s.d.p.RunEpoch()
+	return s.d.p.RunEpoch(context.Background())
 }
 
 // WaitForCommit blocks until the caller's pending log insertions commit
@@ -218,12 +359,12 @@ func (s *ProviderService) RunEpoch(_ Nothing, _ *Nothing) error {
 // goroutine, so concurrent clients share one batched epoch here exactly as
 // they do in process.
 func (s *ProviderService) WaitForCommit(_ Nothing, _ *Nothing) error {
-	return s.d.p.WaitForCommit()
+	return s.d.p.WaitForCommit(context.Background())
 }
 
 // FetchInclusionProof serves a log-inclusion proof.
 func (s *ProviderService) FetchInclusionProof(args InclusionArgs, out *TraceMsg) error {
-	tr, err := s.d.p.FetchInclusionProof(args.User, args.Attempt, args.Commitment)
+	tr, err := s.d.p.FetchInclusionProof(context.Background(), args.User, args.Attempt, args.Commitment)
 	if err != nil {
 		return err
 	}
@@ -233,7 +374,7 @@ func (s *ProviderService) FetchInclusionProof(args InclusionArgs, out *TraceMsg)
 
 // RelayRecover forwards a recovery request to its target HSM.
 func (s *ProviderService) RelayRecover(req protocol.RecoveryRequest, out *RecoverReplyMsg) error {
-	reply, err := s.d.p.RelayRecover(&req)
+	reply, err := s.d.p.RelayRecover(context.Background(), &req)
 	if err != nil {
 		return err
 	}
@@ -243,7 +384,11 @@ func (s *ProviderService) RelayRecover(req protocol.RecoveryRequest, out *Recove
 
 // FetchEscrowedReplies returns the escrowed replies for a user.
 func (s *ProviderService) FetchEscrowedReplies(user string, out *[]protocol.RecoveryReply) error {
-	for _, r := range s.d.p.FetchEscrowedReplies(user) {
+	replies, err := s.d.p.FetchEscrowedReplies(context.Background(), user)
+	if err != nil {
+		return err
+	}
+	for _, r := range replies {
 		*out = append(*out, *r)
 	}
 	return nil
@@ -251,8 +396,7 @@ func (s *ProviderService) FetchEscrowedReplies(user string, out *[]protocol.Reco
 
 // ClearEscrow drops a user's escrow.
 func (s *ProviderService) ClearEscrow(user string, _ *Nothing) error {
-	s.d.p.ClearEscrow(user)
-	return nil
+	return s.d.p.ClearEscrow(context.Background(), user)
 }
 
 // LogEntries exposes the committed log for external auditors.
@@ -267,30 +411,34 @@ func (s *ProviderService) LogDigest(_ Nothing, out *logtree.Digest) error {
 	return nil
 }
 
-// --- client-side proxy ---
+// --- client-side proxy (wire v2) ---
 
-// RemoteProvider implements client.ProviderAPI over RPC.
+// RemoteProvider implements the role-scoped client.Provider interface over
+// the v2 wire protocol: every call carries its context, so client-side
+// deadlines cancel the matching server-side handler.
 type RemoteProvider struct {
-	c *rpcClient
+	c *Conn
 }
 
-// DialProvider connects a client to a provider daemon.
+var _ client.Provider = (*RemoteProvider)(nil)
+
+// DialProvider connects a client to a provider daemon (wire v2).
 func DialProvider(addr string) (*RemoteProvider, error) {
-	c, err := Dial(addr)
+	c, err := DialWire(addr)
 	if err != nil {
 		return nil, err
 	}
-	return &RemoteProvider{c: &rpcClient{c: c}}, nil
+	return &RemoteProvider{c: c}, nil
 }
 
 // Fleet downloads and parses the fleet's BFE public keys.
-func (r *RemoteProvider) Fleet() (*bfe.Fleet, error) {
-	var raw [][]byte
-	if err := r.c.call("Provider.FetchFleet", Nothing{}, &raw); err != nil {
+func (r *RemoteProvider) Fleet(ctx context.Context) (*bfe.Fleet, error) {
+	var raw FleetMsg
+	if err := r.c.Call(ctx, MsgFetchFleet, Nothing{}, &raw); err != nil {
 		return nil, err
 	}
-	keys := make([]*bfe.PublicKey, len(raw))
-	for i, b := range raw {
+	keys := make([]*bfe.PublicKey, len(raw.Keys))
+	for i, b := range raw.Keys {
 		pk, err := bfe.PublicKeyFromBytes(b)
 		if err != nil {
 			return nil, fmt.Errorf("transport: fleet key %d: %w", i, err)
@@ -301,151 +449,134 @@ func (r *RemoteProvider) Fleet() (*bfe.Fleet, error) {
 }
 
 // Config fetches the fleet configuration.
-func (r *RemoteProvider) Config() (FleetConfig, error) {
+func (r *RemoteProvider) Config(ctx context.Context) (FleetConfig, error) {
 	var cfg FleetConfig
-	err := r.c.call("Provider.Config", Nothing{}, &cfg)
+	err := r.c.Call(ctx, MsgProviderConfig, Nothing{}, &cfg)
 	return cfg, err
 }
 
-// StoreCiphertext implements client.ProviderAPI.
-func (r *RemoteProvider) StoreCiphertext(user string, ct []byte) error {
-	return r.c.call("Provider.StoreCiphertext", StoreCiphertextArgs{User: user, CT: ct}, &Nothing{})
+// StoreCiphertext implements client.BackupStore.
+func (r *RemoteProvider) StoreCiphertext(ctx context.Context, user string, ct []byte) error {
+	return r.c.Call(ctx, MsgStoreCiphertext, StoreCiphertextArgs{User: user, CT: ct}, nil)
 }
 
-// FetchCiphertext implements client.ProviderAPI.
-func (r *RemoteProvider) FetchCiphertext(user string) ([]byte, error) {
-	var out []byte
-	err := r.c.call("Provider.FetchCiphertext", user, &out)
-	return out, err
-}
-
-// AttemptCount implements client.ProviderAPI.
-func (r *RemoteProvider) AttemptCount(user string) int {
-	var out int
-	if err := r.c.call("Provider.AttemptCount", user, &out); err != nil {
-		return 0
+// FetchCiphertext implements client.BackupStore.
+func (r *RemoteProvider) FetchCiphertext(ctx context.Context, user string) ([]byte, error) {
+	var out BytesReply
+	if err := r.c.Call(ctx, MsgFetchCiphertext, UserArg{User: user}, &out); err != nil {
+		return nil, err
 	}
-	return out
+	return out.B, nil
 }
 
-// ReserveAttempt implements client.ProviderAPI. Unlike the read-only
-// AttemptCount, a reservation mutates state the HSM guess limit charges
-// against, so RPC failures surface instead of being mistaken for index 0.
-func (r *RemoteProvider) ReserveAttempt(user string) (int, error) {
-	var out int
-	if err := r.c.call("Provider.ReserveAttempt", user, &out); err != nil {
+// AttemptCount implements client.LogService.
+func (r *RemoteProvider) AttemptCount(ctx context.Context, user string) (int, error) {
+	var out IntReply
+	if err := r.c.Call(ctx, MsgAttemptCount, UserArg{User: user}, &out); err != nil {
 		return 0, err
 	}
-	return out, nil
+	return out.N, nil
 }
 
-// LogRecoveryAttempt implements client.ProviderAPI.
-func (r *RemoteProvider) LogRecoveryAttempt(user string, attempt int, commitment []byte) error {
-	return r.c.call("Provider.LogRecoveryAttempt",
-		LogAttemptArgs{User: user, Attempt: attempt, Commitment: commitment}, &Nothing{})
+// ReserveAttempt implements client.LogService. A reservation mutates state
+// the HSM guess limit charges against, so RPC failures surface instead of
+// being mistaken for index 0.
+func (r *RemoteProvider) ReserveAttempt(ctx context.Context, user string) (int, error) {
+	var out IntReply
+	if err := r.c.Call(ctx, MsgReserveAttempt, UserArg{User: user}, &out); err != nil {
+		return 0, err
+	}
+	return out.N, nil
+}
+
+// LogRecoveryAttempt implements client.LogService.
+func (r *RemoteProvider) LogRecoveryAttempt(ctx context.Context, user string, attempt int, commitment []byte) error {
+	return r.c.Call(ctx, MsgLogRecoveryAttempt,
+		LogAttemptArgs{User: user, Attempt: attempt, Commitment: commitment}, nil)
 }
 
 // RunEpoch forces an epoch over everything pending (administrative path;
 // clients use WaitForCommit).
-func (r *RemoteProvider) RunEpoch() error {
-	return r.c.call("Provider.RunEpoch", Nothing{}, &Nothing{})
+func (r *RemoteProvider) RunEpoch(ctx context.Context) error {
+	return r.c.Call(ctx, MsgRunEpoch, Nothing{}, nil)
 }
 
-// WaitForCommit implements client.ProviderAPI.
-func (r *RemoteProvider) WaitForCommit() error {
-	return r.c.call("Provider.WaitForCommit", Nothing{}, &Nothing{})
+// WaitForCommit implements client.LogService. Cancelling ctx sends a
+// cancel frame: the daemon unsubscribes the server-side waiter from its
+// epoch round, so an abandoned wait leaks nothing on either end.
+func (r *RemoteProvider) WaitForCommit(ctx context.Context) error {
+	return r.c.Call(ctx, MsgWaitForCommit, Nothing{}, nil)
 }
 
-// FetchInclusionProof implements client.ProviderAPI.
-func (r *RemoteProvider) FetchInclusionProof(user string, attempt int, commitment []byte) (*logtree.Trace, error) {
+// FetchInclusionProof implements client.LogService.
+func (r *RemoteProvider) FetchInclusionProof(ctx context.Context, user string, attempt int, commitment []byte) (*logtree.Trace, error) {
 	var out TraceMsg
-	if err := r.c.call("Provider.FetchInclusionProof",
+	if err := r.c.Call(ctx, MsgFetchInclusionProof,
 		InclusionArgs{User: user, Attempt: attempt, Commitment: commitment}, &out); err != nil {
 		return nil, err
 	}
 	return &out.Trace, nil
 }
 
-// RelayRecover implements client.ProviderAPI.
-func (r *RemoteProvider) RelayRecover(req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
+// RelayRecover implements client.RecoveryService. The context rides the
+// wire: cancelling aborts the daemon-side relay and its in-flight HSM
+// exchange.
+func (r *RemoteProvider) RelayRecover(ctx context.Context, req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
 	var out RecoverReplyMsg
-	if err := r.c.call("Provider.RelayRecover", *req, &out); err != nil {
+	if err := r.c.Call(ctx, MsgRelayRecover, req, &out); err != nil {
 		return nil, err
 	}
 	return &out.Reply, nil
 }
 
-// FetchEscrowedReplies implements client.ProviderAPI.
-func (r *RemoteProvider) FetchEscrowedReplies(user string) []*protocol.RecoveryReply {
-	var out []protocol.RecoveryReply
-	if err := r.c.call("Provider.FetchEscrowedReplies", user, &out); err != nil {
-		return nil
+// FetchEscrowedReplies implements client.RecoveryService.
+func (r *RemoteProvider) FetchEscrowedReplies(ctx context.Context, user string) ([]*protocol.RecoveryReply, error) {
+	var out EscrowMsg
+	if err := r.c.Call(ctx, MsgFetchEscrow, UserArg{User: user}, &out); err != nil {
+		return nil, err
 	}
-	replies := make([]*protocol.RecoveryReply, len(out))
-	for i := range out {
-		replies[i] = &out[i]
+	replies := make([]*protocol.RecoveryReply, len(out.Replies))
+	for i := range out.Replies {
+		replies[i] = &out.Replies[i]
 	}
-	return replies
+	return replies, nil
 }
 
-// ClearEscrow implements client.ProviderAPI.
-func (r *RemoteProvider) ClearEscrow(user string) {
-	_ = r.c.call("Provider.ClearEscrow", user, &Nothing{})
+// ClearEscrow implements client.RecoveryService.
+func (r *RemoteProvider) ClearEscrow(ctx context.Context, user string) error {
+	return r.c.Call(ctx, MsgClearEscrow, UserArg{User: user}, nil)
 }
 
 // LogEntries fetches the public log (external auditor path).
-func (r *RemoteProvider) LogEntries() ([]logtree.Entry, error) {
-	var out []logtree.Entry
-	err := r.c.call("Provider.LogEntries", Nothing{}, &out)
-	return out, err
+func (r *RemoteProvider) LogEntries(ctx context.Context) ([]logtree.Entry, error) {
+	var out EntriesMsg
+	err := r.c.Call(ctx, MsgLogEntries, Nothing{}, &out)
+	return out.Entries, err
 }
 
 // LogDigest fetches the provider's committed digest.
-func (r *RemoteProvider) LogDigest() (logtree.Digest, error) {
-	var out logtree.Digest
-	err := r.c.call("Provider.LogDigest", Nothing{}, &out)
-	return out, err
+func (r *RemoteProvider) LogDigest(ctx context.Context) (logtree.Digest, error) {
+	var out DigestMsg
+	err := r.c.Call(ctx, MsgLogDigest, Nothing{}, &out)
+	return out.Digest, err
 }
 
 // Status fetches fleet registration progress.
-func (r *RemoteProvider) Status() (FleetStatus, error) {
+func (r *RemoteProvider) Status(ctx context.Context) (FleetStatus, error) {
 	var st FleetStatus
-	err := r.c.call("Provider.Status", Nothing{}, &st)
+	err := r.c.Call(ctx, MsgStatus, Nothing{}, &st)
 	return st, err
 }
 
 // InstallRosters asks the provider to push the signing roster fleet-wide.
-func (r *RemoteProvider) InstallRosters() error {
-	return r.c.call("Provider.InstallRosters", Nothing{}, &Nothing{})
+func (r *RemoteProvider) InstallRosters(ctx context.Context) error {
+	return r.c.Call(ctx, MsgInstallRosters, Nothing{}, nil)
 }
 
 // RegisterHSM announces a provisioned HSM daemon (used by cmd/hsmd).
-func (r *RemoteProvider) RegisterHSM(args RegisterArgs) error {
-	return r.c.call("Provider.Register", args, &Nothing{})
+func (r *RemoteProvider) RegisterHSM(ctx context.Context, args RegisterArgs) error {
+	return r.c.Call(ctx, MsgRegister, args, nil)
 }
 
 // Close tears down the connection.
-func (r *RemoteProvider) Close() error { return r.c.close() }
-
-// rpcClient serializes calls (net/rpc clients are concurrency-safe, but we
-// also guard Close).
-type rpcClient struct {
-	mu sync.Mutex
-	c  interface {
-		Call(string, any, any) error
-		Close() error
-	}
-}
-
-func (r *rpcClient) call(method string, args, reply any) error {
-	if r == nil || r.c == nil {
-		return errors.New("transport: connection closed")
-	}
-	return r.c.Call(method, args, reply)
-}
-
-func (r *rpcClient) close() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.c.Close()
-}
+func (r *RemoteProvider) Close() error { return r.c.Close() }

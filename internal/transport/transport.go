@@ -3,17 +3,31 @@
 // host and its SoloKeys (and the data-center network between clients and
 // the provider).
 //
-// The wire protocol is stdlib net/rpc with gob encoding. Three roles:
+// The wire protocol is versioned and negotiated at connect:
 //
-//   - the provider daemon (cmd/providerd) hosts ProviderService: client
-//     API, per-HSM outsourced block storage, HSM registration, and log
-//     epochs;
-//   - each HSM daemon (cmd/hsmd) hosts HSMService and stores its
+//   - v2 (current) is a framed, context-aware RPC layer (wire.go): a
+//     4-byte magic + 1-byte version handshake, then length-prefixed
+//     frames carrying per-message type tags and gob payloads. Deadlines
+//     and cancellation propagate: a client that cancels a call sends a
+//     cancel frame that aborts the matching server-side handler, and a
+//     dropped connection aborts every in-flight handler on that
+//     connection.
+//   - v1 (legacy) is the stdlib net/rpc gob stream. The server sniffs the
+//     first bytes of each accepted connection and routes v1 clients to a
+//     net/rpc compat shim, so pre-v2 tooling keeps working; golden wire
+//     tests pin both framings.
+//
+// Three roles:
+//
+//   - the provider daemon (cmd/providerd) hosts the provider service:
+//     client API, per-HSM outsourced block storage, HSM registration, and
+//     log epochs;
+//   - each HSM daemon (cmd/hsmd) hosts the HSM service and stores its
 //     outsourced key array *back at the provider* through RemoteOracle —
 //     the HSM process holds only its root key, exactly like the hardware;
 //   - the client CLI (cmd/safetypin) talks to the provider through
-//     RemoteProvider, which implements the same client.ProviderAPI as the
-//     in-process provider.
+//     RemoteProvider, which implements the same role-scoped
+//     client.Provider interface as the in-process provider.
 //
 // Trust note: FetchFleet hands clients the HSM public keys through the
 // provider. The paper (§2) is explicit that clients must obtain authentic
@@ -23,7 +37,9 @@
 package transport
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"net"
 	"net/rpc"
 
@@ -32,12 +48,19 @@ import (
 	"safetypin/internal/protocol"
 )
 
-// Serve starts an RPC server for the given receiver on addr and returns the
-// listener (close it to stop) plus the bound address.
-func Serve(name string, rcvr any, addr string) (net.Listener, string, error) {
-	srv := rpc.NewServer()
-	if err := srv.RegisterName(name, rcvr); err != nil {
-		return nil, "", err
+// Serve starts a dual-protocol server on addr and returns the listener
+// (close it to stop) plus the bound address. Each accepted connection is
+// sniffed: v2 clients (magic preamble) get the framed context-aware
+// protocol from wire; v1 clients get the net/rpc compat shim around
+// legacy, registered under name. Either may be nil to serve one protocol
+// only.
+func Serve(name string, legacy any, wire *Registry, addr string) (net.Listener, string, error) {
+	var srv *rpc.Server
+	if legacy != nil {
+		srv = rpc.NewServer()
+		if err := srv.RegisterName(name, legacy); err != nil {
+			return nil, "", err
+		}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -49,13 +72,56 @@ func Serve(name string, rcvr any, addr string) (net.Listener, string, error) {
 			if err != nil {
 				return // listener closed
 			}
-			go srv.ServeConn(conn)
+			go routeConn(conn, srv, wire)
 		}
 	}()
 	return ln, ln.Addr().String(), nil
 }
 
-// Dial connects to an RPC endpoint.
+// routeConn sniffs one accepted connection and dispatches it to the
+// protocol version the client speaks.
+func routeConn(conn net.Conn, legacy *rpc.Server, wire *Registry) {
+	var preamble [4]byte
+	if _, err := io.ReadFull(conn, preamble[:]); err != nil {
+		conn.Close()
+		return
+	}
+	if preamble == wireMagic {
+		var version [1]byte
+		if _, err := io.ReadFull(conn, version[:]); err != nil {
+			conn.Close()
+			return
+		}
+		if wire == nil || version[0] != WireV2 {
+			_, _ = conn.Write([]byte{0}) // reject: unsupported version
+			conn.Close()
+			return
+		}
+		if _, err := conn.Write([]byte{WireV2}); err != nil {
+			conn.Close()
+			return
+		}
+		serveWire(conn, wire)
+		return
+	}
+	if legacy == nil {
+		conn.Close()
+		return
+	}
+	// v1: replay the sniffed bytes into the gob stream.
+	legacy.ServeConn(replayConn{Conn: conn, r: io.MultiReader(bytes.NewReader(preamble[:]), conn)})
+}
+
+// replayConn prepends sniffed bytes back onto a connection's read side.
+type replayConn struct {
+	net.Conn
+	r io.Reader
+}
+
+func (c replayConn) Read(p []byte) (int, error) { return c.r.Read(p) }
+
+// Dial connects a legacy (v1) net/rpc client; kept for compat tooling and
+// the v1 shim tests. New code uses DialWire.
 func Dial(addr string) (*rpc.Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -73,6 +139,21 @@ type Nothing struct{}
 type StoreCiphertextArgs struct {
 	User string
 	CT   []byte
+}
+
+// UserArg names a user for single-argument RPCs.
+type UserArg struct {
+	User string
+}
+
+// IntReply carries a single integer result.
+type IntReply struct {
+	N int
+}
+
+// BytesReply carries a single opaque byte-string result.
+type BytesReply struct {
+	B []byte
 }
 
 // LogAttemptArgs carries a recovery-attempt insertion.
@@ -99,7 +180,7 @@ type OracleArgs struct {
 // RegisterArgs announces a freshly provisioned HSM daemon.
 type RegisterArgs struct {
 	ID        int
-	Addr      string // where the HSM daemon's HSMService listens
+	Addr      string // where the HSM daemon's HSM service listens
 	BFEPub    []byte
 	AggSigPub []byte
 }
@@ -121,10 +202,12 @@ type FleetConfig struct {
 
 	// Provider-engine tuning (zero values → provider defaults): how long
 	// the epoch scheduler gathers concurrent log insertions, the size
-	// trigger that commits early, and the audit fan-out pool width.
-	EpochBatchMS  int
-	EpochMaxBatch int
-	EpochWorkers  int
+	// trigger that commits early, the audit fan-out pool width, and the
+	// standing epoch timer cadence for daemons with no blocked waiters.
+	EpochBatchMS    int
+	EpochMaxBatch   int
+	EpochWorkers    int
+	EpochIntervalMS int
 }
 
 // FleetStatus reports registration progress.
@@ -134,14 +217,49 @@ type FleetStatus struct {
 	RosterSent bool
 }
 
+// FleetMsg wraps the fleet public-key download.
+type FleetMsg struct {
+	Keys [][]byte
+}
+
+// RosterMsg wraps a signing-roster install.
+type RosterMsg struct {
+	Roster [][]byte
+}
+
+// ChunksMsg wraps an HSM's audit-chunk assignment.
+type ChunksMsg struct {
+	Chunks []int
+}
+
+// EpochHeaderMsg wraps an epoch header.
+type EpochHeaderMsg struct {
+	Hdr dlog.EpochHeader
+}
+
 // RecoverReplyMsg wraps a recovery reply (rpc needs a concrete pointer).
 type RecoverReplyMsg struct {
 	Reply protocol.RecoveryReply
 }
 
+// EscrowMsg wraps the escrowed-reply download.
+type EscrowMsg struct {
+	Replies []protocol.RecoveryReply
+}
+
 // TraceMsg wraps a log trace.
 type TraceMsg struct {
 	Trace logtree.Trace
+}
+
+// EntriesMsg wraps a committed-log snapshot.
+type EntriesMsg struct {
+	Entries []logtree.Entry
+}
+
+// DigestMsg wraps the provider's committed digest.
+type DigestMsg struct {
+	Digest logtree.Digest
 }
 
 // AuditPackageMsg wraps an epoch audit package.

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -11,6 +12,8 @@ import (
 	"safetypin/internal/dlog"
 	"safetypin/internal/lhe"
 )
+
+var tctx = context.Background()
 
 // testFleetConfig is a small, fast fleet for TCP tests. The cluster is half
 // the fleet: with N == n location hiding degenerates (any PIN selects the
@@ -30,47 +33,44 @@ func testFleetConfig(n int) FleetConfig {
 	}
 }
 
-// startFleet boots a provider daemon and n HSM daemons over loopback TCP,
-// returning the provider address and a shutdown func.
+// startFleet boots a provider daemon and n HSM daemons over loopback TCP
+// (both wire versions served), returning the provider address and a
+// shutdown func.
 func startFleet(t testing.TB, n int) (string, func()) {
+	return startFleetCfg(t, testFleetConfig(n))
+}
+
+func startFleetCfg(t testing.TB, cfg FleetConfig) (string, func()) {
 	t.Helper()
-	cfg := testFleetConfig(n)
 	pd, err := NewProviderDaemon(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var listeners []net.Listener
-	pln, paddr, err := Serve("Provider", pd.Service(), "127.0.0.1:0")
+	pln, paddr, err := Serve("Provider", pd.Service(), pd.WireRegistry(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	listeners = append(listeners, pln)
 
-	for id := 0; id < n; id++ {
-		// Each HSM daemon listens first (so it can announce its address),
-		// then provisions against the provider.
-		hln, haddr, err := Serve("HSM", &lateBoundHSM{}, "127.0.0.1:0")
+	for id := 0; id < cfg.NumHSMs; id++ {
+		// Provision against the provider, then serve and register with the
+		// live listen address (same order as cmd/hsmd).
+		hd, reg, err := ProvisionHSM(paddr, id, "")
 		if err != nil {
 			t.Fatal(err)
 		}
-		// We can't register the service after the fact with net/rpc, so
-		// instead provision first and serve on a fresh listener.
-		hln.Close()
-		hd, reg, err := ProvisionHSM(paddr, id, haddr)
+		hln, haddr, err := Serve("HSM", hd.Service(), hd.WireRegistry(), "127.0.0.1:0")
 		if err != nil {
 			t.Fatal(err)
 		}
-		hln2, haddr2, err := Serve("HSM", hd.Service(), "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		listeners = append(listeners, hln2)
-		reg.Addr = haddr2
+		listeners = append(listeners, hln)
+		reg.Addr = haddr
 		rp, err := DialProvider(paddr)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := rp.c.call("Provider.Register", reg, &Nothing{}); err != nil {
+		if err := rp.RegisterHSM(tctx, reg); err != nil {
 			t.Fatal(err)
 		}
 		rp.Close()
@@ -80,21 +80,16 @@ func startFleet(t testing.TB, n int) (string, func()) {
 		t.Fatal(err)
 	}
 	defer rp.Close()
-	if err := rp.c.call("Provider.InstallRosters", Nothing{}, &Nothing{}); err != nil {
+	if err := rp.InstallRosters(tctx); err != nil {
 		t.Fatal(err)
 	}
 	return paddr, func() {
+		pd.Close()
 		for _, ln := range listeners {
 			ln.Close()
 		}
 	}
 }
-
-// lateBoundHSM is a throwaway receiver for the probe listener above.
-type lateBoundHSM struct{}
-
-// Ping satisfies net/rpc's "needs at least one method" requirement.
-func (l *lateBoundHSM) Ping(_ Nothing, _ *Nothing) error { return nil }
 
 // newRemoteClient builds a SafetyPin client over the TCP provider.
 func newRemoteClient(t testing.TB, paddr, user, pin string) (*client.Client, *RemoteProvider) {
@@ -103,11 +98,11 @@ func newRemoteClient(t testing.TB, paddr, user, pin string) (*client.Client, *Re
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg, err := rp.Config()
+	cfg, err := rp.Config(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fleet, err := rp.Fleet()
+	fleet, err := rp.Fleet(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,10 +123,10 @@ func TestTCPBackupRecover(t *testing.T) {
 	c, rp := newRemoteClient(t, paddr, "alice", "123456")
 	defer rp.Close()
 	msg := []byte("data over real sockets")
-	if err := c.Backup(msg); err != nil {
+	if err := c.Backup(tctx, msg); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Recover("")
+	got, err := c.Recover(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,9 +137,9 @@ func TestTCPBackupRecover(t *testing.T) {
 
 func TestTCPConcurrentRecoveries(t *testing.T) {
 	// Concurrent clients over real sockets: their log insertions batch
-	// through the provider daemon's epoch scheduler (net/rpc serves each
-	// WaitForCommit on its own goroutine) and their share fan-outs run in
-	// parallel against the HSM daemons.
+	// through the provider daemon's epoch scheduler (each WaitForCommit
+	// call runs in its own handler goroutine) and their share fan-outs run
+	// in parallel against the HSM daemons.
 	paddr, shutdown := startFleet(t, 4)
 	defer shutdown()
 	const users = 3
@@ -157,7 +152,7 @@ func TestTCPConcurrentRecoveries(t *testing.T) {
 		c, rp := newRemoteClient(t, paddr, fmt.Sprintf("tcp-user-%d", i), "123456")
 		devices[i] = device{c, rp}
 		defer rp.Close()
-		if err := c.Backup([]byte(fmt.Sprintf("image-%d", i))); err != nil {
+		if err := c.Backup(tctx, []byte(fmt.Sprintf("image-%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -168,7 +163,7 @@ func TestTCPConcurrentRecoveries(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got[i], errs[i] = devices[i].c.Recover("")
+			got[i], errs[i] = devices[i].c.Recover(tctx, "")
 		}(i)
 	}
 	wg.Wait()
@@ -187,7 +182,7 @@ func TestTCPWrongPINFails(t *testing.T) {
 	defer shutdown()
 	c, rp := newRemoteClient(t, paddr, "bob", "123456")
 	defer rp.Close()
-	if err := c.Backup([]byte("m")); err != nil {
+	if err := c.Backup(tctx, []byte("m")); err != nil {
 		t.Fatal(err)
 	}
 	// With a small test fleet the wrong-PIN cluster can coincide with the
@@ -197,7 +192,7 @@ func TestTCPWrongPINFails(t *testing.T) {
 	if clusterOverlap(t, rp, c, "123456", "000000") >= 2 {
 		t.Skip("wrong-PIN cluster coincidentally overlaps at toy fleet size")
 	}
-	if _, err := c.Recover("000000"); err == nil {
+	if _, err := c.Recover(tctx, "000000"); err == nil {
 		t.Fatal("wrong PIN succeeded over TCP")
 	}
 }
@@ -206,7 +201,7 @@ func TestTCPWrongPINFails(t *testing.T) {
 // agree for the user's current ciphertext.
 func clusterOverlap(t *testing.T, rp *RemoteProvider, c *client.Client, pinA, pinB string) int {
 	t.Helper()
-	blob, err := rp.FetchCiphertext(c.User())
+	blob, err := rp.FetchCiphertext(tctx, c.User())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +209,7 @@ func clusterOverlap(t *testing.T, rp *RemoteProvider, c *client.Client, pinA, pi
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg, err := rp.Config()
+	cfg, err := rp.Config(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,17 +239,17 @@ func TestTCPExternalAudit(t *testing.T) {
 	defer shutdown()
 	c, rp := newRemoteClient(t, paddr, "carol", "123456")
 	defer rp.Close()
-	if err := c.Backup([]byte("m")); err != nil {
+	if err := c.Backup(tctx, []byte("m")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Recover(""); err != nil {
+	if _, err := c.Recover(tctx, ""); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := rp.LogEntries()
+	entries, err := rp.LogEntries(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	digest, err := rp.LogDigest()
+	digest, err := rp.LogDigest(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,19 +266,74 @@ func TestTCPStatusAndConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rp.Close()
-	var st FleetStatus
-	if err := rp.c.call("Provider.Status", Nothing{}, &st); err != nil {
+	st, err := rp.Status(tctx)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Expected != 2 || len(st.Registered) != 2 || !st.RosterSent {
 		t.Fatalf("bad status: %+v", st)
 	}
-	cfg, err := rp.Config()
+	cfg, err := rp.Config(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.NumHSMs != 2 {
 		t.Fatal("bad config echo")
+	}
+}
+
+func TestTCPResumeRecovery(t *testing.T) {
+	// A session token minted over TCP resumes over a *different*
+	// connection: the crashed device's escrowed shares replay and the
+	// resumed session completes without reserving a second attempt.
+	paddr, shutdown := startFleet(t, 8)
+	defer shutdown()
+	c, rp := newRemoteClient(t, paddr, "dora", "123456")
+	defer rp.Close()
+	msg := []byte("resumable across sockets")
+	if err := c.Backup(tctx, msg); err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.BeginRecovery(tctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	token, err := s.SessionToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect a partial set of shares, then "crash" (drop the connection).
+	if err := s.RequestShare(tctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	attemptsBefore, err := rp.AttemptCount(tctx, "dora")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2, rp2 := newRemoteClient(t, paddr, "dora", "123456")
+	defer rp2.Close()
+	s2, err := c2.ResumeRecovery(tctx, token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.SharesHeld() < 1 {
+		t.Fatal("escrowed share not replayed on resume")
+	}
+	s2.RequestAllShares(tctx)
+	got, err := s2.Finish(tctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("resumed recovery returned wrong data")
+	}
+	attemptsAfter, err := rp2.AttemptCount(tctx, "dora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attemptsAfter != attemptsBefore {
+		t.Fatalf("resume consumed an attempt: %d → %d", attemptsBefore, attemptsAfter)
 	}
 }
 

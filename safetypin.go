@@ -23,6 +23,46 @@
 // A Deployment hosts an in-process fleet; cmd/hsmd and cmd/providerd run
 // the same components as separate OS processes over TCP.
 //
+// # Construction: functional options
+//
+// New builds a deployment from functional options; unset values follow
+// the paper's rules (cluster min(40, N), threshold n/2, one guess, BLS
+// multisignatures):
+//
+//	d, err := safetypin.New(
+//		safetypin.WithFleet(96),
+//		safetypin.WithGuessLimit(5),
+//		safetypin.WithEngine(provider.EngineConfig{EpochInterval: 10 * time.Minute}),
+//	)
+//
+// The Params struct remains the documented escape hatch for programmatic
+// configuration: NewDeployment(Params{...}) behaves exactly as before,
+// and WithParams bridges the two styles.
+//
+// # The service API: contexts, roles, sessions
+//
+// The client sees the provider through three role-scoped interfaces
+// (client.BackupStore, client.LogService, client.RecoveryService,
+// composed into client.Provider), every method of which takes a
+// context.Context. Cancellation and deadlines propagate end to end — from
+// Recover through the provider's epoch scheduler and HSM fan-out worker
+// pool down to each in-flight per-HSM exchange, locally and across the
+// TCP transport's versioned wire protocol. Concretely:
+//
+//   - Session.RequestShares cancels the laggard HSM share requests the
+//     moment it holds t shares; no goroutine or remote handler outlives
+//     the session.
+//   - A client can abandon a wedged epoch: a cancelled WaitForCommit is
+//     unsubscribed from the scheduler's round and leaks nothing.
+//   - A disconnecting TCP client aborts its server-side handlers.
+//
+// Recovery is a long-lived, resumable session rather than one blocking
+// call: Client.BeginRecovery returns a client.RecoverySession whose
+// SessionToken serializes the (user, attempt) identity, commitment
+// opening, and per-recovery ephemeral key; a device that crashes
+// mid-recovery hands the token to its replacement, and ResumeRecovery
+// picks up from the provider's escrow without consuming a second guess.
+//
 // # Architecture: concurrency and batching
 //
 // The system layer is a concurrent, batch-oriented engine shaped after the
@@ -36,28 +76,30 @@
 //     racing to recover one account get distinct log identifiers.
 //   - Log insertions from concurrent recoveries accumulate in the epoch
 //     scheduler (internal/provider/scheduler.go) and commit as one shared
-//     epoch, either when the batching window elapses, when the batch-size
-//     trigger fires, or on demand. Clients block on WaitForCommit instead
-//     of driving epochs themselves — client.Begin never runs an epoch of
-//     its own, matching the paper's 10-minute batching.
+//     epoch, when the batching window elapses, the batch-size trigger
+//     fires, the standing epoch timer ticks (EngineConfig.EpochInterval —
+//     the daemon mode for true 10-minute cadence with no blocked
+//     waiters), or on demand. Clients block on WaitForCommit instead of
+//     driving epochs themselves.
 //   - Epoch execution fans the choose-chunks/audit/commit exchanges out
 //     to the fleet through a bounded worker pool, aggregating signatures
-//     as they arrive. A slow or hung HSM is skipped after a timeout; the
-//     epoch commits as long as a quorum signs.
-//   - The client's share collection (Session.RequestShares /
-//     RequestAllShares) contacts all n cluster members in parallel with
-//     per-share error collection, optionally returning as soon as t
-//     shares are held. Recovery latency is then bounded by the slowest
-//     single HSM instead of the sum over the cluster — on the paper's
-//     hardware (~0.85 s per HSM op) that is roughly an n-fold win.
+//     as they arrive. Each exchange runs under a context bounded by the
+//     audit timeout: a slow or hung HSM is skipped (its RPC cancelled)
+//     and the epoch commits as long as a quorum signs.
+//   - The client's share collection contacts all n cluster members in
+//     parallel with per-share error collection, returning (and cancelling
+//     the rest) as soon as t shares are held. Recovery latency is then
+//     bounded by the slowest needed HSM instead of the sum over the
+//     cluster — on the paper's hardware (~0.85 s per HSM op) roughly an
+//     n-fold win.
 //   - HSMs use fine-grained locking: log auditing, recovery decryption
 //     (serialized per key, as the hardware would), and rotation proceed
 //     independently, so one HSM serves audit and recovery traffic
 //     concurrently.
 //
-// Params.Engine tunes all of this; the TCP transport exposes the same
-// engine through providerd's -epoch-window-ms/-epoch-max-batch/
-// -epoch-workers flags. The multi-user load experiment
+// WithEngine / Params.Engine tunes all of this; the TCP transport exposes
+// the same engine through providerd's -epoch-window-ms/-epoch-max-batch/
+// -epoch-workers/-epoch-interval flags. The multi-user load experiment
 // (internal/experiments/load.go, `experiments -only load`) measures
 // recoveries/sec against fleet size and concurrency.
 package safetypin
@@ -111,8 +153,8 @@ type Params struct {
 	// harness.
 	Metered bool
 	// Engine tunes the provider's concurrency machinery: epoch batching
-	// window, batch-size trigger, audit fan-out pool width, lock striping
-	// (zero values → provider defaults).
+	// window, batch-size trigger, standing epoch timer, audit fan-out pool
+	// width, lock striping (zero values → provider defaults).
 	Engine provider.EngineConfig
 }
 
@@ -225,6 +267,11 @@ func NewDeployment(p Params) (*Deployment, error) {
 
 // Params returns the normalized deployment parameters.
 func (d *Deployment) Params() Params { return d.params }
+
+// Close stops the deployment's background machinery (the provider's
+// standing epoch timer, when one was configured). Deployments without an
+// EpochInterval need no Close.
+func (d *Deployment) Close() error { return d.Provider.Close() }
 
 // LHEParams returns the location-hiding-encryption parameters in force.
 func (d *Deployment) LHEParams() lhe.Params { return d.lhe }

@@ -2,6 +2,7 @@ package safetypin
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -14,6 +15,8 @@ import (
 	"safetypin/internal/lhe"
 	"safetypin/internal/meter"
 )
+
+var tctx = context.Background()
 
 // testParams returns a small fleet with the fast signature backend; the
 // BLS backend gets its own end-to-end test.
@@ -52,10 +55,10 @@ func TestBackupRecoverEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	msg := []byte("alice's disk image")
-	if err := c.Backup(msg); err != nil {
+	if err := c.Backup(tctx, msg); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Recover("")
+	got, err := c.Recover(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,15 +73,15 @@ func TestWrongPINFailsAndConsumesAttempt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Backup([]byte("data")); err != nil {
+	if err := c.Backup(tctx, []byte("data")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Recover("999999"); err == nil {
+	if _, err := c.Recover(tctx, "999999"); err == nil {
 		t.Fatal("recovery with wrong PIN succeeded")
 	}
 	// GuessLimit = 1: the failed attempt consumed the budget, so even the
 	// correct PIN is now refused by every HSM (brute-force defeat).
-	if _, err := c.Recover(""); err == nil {
+	if _, err := c.Recover(tctx, ""); err == nil {
 		t.Fatal("second attempt allowed past guess limit")
 	}
 }
@@ -92,13 +95,13 @@ func TestGuessLimitAllowsRetries(t *testing.T) {
 		t.Fatal(err)
 	}
 	msg := []byte("data")
-	if err := c.Backup(msg); err != nil {
+	if err := c.Backup(tctx, msg); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Recover("000000"); err == nil {
+	if _, err := c.Recover(tctx, "000000"); err == nil {
 		t.Fatal("wrong PIN succeeded")
 	}
-	got, err := c.Recover("")
+	got, err := c.Recover(tctx, "")
 	if err != nil {
 		t.Fatalf("correct PIN within budget failed: %v", err)
 	}
@@ -118,10 +121,10 @@ func TestForwardSecrecyAfterRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Backup([]byte("secret")); err != nil {
+	if err := c.Backup(tctx, []byte("secret")); err != nil {
 		t.Fatal(err)
 	}
-	blob, err := d.Provider.FetchCiphertext("dave")
+	blob, err := d.Provider.FetchCiphertext(tctx, "dave")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +132,7 @@ func TestForwardSecrecyAfterRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Recover(""); err != nil {
+	if _, err := c.Recover(tctx, ""); err != nil {
 		t.Fatal(err)
 	}
 	cluster, err := d.LHEParams().Select(ct.Salt, "123456")
@@ -154,17 +157,17 @@ func TestSaltSeriesRevokedTogether(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Backup([]byte("backup-1")); err != nil {
+	if err := c.Backup(tctx, []byte("backup-1")); err != nil {
 		t.Fatal(err)
 	}
-	oldBlob, err := d.Provider.FetchCiphertext("erin")
+	oldBlob, err := d.Provider.FetchCiphertext(tctx, "erin")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Backup([]byte("backup-2")); err != nil {
+	if err := c.Backup(tctx, []byte("backup-2")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Recover("")
+	got, err := c.Recover(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,10 +200,10 @@ func TestFaultToleranceFailStopHSMs(t *testing.T) {
 		t.Fatal(err)
 	}
 	msg := []byte("resilient data")
-	if err := c.Backup(msg); err != nil {
+	if err := c.Backup(tctx, msg); err != nil {
 		t.Fatal(err)
 	}
-	s, err := c.Begin("")
+	s, err := c.Begin(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,11 +211,11 @@ func TestFaultToleranceFailStopHSMs(t *testing.T) {
 	// Contact only positions 2..7 (simulating positions 0,1 failed): still
 	// ≥ t = 4 shares.
 	for j := 2; j < len(cluster); j++ {
-		if err := s.RequestShare(j); err != nil {
+		if err := s.RequestShare(tctx, j); err != nil {
 			t.Fatal(err)
 		}
 	}
-	got, err := s.Finish()
+	got, err := s.Finish(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,19 +233,19 @@ func TestTooManyFailuresBlockRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Backup([]byte("m")); err != nil {
+	if err := c.Backup(tctx, []byte("m")); err != nil {
 		t.Fatal(err)
 	}
-	s, err := c.Begin("")
+	s, err := c.Begin(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for j := 0; j < 3; j++ { // t-1 shares only
-		if err := s.RequestShare(j); err != nil {
+		if err := s.RequestShare(tctx, j); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := s.Finish(); !errors.Is(err, client.ErrTooFewShares) {
+	if _, err := s.Finish(tctx); !errors.Is(err, client.ErrTooFewShares) {
 		t.Fatalf("expected ErrTooFewShares, got %v", err)
 	}
 }
@@ -259,15 +262,15 @@ func TestCrashRecoveryViaEscrow(t *testing.T) {
 		t.Fatal(err)
 	}
 	msg := []byte("phone died mid-recovery")
-	if err := c.Backup(msg); err != nil {
+	if err := c.Backup(tctx, msg); err != nil {
 		t.Fatal(err)
 	}
-	s, err := c.Begin("")
+	s, err := c.Begin(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for j := range s.Cluster() {
-		if err := s.RequestShare(j); err != nil {
+		if err := s.RequestShare(tctx, j); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -280,7 +283,7 @@ func TestCrashRecoveryViaEscrow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := replacement.CompleteFromEscrow(ephemeral)
+	got, err := replacement.CompleteFromEscrow(tctx, ephemeral)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,10 +302,10 @@ func TestNestedKeyBackup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Backup([]byte("main data")); err != nil {
+	if err := c.Backup(tctx, []byte("main data")); err != nil {
 		t.Fatal(err)
 	}
-	s, err := c.Begin("")
+	s, err := c.Begin(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,11 +314,11 @@ func TestNestedKeyBackup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nested.Backup(s.ReplyKey.SK.Bytes()); err != nil {
+	if err := nested.Backup(tctx, s.ReplyKey.SK.Bytes()); err != nil {
 		t.Fatal(err)
 	}
 	for j := range s.Cluster() {
-		if err := s.RequestShare(j); err != nil {
+		if err := s.RequestShare(tctx, j); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -324,7 +327,7 @@ func TestNestedKeyBackup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	skBytes, err := nested2.Recover("")
+	skBytes, err := nested2.Recover(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +339,7 @@ func TestNestedKeyBackup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := replacement.CompleteFromEscrow(s.ReplyKey)
+	got, err := replacement.CompleteFromEscrow(tctx, s.ReplyKey)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,14 +355,14 @@ func TestIncrementalBackups(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	master, err := c.EnableIncrementalBackups()
+	master, err := c.EnableIncrementalBackups(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.IncrementalBackup(master, []byte("monday's delta")); err != nil {
+	if err := c.IncrementalBackup(tctx, master, []byte("monday's delta")); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.IncrementalBackup(master, []byte("tuesday's delta")); err != nil {
+	if err := c.IncrementalBackup(tctx, master, []byte("tuesday's delta")); err != nil {
 		t.Fatal(err)
 	}
 	// Device lost: recover the master key via SafetyPin, then decrypt the
@@ -368,14 +371,14 @@ func TestIncrementalBackups(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recovered, err := c2.Recover("")
+	recovered, err := c2.Recover(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(recovered, master) {
 		t.Fatal("recovered master key mismatch")
 	}
-	delta, err := c2.FetchIncremental(recovered)
+	delta, err := c2.FetchIncremental(tctx, recovered)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,23 +395,23 @@ func TestReplayAcrossUsersRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := alice.Backup([]byte("alice data")); err != nil {
+	if err := alice.Backup(tctx, []byte("alice data")); err != nil {
 		t.Fatal(err)
 	}
-	blob, err := d.Provider.FetchCiphertext("alice")
+	blob, err := d.Provider.FetchCiphertext(tctx, "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Mallory stores Alice's ciphertext under her own name and knows the
 	// PIN (worst case).
-	if err := d.Provider.StoreCiphertext("mallory", blob); err != nil {
+	if err := d.Provider.StoreCiphertext(tctx, "mallory", blob); err != nil {
 		t.Fatal(err)
 	}
 	mallory, err := d.NewClient("mallory", "123456")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mallory.Recover(""); err == nil {
+	if _, err := mallory.Recover(tctx, ""); err == nil {
 		t.Fatal("cross-user replay succeeded")
 	}
 }
@@ -421,23 +424,23 @@ func TestRecoveryWithoutLoggingRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Backup([]byte("m")); err != nil {
+	if err := c.Backup(tctx, []byte("m")); err != nil {
 		t.Fatal(err)
 	}
-	s, err := c.Begin("")
+	s, err := c.Begin(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Sabotage: strip the log trace (simulating a skipped log step).
 	req := s.BuildRequest(0)
 	req.LogTrace = nil
-	if _, err := d.Provider.RelayRecover(req); err == nil {
+	if _, err := d.Provider.RelayRecover(tctx, req); err == nil {
 		t.Fatal("HSM served a recovery with no log trace")
 	}
 	// And a trace for the wrong commitment (provider lies about the log).
 	req2 := s.BuildRequest(0)
 	req2.CommitNonce = make([]byte, len(req2.CommitNonce))
-	if _, err := d.Provider.RelayRecover(req2); err == nil {
+	if _, err := d.Provider.RelayRecover(tctx, req2); err == nil {
 		t.Fatal("HSM accepted a commitment that is not in the log")
 	}
 }
@@ -459,10 +462,10 @@ func TestKeyRotation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Backup([]byte("data")); err != nil {
+		if err := c.Backup(tctx, []byte("data")); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Recover(""); err != nil {
+		if _, err := c.Recover(tctx, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -478,10 +481,10 @@ func TestKeyRotation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Backup([]byte("new-era data")); err != nil {
+	if err := c.Backup(tctx, []byte("new-era data")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Recover("")
+	got, err := c.Recover(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -496,10 +499,10 @@ func TestExternalLogAudit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Backup([]byte("m")); err != nil {
+	if err := c.Backup(tctx, []byte("m")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Recover(""); err != nil {
+	if _, err := c.Recover(tctx, ""); err != nil {
 		t.Fatal(err)
 	}
 	// A third party replays the published log and checks the digest.
@@ -528,10 +531,10 @@ func TestMeteredDeployment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Backup([]byte("m")); err != nil {
+	if err := c.Backup(tctx, []byte("m")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Recover(""); err != nil {
+	if _, err := c.Recover(tctx, ""); err != nil {
 		t.Fatal(err)
 	}
 	total := int64(0)
@@ -556,10 +559,10 @@ func TestBLSEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Backup([]byte("bls-sealed")); err != nil {
+	if err := c.Backup(tctx, []byte("bls-sealed")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Recover("")
+	got, err := c.Recover(tctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
