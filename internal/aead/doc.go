@@ -1,0 +1,8 @@
+// Package aead is a thin wrapper around AES-GCM providing the authenticated
+// encryption scheme (AEEncrypt, AEDecrypt) used throughout the paper: the
+// data-encapsulation half of location-hiding encryption (Figure 15) and the
+// node encryption of the outsourced-storage key tree (Appendix C).
+//
+// Every sealed box carries a fresh random nonce, so a single key may encrypt
+// many messages.
+package aead

@@ -1,14 +1,3 @@
-// Package aggsig abstracts the aggregate-signature scheme HSMs use to
-// co-sign log updates (§6.2). The production scheme is BLS multisignatures
-// (package bls): the provider adds all online HSMs' signatures into one
-// constant-size signature that every HSM verifies with two pairings,
-// independent of the fleet size.
-//
-// A second backend — plain ECDSA with concatenation — exists as the ablation
-// the paper's scalability argument is measured against: verification work
-// grows linearly in the number of signers, which is exactly what the BLS
-// choice avoids. Both backends satisfy the same interface so the distributed
-// log can run (and be benchmarked) over either.
 package aggsig
 
 import (
@@ -60,14 +49,23 @@ type Scheme interface {
 
 // --- BLS multisignature backend ---
 
-// BLS returns the BLS12-381 multisignature scheme.
-func BLS() Scheme { return blsScheme{} }
+// BLS returns the BLS12-381 multisignature scheme with the default
+// (RFC 9380 constant-time SSWU) message hash.
+func BLS() Scheme { return blsScheme{mode: bls.HashRFC9380} }
 
-type blsScheme struct{}
+// BLSWithHashMode returns the BLS scheme hashing messages with an explicit
+// mode. bls.HashLegacy selects the pre-standard try-and-increment hash for
+// wire compatibility with logs signed by existing deployments; every signer
+// and verifier in a fleet must use the same mode, which the transport
+// negotiates through the fleet-config handshake.
+func BLSWithHashMode(mode bls.HashMode) Scheme { return blsScheme{mode: mode} }
+
+type blsScheme struct{ mode bls.HashMode }
 
 type blsSigner struct {
-	sk *bls.SecretKey
-	pk *bls.PublicKey
+	sk   *bls.SecretKey
+	pk   *bls.PublicKey
+	mode bls.HashMode
 }
 
 type blsPub struct{ pk *bls.PublicKey }
@@ -79,18 +77,23 @@ type blsPub struct{ pk *bls.PublicKey }
 // rosters serialized by older deployments.
 const blsPubVersion = 0x01
 
-func (blsScheme) Name() string { return "bls12381-multisig" }
+func (s blsScheme) Name() string {
+	if s.mode == bls.HashLegacy {
+		return "bls12381-multisig/legacy-hash"
+	}
+	return "bls12381-multisig"
+}
 
-func (blsScheme) KeyGen(rng io.Reader) (Signer, error) {
+func (s blsScheme) KeyGen(rng io.Reader) (Signer, error) {
 	sk, pk, err := bls.GenerateKey(rng)
 	if err != nil {
 		return nil, err
 	}
-	return &blsSigner{sk: sk, pk: pk}, nil
+	return &blsSigner{sk: sk, pk: pk, mode: s.mode}, nil
 }
 
 func (s *blsSigner) Sign(msg []byte) ([]byte, error) {
-	return s.sk.Sign(msg).Bytes(), nil
+	return s.sk.SignWithMode(s.mode, msg).Bytes(), nil
 }
 
 func (s *blsSigner) PublicKey() PublicKey { return blsPub{s.pk} }
@@ -133,7 +136,7 @@ func (blsScheme) Aggregate(sigs [][]byte) ([]byte, error) {
 	return agg.Bytes(), nil
 }
 
-func (blsScheme) VerifyAggregate(pks []PublicKey, msg, aggSig []byte) (bool, error) {
+func (s blsScheme) VerifyAggregate(pks []PublicKey, msg, aggSig []byte) (bool, error) {
 	if len(pks) == 0 {
 		return false, errors.New("aggsig: empty signer set")
 	}
@@ -153,7 +156,7 @@ func (blsScheme) VerifyAggregate(pks []PublicKey, msg, aggSig []byte) (bool, err
 	if err != nil {
 		return false, err
 	}
-	return apk.Verify(msg, sig)
+	return apk.VerifyWithMode(s.mode, msg, sig)
 }
 
 func (blsScheme) MeterVerify(m *meter.Meter, numSigners int) {

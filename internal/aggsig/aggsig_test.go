@@ -5,10 +5,13 @@ import (
 	"encoding/hex"
 	"testing"
 
+	"safetypin/internal/bls"
 	"safetypin/internal/meter"
 )
 
-func schemes() []Scheme { return []Scheme{BLS(), ECDSAConcat()} }
+func schemes() []Scheme {
+	return []Scheme{BLS(), BLSWithHashMode(bls.HashLegacy), ECDSAConcat()}
+}
 
 func TestAggregateRoundTripBothSchemes(t *testing.T) {
 	for _, sc := range schemes() {

@@ -1,0 +1,12 @@
+// Package aggsig abstracts the aggregate-signature scheme HSMs use to
+// co-sign log updates (§6.2). The production scheme is BLS multisignatures
+// (package bls): the provider adds all online HSMs' signatures into one
+// constant-size signature that every HSM verifies with two pairings,
+// independent of the fleet size.
+//
+// A second backend — plain ECDSA with concatenation — exists as the ablation
+// the paper's scalability argument is measured against: verification work
+// grows linearly in the number of signers, which is exactly what the BLS
+// choice avoids. Both backends satisfy the same interface so the distributed
+// log can run (and be benchmarked) over either.
+package aggsig

@@ -1,0 +1,116 @@
+package aggsig
+
+// hashmode_test.go pins the relationship between the two BLS hash modes:
+// each verifies its own signatures, neither verifies the other's, and the
+// legacy mode's bytes are frozen against a golden produced before the RFC
+// hash existed (the compat flag must stay byte-stable forever).
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"safetypin/internal/bls"
+)
+
+// goldRNG reproduces the deterministic stream used to generate the golden
+// signature below (SHA-256 counter mode, same construction as the bls
+// seed-compat tests).
+type goldRNG struct {
+	seed []byte
+	ctr  uint64
+	buf  []byte
+}
+
+func (d *goldRNG) Read(p []byte) (int, error) {
+	for len(d.buf) < len(p) {
+		h := sha256.New()
+		h.Write(d.seed)
+		var c [8]byte
+		for i := 0; i < 8; i++ {
+			c[i] = byte(d.ctr >> (8 * uint(i)))
+		}
+		h.Write(c[:])
+		d.ctr++
+		d.buf = append(d.buf, h.Sum(nil)...)
+	}
+	copy(p, d.buf[:len(p)])
+	d.buf = d.buf[len(p):]
+	return len(p), nil
+}
+
+func TestBLSHashModeDifferential(t *testing.T) {
+	msg := []byte("epoch tuple (d, d', R)")
+	rfc := BLS()
+	legacy := BLSWithHashMode(bls.HashLegacy)
+
+	// One keypair per mode from identical deterministic streams: key
+	// generation is hash-independent, so the public keys must coincide
+	// while the signatures must not.
+	sRFC, err := rfc.KeyGen(&goldRNG{seed: []byte("aggsig-hashmode-diff")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sLegacy, err := legacy.KeyGen(&goldRNG{seed: []byte("aggsig-hashmode-diff")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sRFC.PublicKey().Bytes(), sLegacy.PublicKey().Bytes()) {
+		t.Fatal("hash mode changed key generation — it must only change message hashing")
+	}
+
+	sigRFC, err := sRFC.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigLegacy, err := sLegacy.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(sigRFC, sigLegacy) {
+		t.Fatal("RFC and legacy modes produced identical signatures")
+	}
+
+	pks := []PublicKey{sRFC.PublicKey()}
+	aggRFC, err := rfc.Aggregate([][]byte{sigRFC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggLegacy, err := legacy.Aggregate([][]byte{sigLegacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-mode verifies; cross-mode must not.
+	if ok, err := rfc.VerifyAggregate(pks, msg, aggRFC); err != nil || !ok {
+		t.Fatal("RFC-mode aggregate rejected by RFC-mode verifier")
+	}
+	if ok, err := legacy.VerifyAggregate(pks, msg, aggLegacy); err != nil || !ok {
+		t.Fatal("legacy-mode aggregate rejected by legacy-mode verifier")
+	}
+	if ok, _ := rfc.VerifyAggregate(pks, msg, aggLegacy); ok {
+		t.Fatal("legacy signature verified under the RFC hash")
+	}
+	if ok, _ := legacy.VerifyAggregate(pks, msg, aggRFC); ok {
+		t.Fatal("RFC signature verified under the legacy hash")
+	}
+
+	// Golden pin: the legacy signature bytes are frozen — they are what
+	// pre-RFC deployments wrote into their logs.
+	const legacyGolden = "040b4fc8575a70ac1769eee99479beb19bd29ea4e0cb17ce1611ec401aab7524d23b09ea2c4674c259432e924def47794c19f2f50bc49bbe2c8e8aa95dafb3fce5c5d67dfb766d735a72fc410d08ab3a9677118595d47046de68313da337650505"
+	if got := hex.EncodeToString(sigLegacy); got != legacyGolden {
+		t.Fatalf("legacy-mode signature drifted from golden:\n got %s\nwant %s", got, legacyGolden)
+	}
+}
+
+func TestBLSSchemeNames(t *testing.T) {
+	if BLS().Name() != "bls12381-multisig" {
+		t.Fatal("default BLS scheme name drifted")
+	}
+	if BLSWithHashMode(bls.HashLegacy).Name() != "bls12381-multisig/legacy-hash" {
+		t.Fatal("legacy BLS scheme name drifted")
+	}
+	if BLSWithHashMode(bls.HashRFC9380).Name() != BLS().Name() {
+		t.Fatal("explicit RFC mode must name the default scheme")
+	}
+}

@@ -1,15 +1,3 @@
-// Package baseline implements the encrypted-backup design the paper
-// evaluates against (§9.2), modeled on Google's Cloud Key Vault and Apple's
-// iCloud Keychain: the client picks a *fixed* cluster of five HSMs, encrypts
-// its recovery key together with a salted hash of its PIN under the
-// cluster's public key, and any single cluster HSM decrypts, checks the PIN
-// hash, enforces a per-ciphertext attempt limit, and returns the key.
-//
-// The contrast with SafetyPin is the point of Figure 10 and the security
-// discussion: here each cluster HSM is a single point of failure for every
-// user assigned to it — compromise one device (or its vendor) and millions
-// of backups fall — whereas SafetyPin requires compromising a constant
-// fraction of the whole fleet.
 package baseline
 
 import (

@@ -440,14 +440,17 @@ func (p G2) InSubgroup() bool {
 	return p.OnCurve() && p.mulRaw(rOrder).IsInfinity()
 }
 
-// --- hashing to G1 ---
+// --- hashing to G1 (legacy construction) ---
 
-// HashToG1 maps a message (with domain-separation tag) onto the order-r
-// subgroup of G1 using try-and-increment plus cofactor clearing. The
-// construction (and hence every hashed point and signature byte) is
-// identical to the original math/big implementation; only the field backend
-// changed. Not constant time — hash inputs (log digests) are public.
-func HashToG1(domain string, msg []byte) G1 {
+// hashToG1Legacy maps a message (with domain-separation tag) onto the
+// order-r subgroup of G1 using try-and-increment plus cofactor clearing —
+// the pre-RFC construction this repo shipped with. The construction (and
+// hence every hashed point and signature byte) is identical to the
+// original math/big implementation, pinned by seed_compat_test.go; logs
+// signed by existing deployments verify only under this hash, so it stays
+// reachable through HashToG1(HashLegacy, …). Not constant time; new
+// deployments use the RFC 9380 pipeline in hash2curve.go.
+func hashToG1Legacy(domain string, msg []byte) G1 {
 	for ctr := uint32(0); ; ctr++ {
 		h := sha256.New()
 		h.Write([]byte("BLS12381-H2G1|"))

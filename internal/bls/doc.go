@@ -22,10 +22,25 @@
 //     multi-pairing: n pairs cost n Miller loops and one shared final
 //     exponentiation.
 //
-// Wire formats, hashing (try-and-increment HashToG1), and every signature
-// byte are identical to the original math/big simulator implementation,
-// which is retained in legacy_test.go as a differential oracle; see
-// seed_compat_test.go for the pinned cross-version vectors. The code is
-// not constant time — acceptable for the simulator, where all signed
-// material (log digests) is public.
+// # Hashing to G1
+//
+// Messages are hashed to the curve per RFC 9380 (hash2curve.go): the
+// BLS12381G1_XMD:SHA-256_SSWU_RO_ suite — expand_message_xmd, two-element
+// hash_to_field, constant-time simplified SWU onto the 11-isogenous curve
+// E' (sswu.go), the degree-11 isogeny back to E (isogeny.go), and
+// effective-cofactor clearing. The hash layer is branch-free on the data
+// being hashed: selections are CMOV, negations are masked, exponentiations
+// use public exponents. The pre-standard try-and-increment hash remains
+// available as HashLegacy (curve.go) for wire compatibility with logs
+// signed by existing deployments; it is pinned byte for byte by
+// seed_compat_test.go, and fleets negotiate a common HashMode through the
+// transport's fleet-config handshake.
+//
+// Wire formats and (in legacy mode) every signature byte are identical to
+// the original math/big simulator implementation, which is retained in
+// legacy_test.go as a differential oracle; see seed_compat_test.go for the
+// pinned cross-version vectors. Outside the hash layer the field core
+// still takes data-dependent conditional subtractions (feMul/feReduce) —
+// acceptable while all signed material (log digests) is public; the full
+// constant-time audit is tracked in ROADMAP.md.
 package bls

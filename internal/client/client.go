@@ -1,33 +1,3 @@
-// Package client implements the SafetyPin client: the mobile device that
-// backs up a disk image under its PIN (Figure 3 Ê) and later recovers it by
-// interacting with the service provider and its hidden cluster of HSMs
-// (Figure 3 Ë–Ð).
-//
-// The client trusts only its own PIN and the authenticity of the HSM public
-// keys it holds; the provider is untrusted. Extensions of §8 are included:
-// per-recovery ephemeral keys with provider-side escrow (crash during
-// recovery), salt reuse across backups (one puncture revokes all prior
-// ciphertexts), post-recovery salt refresh, and incremental backups under a
-// SafetyPin-protected master key.
-//
-// # The service API
-//
-// The client sees the provider through three small role-scoped interfaces —
-// BackupStore (ciphertext storage), LogService (the distributed log), and
-// RecoveryService (the HSM relay and crash escrow) — composed into
-// Provider. Every method takes a context.Context: deadlines and
-// cancellation propagate from the caller through the provider into each
-// in-flight per-HSM exchange, so an abandoning user cancels the laggard
-// share requests instead of leaking them, and a stuck epoch can be walked
-// away from without leaking a waiter.
-//
-// Recovery itself is a long-lived, resumable session rather than one
-// blocking call: BeginRecovery returns a RecoverySession whose
-// SessionToken serializes everything a replacement process needs —
-// the reserved attempt number, commitment opening, and the per-recovery
-// ephemeral key — so a device that crashes mid-recovery resumes with
-// ResumeRecovery against the provider's (user, attempt) escrow instead of
-// burning a second guess.
 package client
 
 import (

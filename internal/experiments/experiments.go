@@ -1,14 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (§9). Each generator runs the real implementation — metered via
-// package meter — and prices the observed operation sequence in SoloKey time
-// (package simtime), exactly mirroring the paper's methodology of measuring
-// per-operation device rates and deriving system costs from them.
-//
-// Absolute numbers depend on implementation details (our reply encryption,
-// proof encodings, and trie depths differ from the authors' C firmware); the
-// claims under reproduction are the *shapes*: who wins, by what factor, and
-// where the curves bend. EXPERIMENTS.md records paper-vs-measured for every
-// experiment.
 package experiments
 
 import (

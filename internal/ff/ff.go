@@ -1,13 +1,3 @@
-// Package ff implements arithmetic in the prime field Z_p with
-// p = 2^255 − 19. SafetyPin uses this field for Shamir secret sharing of
-// transport keys (Figure 15): a 128- or 256-bit-minus-margin symmetric key is
-// embedded as a field element, split into t-of-n shares, and reconstructed by
-// Lagrange interpolation.
-//
-// Elements are immutable values wrapping math/big integers reduced mod p.
-// The implementation favours clarity over constant-time execution; the field
-// only ever handles per-backup transport keys inside the client and HSM
-// simulators, not long-term signing keys.
 package ff
 
 import (

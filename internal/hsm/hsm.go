@@ -1,20 +1,3 @@
-// Package hsm models one SafetyPin hardware security module as a sealed
-// state machine: all secret key material (the puncturable-encryption root
-// key, the aggregate-signature signing key) lives behind the HSM's message
-// interface, exactly as the SoloKey firmware's secrets live behind its USB
-// interface.
-//
-// An HSM serves three duties:
-//
-//   - recovery (Figure 3 Ï–Ð): check the logged commitment, decrypt its
-//     share of a recovery ciphertext, puncture its key, and return the share
-//     sealed to the client's ephemeral key;
-//   - log auditing (§6.2): verify its chunk assignment of each epoch update
-//     and co-sign the new digest;
-//   - key rotation (§9.1): regenerate its puncturable key once half of it
-//     has been punctured.
-//
-// Every operation is metered so the evaluation can price it in SoloKey time.
 package hsm
 
 import (

@@ -1,22 +1,3 @@
-// Package lhe implements location-hiding encryption, the paper's central
-// cryptographic primitive (Section 5, Figure 15).
-//
-// The encryptor holds the public keys of all N HSMs in the data center and a
-// low-entropy PIN. Encryption:
-//
-//  1. sample a random transport key k and a random salt,
-//  2. split k into t-of-n Shamir shares,
-//  3. derive n cluster indices i_1..i_n ∈ [N] from Hash(salt, pin),
-//  4. encrypt share j to the public key of HSM i_j with a key-private PKE,
-//  5. seal the message under k with authenticated encryption.
-//
-// The ciphertext hides *which* n of the N HSMs can decrypt it: an attacker
-// without the PIN must compromise an f_secret fraction of all HSMs to have
-// non-trivial odds of covering t members of the hidden cluster (Theorem 10).
-//
-// The per-share PKE is pluggable so the same code path serves both plain
-// hashed ElGamal and the puncturable Bloom-filter encryption of Section 7
-// (which provides forward secrecy after recovery).
 package lhe
 
 import (

@@ -1,0 +1,8 @@
+// Package merkle implements a binary Merkle tree commitment over a list of
+// byte strings with logarithmic inclusion proofs.
+//
+// The distributed log protocol (Figure 5) uses it in two places: the service
+// provider commits to the sequence of per-chunk intermediate digests and
+// extension proofs with a Merkle root R, and HSMs verify that the chunks
+// they audit are the ones committed under R.
+package merkle

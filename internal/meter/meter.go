@@ -1,16 +1,3 @@
-// Package meter counts the primitive operations an HSM performs so that the
-// evaluation harness can convert real protocol executions into simulated
-// device time.
-//
-// The paper's evaluation (Figures 8–13) reports wall-clock times on SoloKey
-// hardware whose per-operation throughput appears in Tables 2 and 7. We run
-// the same protocol logic on a fast host, meter every elliptic-curve
-// multiplication, AES block, flash read, and USB round trip it performs, and
-// let package simtime price the counts with the paper's measured rates. The
-// resulting times reproduce the paper's cost structure without the hardware.
-//
-// A nil *Meter is valid and counts nothing, so production code paths can be
-// metered only when the harness asks for it.
 package meter
 
 import "sync"

@@ -1,0 +1,15 @@
+// Package prg implements a deterministic pseudorandom generator built from
+// HMAC-SHA256 in counter mode (the expand stage of HKDF, RFC 5869).
+//
+// SafetyPin uses the PRG in two places where determinism is essential:
+//
+//   - Select(salt, pin): the client derives the identity of its recovery
+//     cluster from Hash(salt, pin). Backup and recovery must arrive at the
+//     same cluster, so index sampling must be a pure function of the seed.
+//   - Deterministic log auditing (Appendix B.3): each HSM derives the set of
+//     log chunks it audits from PRF(R, hsmID) so that any HSM can recompute
+//     which chunks a failed peer was responsible for.
+//
+// The PRG is modelled as a random oracle in the paper's analysis; HMAC-SHA256
+// is the standard instantiation.
+package prg

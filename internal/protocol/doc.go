@@ -1,0 +1,11 @@
+// Package protocol defines the wire-level types and commitment scheme shared
+// by SafetyPin clients, the service provider, and HSMs during recovery
+// (Figure 3, steps Ì–Ð).
+//
+// Before any HSM releases a decryption share, the client must have logged a
+// commitment h to (username, salt, ciphertext, cluster identity) under a
+// bounded attempt number, and must open that commitment to the HSM along
+// with a log-inclusion proof. The commitment pins the recovery attempt to
+// one specific ciphertext and cluster, so a single log entry cannot be
+// replayed to probe several PIN guesses.
+package protocol

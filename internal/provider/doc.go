@@ -1,0 +1,23 @@
+// Package provider implements the SafetyPin service provider: the untrusted
+// data-center side that stores recovery ciphertexts, hosts the HSMs'
+// outsourced key storage, maintains the distributed log, relays recovery
+// traffic between clients and HSMs, and escrows HSM replies for
+// crash-during-recovery handling (§8).
+//
+// The provider is built as a concurrent engine: per-user state lives in
+// striped shards so thousands of clients can back up and recover in
+// parallel, and log insertions from concurrent recoveries accumulate into
+// shared epochs driven by the scheduler in scheduler.go (the paper's
+// ~10-minute batching, §6.2/§9).
+//
+// Every service method takes a context.Context: *Provider satisfies the
+// client package's role-scoped Provider interface directly, so callers get
+// identical cancellation and deadline semantics whether they talk to the
+// in-process engine or to providerd over TCP. Cancellation propagates all
+// the way down — a cancelled WaitForCommit is unsubscribed from its epoch
+// round, and a cancelled RelayRecover aborts the per-HSM exchange.
+//
+// Nothing in this package is trusted: every security property is enforced
+// by the clients and HSMs on the other side of its interfaces. A test that
+// swaps in a misbehaving provider must fail closed, not open.
+package provider

@@ -1,0 +1,9 @@
+// Package shamir implements t-of-n Shamir secret sharing over the prime
+// field of package ff.
+//
+// SafetyPin's location-hiding encryption (Figure 15) splits a fresh AES
+// transport key into n shares with recovery threshold t = n/2 and encrypts
+// one share to each HSM in the client's hidden cluster. Any t shares
+// reconstruct the key; t−1 shares are information-theoretically independent
+// of it.
+package shamir

@@ -1,9 +1,3 @@
-// Package simtime converts metered operation counts (package meter) into
-// simulated device time using the paper's measured per-operation rates
-// (Tables 2 and 7), and implements the analytic models behind the
-// evaluation: M/M/1 tail latency (Figure 13), fleet sizing and dollar cost
-// (Figure 12, Table 14), key-rotation duty cycles (§9.1), client bandwidth
-// (§9.2), and the Theorem 10 security-loss bound (Figure 11).
 package simtime
 
 // DeviceProfile holds a hardware security module's per-operation throughput

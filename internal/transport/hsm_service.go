@@ -64,7 +64,11 @@ func ProvisionHSM(providerAddr string, id int, listenAddr string) (*HSMDaemon, R
 	if err != nil {
 		return nil, RegisterArgs{}, err
 	}
-	scheme, err := schemeByName(cfg.SchemeName)
+	// The provider's config is authoritative for the signature scheme and
+	// the BLS hash mode: adopting both here is how a mixed fleet (new
+	// binaries joining a pre-RFC deployment, or vice versa) negotiates a
+	// common message hash for the distributed log.
+	scheme, err := schemeByName(cfg.SchemeName, cfg.HashModeName)
 	if err != nil {
 		return nil, RegisterArgs{}, err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"safetypin/internal/aggsig"
 	"safetypin/internal/bfe"
+	"safetypin/internal/bls"
 	"safetypin/internal/client"
 	"safetypin/internal/dlog"
 	"safetypin/internal/logtree"
@@ -30,7 +31,7 @@ type ProviderDaemon struct {
 
 // NewProviderDaemon builds the daemon state for a fleet of cfg.NumHSMs.
 func NewProviderDaemon(cfg FleetConfig) (*ProviderDaemon, error) {
-	scheme, err := schemeByName(cfg.SchemeName)
+	scheme, err := schemeByName(cfg.SchemeName, cfg.HashModeName)
 	if err != nil {
 		return nil, err
 	}
@@ -61,10 +62,21 @@ func NewProviderDaemon(cfg FleetConfig) (*ProviderDaemon, error) {
 // Close stops the daemon's provider engine (standing epoch timer).
 func (d *ProviderDaemon) Close() error { return d.p.Close() }
 
-func schemeByName(name string) (aggsig.Scheme, error) {
+// schemeByName builds the fleet's aggregate-signature scheme from the two
+// wire-negotiated names: the scheme family and the BLS message-hash mode
+// (bls.ParseHashMode treats the empty string as "legacy" so fleets
+// provisioned by pre-RFC providers keep verifying their existing logs).
+// The hash mode is validated even for non-BLS schemes, so a typoed
+// -hash-mode fails at startup instead of lying dormant until the scheme
+// is switched.
+func schemeByName(name, hashMode string) (aggsig.Scheme, error) {
+	mode, err := bls.ParseHashMode(hashMode)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
 	switch name {
 	case "", "bls12381-multisig":
-		return aggsig.BLS(), nil
+		return aggsig.BLSWithHashMode(mode), nil
 	case "ecdsa-concat":
 		return aggsig.ECDSAConcat(), nil
 	default:

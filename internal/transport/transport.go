@@ -1,39 +1,3 @@
-// Package transport runs SafetyPin's entities as separate OS processes
-// connected over TCP, standing in for the paper's USB fabric between the
-// host and its SoloKeys (and the data-center network between clients and
-// the provider).
-//
-// The wire protocol is versioned and negotiated at connect:
-//
-//   - v2 (current) is a framed, context-aware RPC layer (wire.go): a
-//     4-byte magic + 1-byte version handshake, then length-prefixed
-//     frames carrying per-message type tags and gob payloads. Deadlines
-//     and cancellation propagate: a client that cancels a call sends a
-//     cancel frame that aborts the matching server-side handler, and a
-//     dropped connection aborts every in-flight handler on that
-//     connection.
-//   - v1 (legacy) is the stdlib net/rpc gob stream. The server sniffs the
-//     first bytes of each accepted connection and routes v1 clients to a
-//     net/rpc compat shim, so pre-v2 tooling keeps working; golden wire
-//     tests pin both framings.
-//
-// Three roles:
-//
-//   - the provider daemon (cmd/providerd) hosts the provider service:
-//     client API, per-HSM outsourced block storage, HSM registration, and
-//     log epochs;
-//   - each HSM daemon (cmd/hsmd) hosts the HSM service and stores its
-//     outsourced key array *back at the provider* through RemoteOracle —
-//     the HSM process holds only its root key, exactly like the hardware;
-//   - the client CLI (cmd/safetypin) talks to the provider through
-//     RemoteProvider, which implements the same role-scoped
-//     client.Provider interface as the in-process provider.
-//
-// Trust note: FetchFleet hands clients the HSM public keys through the
-// provider. The paper (§2) is explicit that clients must obtain authentic
-// HSM keys out of band (hardware attestation or the transparency log); a
-// production deployment would pin them. The transport exposes the fleet
-// digest so callers can compare against an out-of-band value.
 package transport
 
 import (
@@ -199,6 +163,15 @@ type FleetConfig struct {
 	GuessLimit    int
 	SchemeName    string // "bls12381-multisig" or "ecdsa-concat"
 	Deterministic bool
+
+	// HashModeName selects the BLS message-to-G1 hash fleet-wide:
+	// "rfc9380" (constant-time SSWU per RFC 9380, the default for new
+	// deployments) or "legacy" (the pre-standard try-and-increment hash).
+	// Every HSM daemon adopts the provider's value at provisioning, so
+	// mixed fleets converge on one hash. The empty string — what a
+	// provider predating this field serves — parses as "legacy", because
+	// such a provider's fleet only ever signed with try-and-increment.
+	HashModeName string
 
 	// Provider-engine tuning (zero values → provider defaults): how long
 	// the epoch scheduler gathers concurrent log insertions, the size

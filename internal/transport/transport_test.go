@@ -337,14 +337,66 @@ func TestTCPResumeRecovery(t *testing.T) {
 	}
 }
 
+// TestTCPHashModeNegotiation boots BLS fleets under each hash-mode config
+// — explicit rfc9380, explicit legacy, and the absent field served by
+// pre-RFC providers — and runs a full backup/recovery. The epoch only
+// commits if every HSM daemon adopted the provider's hash for both signing
+// and aggregate verification, so a completed recovery proves the fleet
+// negotiated a common mode.
+func TestTCPHashModeNegotiation(t *testing.T) {
+	for _, hm := range []string{"rfc9380", "legacy", ""} {
+		name := hm
+		if name == "" {
+			name = "absent-defaults-legacy"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := testFleetConfig(4)
+			cfg.SchemeName = "bls12381-multisig"
+			cfg.HashModeName = hm
+			paddr, shutdown := startFleetCfg(t, cfg)
+			defer shutdown()
+			c, rp := newRemoteClient(t, paddr, "hana", "2468")
+			defer rp.Close()
+			msg := []byte("negotiated-hash backup")
+			if err := c.Backup(tctx, msg); err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Recover(tctx, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatal("round-trip mismatch")
+			}
+		})
+	}
+}
+
 func TestSchemeByName(t *testing.T) {
-	if _, err := schemeByName("bls12381-multisig"); err != nil {
+	// The default hash for an explicit rfc9380 fleet config.
+	sc, err := schemeByName("bls12381-multisig", "rfc9380")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := schemeByName(""); err != nil {
+	if sc.Name() != "bls12381-multisig" {
+		t.Fatalf("rfc9380 config built %q", sc.Name())
+	}
+	// An absent hash-mode field (pre-RFC provider) must negotiate the
+	// legacy hash — those fleets' logs were signed with try-and-increment.
+	sc, err = schemeByName("", "")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := schemeByName("nonsense"); err == nil {
+	if sc.Name() != "bls12381-multisig/legacy-hash" {
+		t.Fatalf("empty config built %q, want the legacy hash", sc.Name())
+	}
+	if _, err := schemeByName("bls12381-multisig", "legacy"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schemeByName("nonsense", ""); err == nil {
 		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := schemeByName("bls12381-multisig", "nonsense"); err == nil {
+		t.Fatal("unknown hash mode accepted")
 	}
 }

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# check_docs.sh — the CI "docs" job: documentation is enforced, not
+# aspirational.
+#
+#  1. go vet over the module.
+#  2. Package-doc coverage: every package under ./internal/... and the
+#     root package must have a package comment (go list's .Doc field).
+#  3. Markdown link check: every relative link in the repo's markdown
+#     files must point at a file or directory that exists.
+#
+# Run from the repository root: ./scripts/check_docs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== go vet"
+go vet ./...
+
+echo "== package-doc coverage (./internal/... and root)"
+while IFS= read -r line; do
+    doc="${line#*$'\t'}"
+    pkg="${line%%$'\t'*}"
+    if [ -z "$doc" ]; then
+        echo "MISSING package comment: $pkg"
+        fail=1
+    fi
+done < <(go list -f $'{{.ImportPath}}\t{{.Doc}}' . ./internal/...)
+
+echo "== markdown link check"
+# Pull every [text](target) out of tracked markdown files; verify local
+# targets resolve. External URLs and pure anchors are skipped (CI has no
+# network and anchors are rendering-dependent).
+while IFS=: read -r file target; do
+    case "$target" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    # Strip a trailing #anchor from local links.
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$(dirname "$file")/$path" ] && [ ! -e "$path" ]; then
+        echo "BROKEN link in $file: $target"
+        fail=1
+    fi
+done < <(grep -oHE '\[[^]]*\]\([^)]+\)' \
+             README.md ARCHITECTURE.md CHANGES.md ROADMAP.md docs/*.md 2>/dev/null \
+         | sed -E 's/^([^:]+):\[[^]]*\]\(([^)]+)\)$/\1:\2/')
+# PAPERS.md and SNIPPETS.md are machine-retrieved reference material
+# (arXiv/exemplar dumps) and are exempt from the link check.
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs check FAILED"
+    exit 1
+fi
+echo "docs check OK"
