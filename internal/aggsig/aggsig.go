@@ -25,6 +25,23 @@ type Signer interface {
 	PublicKey() PublicKey
 }
 
+// KeyAggregator is implemented by schemes whose public keys combine into a
+// single aggregate verification key (the per-epoch roster aggregation). A
+// provider can pre-aggregate a stable roster once instead of letting every
+// verification re-sum it.
+type KeyAggregator interface {
+	// AggregateKeys combines the roster into one verification key.
+	AggregateKeys(pks []PublicKey) (PublicKey, error)
+}
+
+// RosterSerializer is implemented by schemes that can serialize a whole
+// roster more cheaply than one key at a time (the BLS backend shares one
+// field inversion across all compressions).
+type RosterSerializer interface {
+	// RosterBytes serializes every public key in wire format.
+	RosterBytes(pks []PublicKey) ([][]byte, error)
+}
+
 // Scheme bundles key generation, aggregation, and verification.
 type Scheme interface {
 	// Name identifies the scheme in benchmarks and logs.
@@ -136,22 +153,60 @@ func (blsScheme) Aggregate(sigs [][]byte) ([]byte, error) {
 	return agg.Bytes(), nil
 }
 
-func (s blsScheme) VerifyAggregate(pks []PublicKey, msg, aggSig []byte) (bool, error) {
-	if len(pks) == 0 {
-		return false, errors.New("aggsig: empty signer set")
-	}
+// blsRoster converts an aggsig roster to the underlying BLS keys.
+func blsRoster(pks []PublicKey) ([]*bls.PublicKey, error) {
 	keys := make([]*bls.PublicKey, len(pks))
 	for i, pk := range pks {
 		bp, ok := pk.(blsPub)
 		if !ok {
-			return false, fmt.Errorf("aggsig: key %d is not a BLS key", i)
+			return nil, fmt.Errorf("aggsig: key %d is not a BLS key", i)
 		}
 		keys[i] = bp.pk
 	}
+	return keys, nil
+}
+
+// AggregateKeys sums the roster into the aggregate verification key via
+// the batch-affine Pippenger layer (bls.AggregatePublicKeys).
+func (blsScheme) AggregateKeys(pks []PublicKey) (PublicKey, error) {
+	if len(pks) == 0 {
+		return nil, errors.New("aggsig: empty signer set")
+	}
+	keys, err := blsRoster(pks)
+	if err != nil {
+		return nil, err
+	}
 	apk, err := bls.AggregatePublicKeys(keys)
+	if err != nil {
+		return nil, err
+	}
+	return blsPub{apk}, nil
+}
+
+// RosterBytes serializes the roster with one shared field inversion across
+// all the compressed encodings.
+func (blsScheme) RosterBytes(pks []PublicKey) ([][]byte, error) {
+	keys, err := blsRoster(pks)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := bls.PublicKeysBatchCompressed(keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(raw))
+	for i, b := range raw {
+		out[i] = append([]byte{blsPubVersion}, b...)
+	}
+	return out, nil
+}
+
+func (s blsScheme) VerifyAggregate(pks []PublicKey, msg, aggSig []byte) (bool, error) {
+	apkAny, err := s.AggregateKeys(pks)
 	if err != nil {
 		return false, err
 	}
+	apk := apkAny.(blsPub).pk
 	sig, err := bls.SignatureFromBytes(aggSig)
 	if err != nil {
 		return false, err
@@ -160,11 +215,15 @@ func (s blsScheme) VerifyAggregate(pks []PublicKey, msg, aggSig []byte) (bool, e
 }
 
 func (blsScheme) MeterVerify(m *meter.Meter, numSigners int) {
-	// Key aggregation is cheap G2 addition; verification is one
-	// multi-pairing of two pairs — 2 Miller loops sharing a single final
-	// exponentiation (bls.PairingCheck), independent of numSigners.
+	// Verification is one multi-pairing of two pairs — 2 Miller loops
+	// sharing a single final exponentiation (bls.PairingCheck),
+	// independent of numSigners — plus the roster aggregation (n−1
+	// batch-affine G2 additions) and the endomorphism subgroup check
+	// that parses the aggregate signature off the wire.
 	m.Add(meter.OpMillerLoop, 2)
 	m.Add(meter.OpFinalExp, 1)
+	m.Add(meter.OpG2Add, int64(numSigners)-1)
+	m.Add(meter.OpSubgroupCheck, 1)
 }
 
 func (blsScheme) MeterSign(m *meter.Meter) {

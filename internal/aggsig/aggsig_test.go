@@ -224,10 +224,97 @@ func TestMeterCosts(t *testing.T) {
 	if mBLS10.Get(meter.OpMillerLoop) != 2 || mBLS10.Get(meter.OpFinalExp) != 1 {
 		t.Fatal("BLS verify should meter as 2 Miller loops + 1 final exp")
 	}
+	// Roster aggregation and wire-parse costs are metered explicitly:
+	// n−1 batch-affine G2 additions plus one subgroup check per verify.
+	if mBLS10.Get(meter.OpG2Add) != 9 || mBLS1000.Get(meter.OpG2Add) != 999 {
+		t.Fatal("BLS verify should meter n−1 roster additions")
+	}
+	if mBLS10.Get(meter.OpSubgroupCheck) != 1 {
+		t.Fatal("BLS verify should meter the signature-parse subgroup check")
+	}
 	mE := meter.New()
 	ECDSAConcat().MeterVerify(mE, 1000)
 	if mE.Get(meter.OpECDSAVerify) != 1000 {
 		t.Fatal("ECDSA-concat verify cost not linear")
+	}
+}
+
+func TestBLSKeyAggregator(t *testing.T) {
+	sc := BLS()
+	agg, ok := sc.(KeyAggregator)
+	if !ok {
+		t.Fatal("BLS scheme should implement KeyAggregator")
+	}
+	msg := []byte("epoch tuple")
+	var sigs [][]byte
+	var pks []PublicKey
+	for i := 0; i < 7; i++ {
+		signer, err := sc.KeyGen(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, err := signer.Sign(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs = append(sigs, sig)
+		pks = append(pks, signer.PublicKey())
+	}
+	apk, err := agg.AggregateKeys(pks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pre-aggregated key verifies the aggregate signature on its own.
+	aggSig, err := sc.Aggregate(sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok2, err := sc.VerifyAggregate([]PublicKey{apk}, msg, aggSig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok2 {
+		t.Fatal("pre-aggregated roster key rejected the aggregate signature")
+	}
+	if _, err := agg.AggregateKeys(nil); err == nil {
+		t.Fatal("empty roster aggregation accepted")
+	}
+}
+
+func TestBLSRosterBytes(t *testing.T) {
+	sc := BLS()
+	rs, ok := sc.(RosterSerializer)
+	if !ok {
+		t.Fatal("BLS scheme should implement RosterSerializer")
+	}
+	var pks []PublicKey
+	for i := 0; i < 5; i++ {
+		signer, err := sc.KeyGen(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pks = append(pks, signer.PublicKey())
+	}
+	encs, err := rs.RosterBytes(pks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, enc := range encs {
+		// Batch serialization must match the per-key wire encoding and
+		// round-trip through the standard parser.
+		if string(enc) != string(pks[i].Bytes()) {
+			t.Fatalf("roster encoding %d differs from per-key Bytes()", i)
+		}
+		back, err := sc.ParsePublicKey(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(back.Bytes()) != string(enc) {
+			t.Fatalf("roster encoding %d did not round-trip", i)
+		}
+	}
+	if _, ok := ECDSAConcat().(RosterSerializer); ok {
+		t.Fatal("ECDSA scheme unexpectedly batch-serializes")
 	}
 }
 

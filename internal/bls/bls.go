@@ -64,7 +64,8 @@ func GenerateKey(rng io.Reader) (*SecretKey, *PublicKey, error) {
 		if s.Sign() == 0 {
 			continue
 		}
-		return &SecretKey{s: s}, &PublicKey{p: G2Generator().Mul(s)}, nil
+		// Fixed-base table walk (fixedbase.go): no doublings at all.
+		return &SecretKey{s: s}, &PublicKey{p: G2MulGen(s)}, nil
 	}
 }
 
@@ -126,34 +127,48 @@ func VerifyPossessionWithMode(mode HashMode, pk *PublicKey, pop *Signature) (boo
 	)
 }
 
-// AggregateSignatures sums signatures on the same message into one.
+// AggregateSignatures sums signatures on the same message into one, via
+// the batch-affine summation tree (msm.go): each round of pairwise
+// additions shares a single field inversion.
 func AggregateSignatures(sigs []*Signature) (*Signature, error) {
 	if len(sigs) == 0 {
 		return nil, errors.New("bls: nothing to aggregate")
 	}
-	acc := g1Infinity()
+	ps := make([]G1, len(sigs))
 	for i, s := range sigs {
 		if s == nil {
 			return nil, fmt.Errorf("bls: nil signature at %d", i)
 		}
-		acc = acc.Add(s.p)
+		ps[i] = s.p
 	}
-	return &Signature{p: acc}, nil
+	return &Signature{p: g1Sum(ps)}, nil
 }
 
-// AggregatePublicKeys sums public keys into the aggregate verification key.
+// AggregatePublicKeys sums public keys into the aggregate verification
+// key, via the batch-affine summation tree (msm.go) — the per-epoch roster
+// aggregation that used to be a chain of full Jacobian additions.
 func AggregatePublicKeys(pks []*PublicKey) (*PublicKey, error) {
 	if len(pks) == 0 {
 		return nil, errors.New("bls: nothing to aggregate")
 	}
-	acc := g2Infinity()
+	ps := make([]G2, len(pks))
 	for i, pk := range pks {
 		if pk == nil {
 			return nil, fmt.Errorf("bls: nil public key at %d", i)
 		}
+		ps[i] = pk.p
+	}
+	return &PublicKey{p: g2Sum(ps)}, nil
+}
+
+// aggregatePublicKeysNaive is the retained point-by-point summation, the
+// differential oracle (and benchmark baseline) for the batch-affine path.
+func aggregatePublicKeysNaive(pks []*PublicKey) *PublicKey {
+	acc := g2Infinity()
+	for _, pk := range pks {
 		acc = acc.Add(pk.p)
 	}
-	return &PublicKey{p: acc}, nil
+	return &PublicKey{p: acc}
 }
 
 // Bytes serializes the public key in the legacy uncompressed format (the
@@ -163,6 +178,19 @@ func (pk *PublicKey) Bytes() []byte { return pk.p.Bytes() }
 // BytesCompressed serializes the public key in the IETF/zcash 96-byte
 // compressed format — the wire encoding for rosters.
 func (pk *PublicKey) BytesCompressed() []byte { return pk.p.BytesCompressed() }
+
+// PublicKeysBatchCompressed serializes a whole roster in the compressed
+// format with one shared field inversion (G2BatchBytesCompressed).
+func PublicKeysBatchCompressed(pks []*PublicKey) ([][]byte, error) {
+	ps := make([]G2, len(pks))
+	for i, pk := range pks {
+		if pk == nil {
+			return nil, fmt.Errorf("bls: nil public key at %d", i)
+		}
+		ps[i] = pk.p
+	}
+	return G2BatchBytesCompressed(ps), nil
+}
 
 // PublicKeyFromBytes decodes and validates an uncompressed public key.
 func PublicKeyFromBytes(b []byte) (*PublicKey, error) {

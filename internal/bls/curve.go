@@ -117,10 +117,15 @@ func Order() *big.Int { return new(big.Int).Set(rOrder) }
 // IsInfinity reports whether the point is the identity.
 func (p G1) IsInfinity() bool { return p.z.isZero() }
 
-// affine returns the affine coordinates; inf reports the identity.
+// affine returns the affine coordinates; inf reports the identity. Points
+// built by g1FromAffine (deserialization, batch normalization) keep Z = 1
+// and skip the inversion.
 func (p G1) affine() (ax, ay fe, inf bool) {
 	if p.IsInfinity() {
 		return fe{}, fe{}, true
+	}
+	if p.z.equal(&feR) {
+		return p.x, p.y, false
 	}
 	var zi, zi2, zi3 fe
 	feInv(&zi, &p.z)
@@ -131,17 +136,21 @@ func (p G1) affine() (ax, ay fe, inf bool) {
 	return ax, ay, false
 }
 
-// OnCurve reports whether the point satisfies y² = x³ + 4.
+// OnCurve reports whether the point satisfies y² = x³ + 4, checked
+// projectively (Y² = X³ + 4Z⁶) — no inversion.
 func (p G1) OnCurve() bool {
 	if p.IsInfinity() {
 		return true
 	}
-	ax, ay, _ := p.affine()
-	var lhs, rhs fe
-	feSquare(&lhs, &ay)
-	feSquare(&rhs, &ax)
-	feMul(&rhs, &rhs, &ax)
-	feAdd(&rhs, &rhs, &feB)
+	var lhs, rhs, z2, z6 fe
+	feSquare(&lhs, &p.y)
+	feSquare(&rhs, &p.x)
+	feMul(&rhs, &rhs, &p.x)
+	feSquare(&z2, &p.z)
+	feSquare(&z6, &z2)
+	feMul(&z6, &z6, &z2)
+	feMul(&z6, &z6, &feB)
+	feAdd(&rhs, &rhs, &z6)
 	return lhs.equal(&rhs)
 }
 
@@ -255,9 +264,58 @@ func (p G1) Add(q G1) G1 {
 	return out
 }
 
-// Mul returns k·p for k ≥ 0 (k is reduced mod r).
+// addMixed returns p + (qx, qy) where q is a non-infinity affine point
+// ("madd-2007-bl", 7M + 4S vs the general add's 11M + 5S) — the inner
+// addition of every table, bucket, and fixed-base path.
+func (p G1) addMixed(qx, qy *fe) G1 {
+	if p.IsInfinity() {
+		return g1FromAffine(*qx, *qy)
+	}
+	var z1z1, u2, s2, h, r fe
+	feSquare(&z1z1, &p.z)
+	feMul(&u2, qx, &z1z1)
+	feMul(&s2, qy, &p.z)
+	feMul(&s2, &s2, &z1z1)
+	feSub(&h, &u2, &p.x)
+	feSub(&r, &s2, &p.y)
+	if h.isZero() {
+		if r.isZero() {
+			return p.double()
+		}
+		return g1Infinity()
+	}
+	var hh, i, j, v fe
+	feSquare(&hh, &h)
+	feDouble(&i, &hh)
+	feDouble(&i, &i) // I = 4HH
+	feMul(&j, &h, &i)
+	feDouble(&r, &r) // r = 2(S2 − Y1)
+	feMul(&v, &p.x, &i)
+	var out G1
+	feSquare(&out.x, &r)
+	feSub(&out.x, &out.x, &j)
+	feSub(&out.x, &out.x, &v)
+	feSub(&out.x, &out.x, &v) // X3 = r² − J − 2V
+	feSub(&out.y, &v, &out.x)
+	feMul(&out.y, &out.y, &r)
+	var t fe
+	feMul(&t, &p.y, &j)
+	feDouble(&t, &t)
+	feSub(&out.y, &out.y, &t) // Y3 = r(V − X3) − 2Y1·J
+	feAdd(&out.z, &p.z, &h)
+	feSquare(&out.z, &out.z)
+	feSub(&out.z, &out.z, &z1z1)
+	feSub(&out.z, &out.z, &hh) // Z3 = (Z1 + H)² − Z1Z1 − HH
+	return out
+}
+
+// Mul returns k·p for p in the order-r subgroup (k is reduced mod r),
+// using the GLV endomorphism split (glv.go). Every exported constructor
+// only produces subgroup points; code handling arbitrary curve points
+// (cofactor clearing) uses mulRaw, which this package retains as the
+// differential oracle.
 func (p G1) Mul(k *big.Int) G1 {
-	return p.mulRaw(new(big.Int).Mod(k, rOrder))
+	return p.mulGLV(new(big.Int).Mod(k, rOrder))
 }
 
 // mulRaw multiplies by an arbitrary non-negative integer without reducing
@@ -273,8 +331,17 @@ func (p G1) mulRaw(k *big.Int) G1 {
 	return out
 }
 
-// InSubgroup reports whether p lies in the order-r subgroup.
+// InSubgroup reports whether p lies in the order-r subgroup, via the GLV
+// endomorphism test [z²]φ(P) = −P (glv.go) — two 64-bit multiplications
+// instead of the naive 255-bit r-multiplication retained in
+// inSubgroupNaive.
 func (p G1) InSubgroup() bool {
+	return p.OnCurve() && p.inSubgroupEndo()
+}
+
+// inSubgroupNaive is the retained full-r-multiplication membership test,
+// the differential oracle for inSubgroupEndo.
+func (p G1) inSubgroupNaive() bool {
 	return p.OnCurve() && p.mulRaw(rOrder).IsInfinity()
 }
 
@@ -287,6 +354,9 @@ func (p G2) affine() (ax, ay fe2, inf bool) {
 	if p.IsInfinity() {
 		return fe2{}, fe2{}, true
 	}
+	if p.z.isOne() {
+		return p.x, p.y, false
+	}
 	var zi, zi2, zi3 fe2
 	zi.inv(&p.z)
 	zi2.square(&zi)
@@ -296,17 +366,21 @@ func (p G2) affine() (ax, ay fe2, inf bool) {
 	return ax, ay, false
 }
 
-// OnCurve reports whether the point satisfies y² = x³ + 4(u+1).
+// OnCurve reports whether the point satisfies y² = x³ + 4(u+1), checked
+// projectively (Y² = X³ + 4(u+1)Z⁶) — no inversion.
 func (p G2) OnCurve() bool {
 	if p.IsInfinity() {
 		return true
 	}
-	ax, ay, _ := p.affine()
-	var lhs, rhs fe2
-	lhs.square(&ay)
-	rhs.square(&ax)
-	rhs.mul(&rhs, &ax)
-	rhs.add(&rhs, &fe2B)
+	var lhs, rhs, z2, z6 fe2
+	lhs.square(&p.y)
+	rhs.square(&p.x)
+	rhs.mul(&rhs, &p.x)
+	z2.square(&p.z)
+	z6.square(&z2)
+	z6.mul(&z6, &z2)
+	z6.mul(&z6, &fe2B)
+	rhs.add(&rhs, &z6)
 	return lhs.equal(&rhs)
 }
 
@@ -419,9 +493,55 @@ func (p G2) Add(q G2) G2 {
 	return out
 }
 
-// Mul returns k·p for k reduced mod r.
+// addMixed returns p + (qx, qy) where q is a non-infinity affine twist
+// point (madd-2007-bl over Fp2).
+func (p G2) addMixed(qx, qy *fe2) G2 {
+	if p.IsInfinity() {
+		return g2FromAffine(*qx, *qy)
+	}
+	var z1z1, u2, s2, h, r fe2
+	z1z1.square(&p.z)
+	u2.mul(qx, &z1z1)
+	s2.mul(qy, &p.z)
+	s2.mul(&s2, &z1z1)
+	h.sub(&u2, &p.x)
+	r.sub(&s2, &p.y)
+	if h.isZero() {
+		if r.isZero() {
+			return p.double()
+		}
+		return g2Infinity()
+	}
+	var hh, i, j, v fe2
+	hh.square(&h)
+	i.double(&hh)
+	i.double(&i)
+	j.mul(&h, &i)
+	r.double(&r)
+	v.mul(&p.x, &i)
+	var out G2
+	out.x.square(&r)
+	out.x.sub(&out.x, &j)
+	out.x.sub(&out.x, &v)
+	out.x.sub(&out.x, &v)
+	out.y.sub(&v, &out.x)
+	out.y.mul(&out.y, &r)
+	var t fe2
+	t.mul(&p.y, &j)
+	t.double(&t)
+	out.y.sub(&out.y, &t)
+	out.z.add(&p.z, &h)
+	out.z.square(&out.z)
+	out.z.sub(&out.z, &z1z1)
+	out.z.sub(&out.z, &hh)
+	return out
+}
+
+// Mul returns k·p for p in the order-r subgroup of the twist (k reduced
+// mod r), using the 4-way ψ decomposition (endomorphism.go). Code handling
+// arbitrary twist points uses mulRaw, retained as the differential oracle.
 func (p G2) Mul(k *big.Int) G2 {
-	return p.mulRaw(new(big.Int).Mod(k, rOrder))
+	return p.mulPsi(new(big.Int).Mod(k, rOrder))
 }
 
 func (p G2) mulRaw(k *big.Int) G2 {
@@ -435,8 +555,17 @@ func (p G2) mulRaw(k *big.Int) G2 {
 	return out
 }
 
-// InSubgroup reports whether p lies in the order-r subgroup of the twist.
+// InSubgroup reports whether p lies in the order-r subgroup of the twist,
+// via the ψ endomorphism test ψ(P) = [z]P (endomorphism.go) — one 64-bit
+// multiplication instead of the naive 255-bit r-multiplication retained in
+// inSubgroupNaive.
 func (p G2) InSubgroup() bool {
+	return p.OnCurve() && p.inSubgroupPsi()
+}
+
+// inSubgroupNaive is the retained full-r-multiplication membership test,
+// the differential oracle for inSubgroupPsi.
+func (p G2) inSubgroupNaive() bool {
 	return p.OnCurve() && p.mulRaw(rOrder).IsInfinity()
 }
 
@@ -548,8 +677,23 @@ func (p G2) Bytes() []byte {
 	return out
 }
 
-// G2FromBytes decodes a point, enforcing curve and subgroup membership.
+// G2FromBytes decodes a point, enforcing curve and subgroup membership
+// (the ψ endomorphism check).
 func G2FromBytes(b []byte) (G2, error) {
+	p, err := g2DecodeUncompressed(b)
+	if err != nil {
+		return G2{}, err
+	}
+	if !p.InSubgroup() {
+		return G2{}, errors.New("bls: G2 point not in subgroup")
+	}
+	return p, nil
+}
+
+// g2DecodeUncompressed parses the coordinate encoding without any curve or
+// subgroup validation — split out so benchmarks can price the membership
+// test separately.
+func g2DecodeUncompressed(b []byte) (G2, error) {
 	if len(b) != G2Size {
 		return G2{}, fmt.Errorf("bls: G2 encoding must be %d bytes, got %d", G2Size, len(b))
 	}
@@ -567,9 +711,5 @@ func G2FromBytes(b []byte) (G2, error) {
 		}
 		feFromBytes(&coords[i], raw)
 	}
-	p := g2FromAffine(fe2{c0: coords[0], c1: coords[1]}, fe2{c0: coords[2], c1: coords[3]})
-	if !p.InSubgroup() {
-		return G2{}, errors.New("bls: G2 point not in subgroup")
-	}
-	return p, nil
+	return g2FromAffine(fe2{c0: coords[0], c1: coords[1]}, fe2{c0: coords[2], c1: coords[3]}), nil
 }

@@ -14,13 +14,49 @@
 //     Fp2/Fp12, CH-SQR3 in Fp6), sparse mulBy014/mulBy01 products, and
 //     Frobenius maps from coefficients derived at init.
 //   - G1/G2 use Jacobian projective coordinates (curve.go): no per-step
-//     inversion in Add or scalar multiplication.
+//     inversion in Add or scalar multiplication, plus mixed additions
+//     (7M+4S) for affine operands and a dedicated limb squaring
+//     (fp_limb.go) under every doubling.
 //   - The Miller loop runs on the twist with projective
 //     Costello–Lange–Naehrig steps and sparse line multiplications; the
 //     final exponentiation is Frobenius-based with cyclotomic squarings
 //     (Hayashida–Hayasaka–Teruya hard part). PairingCheck is a true
 //     multi-pairing: n pairs cost n Miller loops and one shared final
 //     exponentiation.
+//
+// # Scalar multiplication: the endomorphism layer
+//
+// Variable-base multiplications run on the BLS12-381 endomorphisms rather
+// than plain double-and-add, all driven by a shared width-w NAF recoding
+// (wnaf.go) with odd-multiple tables:
+//
+//   - G1.Mul (glv.go): GLV — the cube-root endomorphism φ(x,y) = (βx, y)
+//     acts as multiplication by λ = z²−1 on the subgroup, so a 255-bit
+//     scalar splits into two signed ~128-bit halves (Babai rounding
+//     against the lattice basis (z²−1, −1), (1, z²)) evaluated over one
+//     shared half-length doubling chain.
+//   - G2.Mul (endomorphism.go): the ψ (untwist–Frobenius–twist)
+//     endomorphism acts as multiplication by the curve parameter z, so the
+//     scalar splits 4-way, k ≡ a₀ + a₁z + a₂z² + a₃z³, into four signed
+//     ~65-bit quarter-scalars over one quarter-length chain.
+//   - Fixed-base generator multiplications (fixedbase.go) walk lazily
+//     built 4-bit window tables — at most 64 mixed additions, no
+//     doublings. Table memory: 64 windows × 15 affine points, 90 KiB for
+//     G1 and 180 KiB for G2, built on first use with one batched
+//     inversion each. Key generation runs on these tables.
+//   - Subgroup membership (the hot half of G1FromBytes/G2FromBytes) uses
+//     the endomorphism equations instead of a full 255-bit
+//     r-multiplication: [z²]φ(P) = −P on G1 and ψ(P) = [z]P on G2
+//     (eprint 2022/352), each a one- or two-word |z| NAF multiplication.
+//
+// Multi-point operations (msm.go) share field inversions: batch
+// Jacobian→affine normalization via Montgomery's trick, pairwise
+// batch-affine summation trees behind AggregateSignatures and
+// AggregatePublicKeys (each round of independent affine additions costs
+// one feInv total), Pippenger bucket-method G1MultiExp/G2MultiExp, and
+// one-inversion roster serialization (G2BatchBytesCompressed). The naive
+// double-and-add (mulRaw) and full r-multiplication membership checks are
+// retained as differential oracles.
 //
 // # Hashing to G1
 //

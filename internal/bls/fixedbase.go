@@ -1,0 +1,107 @@
+package bls
+
+// fixedbase.go implements fixed-base scalar multiplication for the G1 and
+// G2 generators with precomputed window tables: the 255-bit scalar is cut
+// into 64 four-bit windows and the table stores j·2^{4i}·G for every
+// window i and digit j, so a generator multiplication is at most 64 mixed
+// additions and no doublings at all. Key generation (G2) and any
+// generator-side G1 multiplication hit these paths; variable-base
+// multiplications (signing hashes, arbitrary points) use the GLV/ψ routes.
+//
+// Tables are built lazily on first use and normalized to affine with one
+// shared batch inversion (msm.go). Memory: 64 windows × 15 entries:
+// G1 960 points × 96 B = 90 KiB, G2 960 points × 192 B = 180 KiB.
+
+import (
+	"math/big"
+	"sync"
+)
+
+// fixedWindow is the window width in bits; 64 windows of 15 odd digits
+// cover a 256-bit scalar.
+const fixedWindow = 4
+
+const fixedWindows = (256 + fixedWindow - 1) / fixedWindow
+
+var (
+	g1GenTableOnce sync.Once
+	g1GenTable     [][]G1 // [window][digit−1] = digit·2^{4·window}·G
+	g2GenTableOnce sync.Once
+	g2GenTable     [][]G2
+)
+
+func g1GenTableInit() {
+	g1GenTableOnce.Do(func() {
+		flat := make([]G1, 0, fixedWindows*15)
+		base := G1Generator()
+		for w := 0; w < fixedWindows; w++ {
+			entry := base
+			for j := 1; j <= 15; j++ {
+				flat = append(flat, entry)
+				if j < 15 {
+					entry = entry.Add(base)
+				}
+			}
+			base = entry.Add(base) // 16·(2^{4w}·G) = 2^{4(w+1)}·G
+		}
+		g1NormalizeBatch(flat)
+		g1GenTable = make([][]G1, fixedWindows)
+		for w := 0; w < fixedWindows; w++ {
+			g1GenTable[w] = flat[w*15 : (w+1)*15]
+		}
+	})
+}
+
+func g2GenTableInit() {
+	g2GenTableOnce.Do(func() {
+		flat := make([]G2, 0, fixedWindows*15)
+		base := G2Generator()
+		for w := 0; w < fixedWindows; w++ {
+			entry := base
+			for j := 1; j <= 15; j++ {
+				flat = append(flat, entry)
+				if j < 15 {
+					entry = entry.Add(base)
+				}
+			}
+			base = entry.Add(base)
+		}
+		g2NormalizeBatch(flat)
+		g2GenTable = make([][]G2, fixedWindows)
+		for w := 0; w < fixedWindows; w++ {
+			g2GenTable[w] = flat[w*15 : (w+1)*15]
+		}
+	})
+}
+
+// G1MulGen returns k·G for the G1 generator (k reduced mod r): a pure
+// table walk of at most 64 mixed additions.
+func G1MulGen(k *big.Int) G1 {
+	g1GenTableInit()
+	limbs := scalarToLimbs256(new(big.Int).Mod(k, rOrder))
+	acc := g1Infinity()
+	for w := 0; w < fixedWindows; w++ {
+		d := limbs[w/16] >> (uint(w%16) * fixedWindow) & 0xf
+		if d != 0 {
+			e := &g1GenTable[w][d-1]
+			acc = acc.addMixed(&e.x, &e.y)
+		}
+	}
+	return acc
+}
+
+// G2MulGen returns k·G for the G2 generator (k reduced mod r) — the key
+// generation path.
+func G2MulGen(k *big.Int) G2 {
+	g2GenTableInit()
+	limbs := scalarToLimbs256(new(big.Int).Mod(k, rOrder))
+	acc := g2Infinity()
+	for w := 0; w < fixedWindows; w++ {
+		d := limbs[w/16] >> (uint(w%16) * fixedWindow) & 0xf
+		if d != 0 {
+			e := &g2GenTable[w][d-1]
+			acc = acc.addMixed(&e.x, &e.y)
+		}
+	}
+	return acc
+}

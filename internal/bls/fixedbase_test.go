@@ -1,0 +1,57 @@
+package bls
+
+// Differential tests for the fixed-base generator tables against the
+// variable-base and naive paths.
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestG1MulGenMatchesNaive(t *testing.T) {
+	g := G1Generator()
+	for _, k := range edgeScalars() {
+		if !G1MulGen(k).Equal(g.mulRaw(new(big.Int).Mod(k, rOrder))) {
+			t.Fatalf("G1MulGen mismatch at edge scalar %v", k)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		k := randScalar(t)
+		if !G1MulGen(k).Equal(g.mulRaw(k)) {
+			t.Fatalf("G1MulGen mismatch at random scalar %v", k)
+		}
+	}
+}
+
+func TestG2MulGenMatchesNaive(t *testing.T) {
+	g := G2Generator()
+	for _, k := range edgeScalars() {
+		if !G2MulGen(k).Equal(g.mulRaw(new(big.Int).Mod(k, rOrder))) {
+			t.Fatalf("G2MulGen mismatch at edge scalar %v", k)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		k := randScalar(t)
+		if !G2MulGen(k).Equal(g.mulRaw(k)) {
+			t.Fatalf("G2MulGen mismatch at random scalar %v", k)
+		}
+	}
+}
+
+func BenchmarkG1MulGen(b *testing.B) {
+	G1MulGen(big.NewInt(1)) // build tables outside the timing loop
+	k := randScalar(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = G1MulGen(k)
+	}
+}
+
+func BenchmarkG2MulGen(b *testing.B) {
+	G2MulGen(big.NewInt(1))
+	k := randScalar(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = G2MulGen(k)
+	}
+}

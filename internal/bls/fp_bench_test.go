@@ -14,6 +14,18 @@ func BenchmarkFeMul(b *testing.B) {
 	}
 }
 
+// BenchmarkFeSquare vs BenchmarkFeMul shows the dedicated-squaring delta
+// (the satellite win that compounds under every doubling in the wNAF/GLV/
+// MSM paths).
+func BenchmarkFeSquare(b *testing.B) {
+	x := randFe2(b).c0
+	var z fe
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feSquare(&z, &x)
+	}
+}
+
 func BenchmarkFeInv(b *testing.B) {
 	x := randFe2(b).c0
 	var z fe

@@ -82,6 +82,30 @@ func TestFeArithmeticDifferential(t *testing.T) {
 	}
 }
 
+// TestFeSquareMatchesMul pins the dedicated symmetric squaring against
+// feMul(z, x, x) on random and boundary inputs (0, 1, 2, p−1, p−2, R, R²):
+// the two must agree limb for limb since both fully reduce.
+func TestFeSquareMatchesMul(t *testing.T) {
+	cases := []fe{{}, feRawOne, {2}, feR, feR2}
+	var pm1, pm2 fe
+	feFromBig(&pm1, new(big.Int).Sub(pMod, big.NewInt(1)))
+	feFromBig(&pm2, new(big.Int).Sub(pMod, big.NewInt(2)))
+	cases = append(cases, pm1, pm2)
+	for i := 0; i < 256; i++ {
+		var x fe
+		feFromBig(&x, randFeBig(t))
+		cases = append(cases, x)
+	}
+	for i, x := range cases {
+		var sq, mu fe
+		feSquare(&sq, &x)
+		feMul(&mu, &x, &x)
+		if sq != mu {
+			t.Fatalf("case %d: feSquare %x != feMul %x", i, sq, mu)
+		}
+	}
+}
+
 func TestFeInvDifferential(t *testing.T) {
 	for i := 0; i < 32; i++ {
 		a := randFeBig(t)

@@ -83,10 +83,10 @@ func fe2Sqrt(z, x *fe2) bool {
 	return t.equal(x)
 }
 
-// BytesCompressed encodes the point in the 96-byte zcash format.
-func (p G2) BytesCompressed() []byte {
+// compressAffine encodes an affine (or infinity) point; the shared tail of
+// the single and batch serialization paths.
+func compressAffine(ax, ay *fe2, inf bool) []byte {
 	out := make([]byte, G2CompressedSize)
-	ax, ay, inf := p.affine()
 	if inf {
 		out[0] = g2FlagCompressed | g2FlagInfinity
 		return out
@@ -94,15 +94,49 @@ func (p G2) BytesCompressed() []byte {
 	feToBytes(out[:fpSize], &ax.c1)
 	feToBytes(out[fpSize:], &ax.c0)
 	out[0] |= g2FlagCompressed
-	if fe2LexLargest(&ay) {
+	if fe2LexLargest(ay) {
 		out[0] |= g2FlagLargestY
 	}
 	return out
 }
 
+// BytesCompressed encodes the point in the 96-byte zcash format.
+func (p G2) BytesCompressed() []byte {
+	ax, ay, inf := p.affine()
+	return compressAffine(&ax, &ay, inf)
+}
+
+// G2BatchBytesCompressed compresses a whole roster with one shared field
+// inversion: the points are batch-normalized (msm.go) before the per-point
+// encoding, so serializing n points costs one feInv instead of n.
+func G2BatchBytesCompressed(ps []G2) [][]byte {
+	work := make([]G2, len(ps))
+	copy(work, ps)
+	g2NormalizeBatch(work)
+	out := make([][]byte, len(work))
+	for i := range work {
+		out[i] = compressAffine(&work[i].x, &work[i].y, work[i].IsInfinity())
+	}
+	return out
+}
+
 // G2FromCompressedBytes decodes a compressed point, enforcing canonical
-// flags plus curve and subgroup membership.
+// flags plus curve and subgroup membership (the ψ endomorphism check).
 func G2FromCompressedBytes(b []byte) (G2, error) {
+	p, err := g2Decompress(b)
+	if err != nil {
+		return G2{}, err
+	}
+	if !p.inSubgroupPsi() {
+		return G2{}, errors.New("bls: G2 point not in subgroup")
+	}
+	return p, nil
+}
+
+// g2Decompress decodes the zcash format onto the twist without the
+// subgroup check — split out so benchmarks can price the membership test
+// separately from the square root.
+func g2Decompress(b []byte) (G2, error) {
 	if len(b) != G2CompressedSize {
 		return G2{}, fmt.Errorf("bls: compressed G2 encoding must be %d bytes, got %d",
 			G2CompressedSize, len(b))
@@ -147,9 +181,7 @@ func G2FromCompressedBytes(b []byte) (G2, error) {
 	if fe2LexLargest(&y) != largest {
 		y.neg(&y)
 	}
-	p := g2FromAffine(x, y)
-	if !p.InSubgroup() {
-		return G2{}, errors.New("bls: G2 point not in subgroup")
-	}
-	return p, nil
+	// The successful square root already certifies the curve equation;
+	// the caller applies the subgroup check.
+	return g2FromAffine(x, y), nil
 }

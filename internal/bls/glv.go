@@ -1,0 +1,203 @@
+package bls
+
+// glv.go implements Gallant–Lambert–Vanstone scalar multiplication on G1
+// using the BLS12-381 cube-root endomorphism φ(x, y) = (β·x, y), where β is
+// a primitive cube root of unity in Fp. On the order-r subgroup φ acts as
+// multiplication by λ = z² − 1 (z the curve parameter), because
+// λ² + λ + 1 = z⁴ − z² + 1 = r ≡ 0 (mod r). A 255-bit scalar k therefore
+// splits as k ≡ k₁ + k₂·λ (mod r) with |k₁|, |k₂| ≲ √r ≈ 2¹²⁸ — Babai
+// rounding against the lattice basis (z²−1, −1), (1, z²), whose determinant
+// is exactly r — and k·P = k₁·P + k₂·φ(P) runs two half-length wNAF scalars
+// over one shared doubling chain: half the doublings of plain
+// double-and-add.
+//
+// The same endomorphism gives the fast subgroup membership test used by
+// G1FromBytes: a curve point P is in the order-r subgroup iff
+// [z²]φ(P) = −P (El Housni–Guillevic–Piellard, eprint 2022/352, after
+// Scott), because z²·λ ≡ −1 (mod r); the z² multiplication runs as two
+// 64-bit |z| NAF multiplications, replacing the naive full 255-bit
+// r-multiplication.
+
+import (
+	"math/big"
+	"sync"
+)
+
+var (
+	glvOnce sync.Once
+	// glvBeta is the cube root of unity with φ = [λ]: φ(x,y) = (β·x, y).
+	glvBeta fe
+	// glvLambda = z² − 1, the eigenvalue of φ on G1.
+	glvLambda *big.Int
+	// glvZ2 = z² (positive; z itself is negative).
+	glvZ2 *big.Int
+)
+
+// zNAFDigits is the plain NAF of |z| = blsX, shared by the [|z|]
+// multiplications inside both endomorphism subgroup checks. |z| has
+// Hamming weight 6, so a width-2 NAF needs no odd-multiple table.
+var zNAFDigits = wnafDigits([]uint64{blsX}, 2, false)
+
+// glvInit derives β, λ, and the lattice constants. β is taken from the
+// already-derived Frobenius constant ξ^{(p²−1)/6}: its square frobC2[2] =
+// ξ^{(p²−1)/3} is a primitive cube root of unity. Which of the two
+// primitive roots pairs with the eigenvalue λ (the other pairs with
+// λ² = −z²) is decided empirically against the naive double-and-add
+// oracle on the generator — a one-time half-length multiplication.
+func glvInit() {
+	glvOnce.Do(func() {
+		glvZ2 = new(big.Int).SetUint64(blsX)
+		glvZ2.Mul(glvZ2, glvZ2)
+		glvLambda = new(big.Int).Sub(glvZ2, big.NewInt(1))
+
+		cand := frobC2[2]
+		if cand.equal(&feR) {
+			panic("bls: ξ^{(p²−1)/3} degenerated to 1")
+		}
+		g := G1Generator()
+		lg := g.mulRaw(glvLambda)
+		phi := g
+		feMul(&phi.x, &g.x, &cand)
+		if !phi.Equal(lg) {
+			feMul(&cand, &cand, &frobC2[2]) // the other primitive root, β²
+			phi = g
+			feMul(&phi.x, &g.x, &cand)
+			if !phi.Equal(lg) {
+				panic("bls: neither cube root of unity matches the GLV eigenvalue")
+			}
+		}
+		glvBeta = cand
+	})
+}
+
+// g1Phi applies the endomorphism φ(x, y) = (β·x, y). In Jacobian
+// coordinates the affine x is X/Z², so scaling X alone suffices. Callers
+// must run glvInit first.
+func g1Phi(p G1) G1 {
+	feMul(&p.x, &p.x, &glvBeta)
+	return p
+}
+
+// roundDiv returns round(a/b) for a ≥ 0, b > 0 (round half up).
+func roundDiv(a, b *big.Int) *big.Int {
+	num := new(big.Int).Lsh(a, 1)
+	num.Add(num, b)
+	return num.Div(num, new(big.Int).Lsh(b, 1))
+}
+
+// roundDivSigned returns a nearest integer to a/b for signed a, b ≠ 0
+// (ties resolved away from or toward zero depending on signs — any
+// rounding within one of the true quotient keeps the remainder below |b|).
+func roundDivSigned(a, b *big.Int) *big.Int {
+	q := roundDiv(new(big.Int).Abs(a), new(big.Int).Abs(b))
+	if (a.Sign() < 0) != (b.Sign() < 0) {
+		q.Neg(q)
+	}
+	return q
+}
+
+// glvSplit decomposes k ∈ [0, r) as k ≡ k₁ + k₂·λ (mod r) with
+// |k₁|, |k₂| ≤ ~2¹²⁸, by Babai rounding against the lattice basis
+// v₁ = (z²−1, −1), v₂ = (1, z²):
+//
+//	c₁ = round(k·z²/r), c₂ = round(k/r)
+//	(k₁, k₂) = (k, 0) − c₁·v₁ − c₂·v₂
+//	        = (k − c₁(z²−1) − c₂, c₁ − c₂·z²)
+//
+// Recombination: k₁ + k₂λ = k − c₂(1 + z²λ) = k − c₂·r ≡ k (mod r).
+func glvSplit(k *big.Int) (k1, k2 *big.Int) {
+	c1 := roundDiv(new(big.Int).Mul(k, glvZ2), rOrder)
+	c2 := roundDiv(k, rOrder)
+	k1 = new(big.Int).Mul(c1, glvLambda)
+	k1.Sub(k, k1)
+	k1.Sub(k1, c2)
+	k2 = new(big.Int).Mul(c2, glvZ2)
+	k2.Sub(c1, k2)
+	return k1, k2
+}
+
+// g1OddMultiples returns {P, 3P, 5P, …, (2n−1)P} in Jacobian coordinates.
+func g1OddMultiples(p G1, n int) []G1 {
+	tbl := make([]G1, n)
+	tbl[0] = p
+	twoP := p.double()
+	for i := 1; i < n; i++ {
+		tbl[i] = tbl[i-1].Add(twoP)
+	}
+	return tbl
+}
+
+// g1TableAdd adds the odd multiple d·P (d odd, possibly negative) from tbl
+// into acc.
+func g1TableAdd(acc G1, tbl []G1, d int8) G1 {
+	if d > 0 {
+		return acc.Add(tbl[(d-1)/2])
+	}
+	return acc.Add(tbl[(-d-1)/2].Neg())
+}
+
+// glvWindow is the wNAF width for the two 128-bit GLV half-scalars: an
+// 8-entry odd-multiple table per base, one addition every ~6 doublings.
+const glvWindow = 5
+
+// mulGLV computes k·p for k ∈ [0, r) via the GLV split, two width-5 wNAF
+// digit strings, and one shared doubling chain. p must lie in the order-r
+// subgroup (every exported constructor guarantees this); callers with
+// arbitrary curve points use mulRaw.
+func (p G1) mulGLV(k *big.Int) G1 {
+	if p.IsInfinity() || k.Sign() == 0 {
+		return g1Infinity()
+	}
+	glvInit()
+	k1, k2 := glvSplit(k)
+	d1 := wnafBig(k1, glvWindow)
+	d2 := wnafBig(k2, glvWindow)
+	tbl := g1OddMultiples(p, 1<<(glvWindow-2))
+	phiTbl := make([]G1, len(tbl))
+	for i := range tbl {
+		phiTbl[i] = g1Phi(tbl[i])
+	}
+	n := len(d1)
+	if len(d2) > n {
+		n = len(d2)
+	}
+	acc := g1Infinity()
+	for i := n - 1; i >= 0; i-- {
+		acc = acc.double()
+		if i < len(d1) && d1[i] != 0 {
+			acc = g1TableAdd(acc, tbl, d1[i])
+		}
+		if i < len(d2) && d2[i] != 0 {
+			acc = g1TableAdd(acc, phiTbl, d2[i])
+		}
+	}
+	return acc
+}
+
+// mulZAbs multiplies by the positive 64-bit constant |z| using its
+// precomputed NAF — the inner step of both subgroup checks.
+func (p G1) mulZAbs() G1 {
+	acc := g1Infinity()
+	for i := len(zNAFDigits) - 1; i >= 0; i-- {
+		acc = acc.double()
+		switch zNAFDigits[i] {
+		case 1:
+			acc = acc.Add(p)
+		case -1:
+			acc = acc.Add(p.Neg())
+		}
+	}
+	return acc
+}
+
+// inSubgroupEndo reports order-r subgroup membership for a point already
+// known to be on the curve: [z²]φ(P) == −P, run as two 64-bit |z| NAF
+// multiplications (z² = |z|²) instead of a 255-bit r-multiplication.
+func (p G1) inSubgroupEndo() bool {
+	if p.IsInfinity() {
+		return true
+	}
+	glvInit()
+	q := g1Phi(p).mulZAbs().mulZAbs()
+	return q.Equal(p.Neg())
+}

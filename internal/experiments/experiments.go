@@ -100,6 +100,12 @@ type HostRates struct {
 	PairingPerSec    float64
 	HMACPerSec       float64
 	AES32PerSec      float64
+	// G1MulPerSec is the GLV variable-base BLS12-381 G1 multiplication
+	// rate (the signing-side scalar work after the endomorphism overhaul).
+	G1MulPerSec float64
+	// RosterAggPerSec is per-key throughput of batch-affine G2 roster
+	// aggregation (bls.AggregatePublicKeys at n = 256).
+	RosterAggPerSec float64
 }
 
 // Table7 renders the SoloKey microbenchmark constants, plus host-measured
@@ -121,6 +127,8 @@ func Table7(host *HostRates) string {
 		hr = *host
 	}
 	row("Pairing", d.PairingPerSec, hr.PairingPerSec)
+	row("G1 scalar mul (GLV)", d.G1MulPerSec(), hr.G1MulPerSec)
+	row("Roster agg (per key)", d.G2AddPerSec(), hr.RosterAggPerSec)
 	row("ECDSA verify", d.ECDSAVerifyPerSec, 0)
 	row("ElGamal decrypt", d.ElGamalDecPerSec, hr.ElGamalDecPerSec)
 	row("g^x (P-256)", d.GxPerSec, hr.ECMulPerSec)

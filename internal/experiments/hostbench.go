@@ -4,6 +4,7 @@ import (
 	"crypto/aes"
 	"crypto/hmac"
 	"crypto/sha256"
+	"math/big"
 
 	"safetypin/internal/bls"
 )
@@ -39,4 +40,38 @@ func measurePairingRate() float64 {
 			panic(err)
 		}
 	})
+}
+
+// measureG1MulRate times a variable-base G1 scalar multiplication (the GLV
+// path signing runs on).
+func measureG1MulRate() float64 {
+	k := new(big.Int).Rsh(bls.Order(), 1)
+	p := bls.G1Generator().Mul(big.NewInt(0xb5))
+	return timeRate(func() { p.Mul(k) })
+}
+
+// measureRosterAggRate times bls.AggregatePublicKeys over a 256-key roster
+// and reports per-key throughput.
+func measureRosterAggRate() float64 {
+	const n = 256
+	pks := make([]*bls.PublicKey, n)
+	for i := range pks {
+		pk, err := bls.PublicKeyFromBytes(rosterPoint(i))
+		if err != nil {
+			panic(err)
+		}
+		pks[i] = pk
+	}
+	aggs := timeRate(func() {
+		if _, err := bls.AggregatePublicKeys(pks); err != nil {
+			panic(err)
+		}
+	})
+	return aggs * n
+}
+
+// rosterPoint deterministically builds the i-th distinct G2 key encoding.
+func rosterPoint(i int) []byte {
+	p := bls.G2Generator().Mul(big.NewInt(int64(2*i + 3)))
+	return p.Bytes()
 }

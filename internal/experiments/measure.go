@@ -31,9 +31,11 @@ func MeasureHostRates() *HostRates {
 				panic(err)
 			}
 		}),
-		PairingPerSec: measurePairingRate(),
-		HMACPerSec:    timeRate(func() { _ = hmacOnce(msg32) }),
-		AES32PerSec:   timeRate(func() { _ = aesOnce(key, msg32) }),
+		PairingPerSec:   measurePairingRate(),
+		G1MulPerSec:     measureG1MulRate(),
+		RosterAggPerSec: measureRosterAggRate(),
+		HMACPerSec:      timeRate(func() { _ = hmacOnce(msg32) }),
+		AES32PerSec:     timeRate(func() { _ = aesOnce(key, msg32) }),
 	}
 }
 

@@ -27,6 +27,13 @@ const (
 	OpFinalExp Op = "final_exp"
 	// OpBLSSign is a G1 hash-and-multiply signature.
 	OpBLSSign Op = "bls_sign"
+	// OpG2Add is one G2 point addition of the per-epoch roster
+	// aggregation (batch-affine summation unit): an n-signer aggregate
+	// verification charges n−1 of these on top of its pairing work.
+	OpG2Add Op = "g2_add"
+	// OpSubgroupCheck is one endomorphism-based subgroup membership
+	// check, paid when parsing a signature or public key off the wire.
+	OpSubgroupCheck Op = "subgroup_check"
 	// OpAES32 is an AES-128 operation over a 32-byte chunk (Table 7 unit).
 	OpAES32 Op = "aes_32b"
 	// OpHMAC is an HMAC-SHA256 over a small input.

@@ -52,6 +52,38 @@ func (d DeviceProfile) FinalExpPerSec() float64 {
 	return d.PairingPerSec / finalExpFraction
 }
 
+// The scalar-arithmetic op costs below are pairing fractions re-derived
+// from this repo's limb engine after the endomorphism overhaul (PR 5
+// reference host: pairing 2.22 ms, batch-affine G2 roster addition 2.2 µs,
+// ψ-based G2 subgroup check 156 µs, GLV G1 variable-base multiplication
+// 196 µs), applied to each device's published whole-pairing rate.
+const (
+	// g2AddsPerPairing: batch-affine roster additions per pairing.
+	g2AddsPerPairing = 1000
+	// subgroupChecksPerPairing: endomorphism membership checks per
+	// pairing. The op the meter charges is the aggregate-signature parse
+	// — a G1 check ([z²]φ(P) = −P, 117 µs on the reference host); the G2
+	// ψ check is ~1.3× that.
+	subgroupChecksPerPairing = 19
+	// g1MulsPerPairing: GLV variable-base G1 multiplications per pairing.
+	g1MulsPerPairing = 11
+)
+
+// G2AddPerSec derives the device's roster-aggregation addition rate.
+func (d DeviceProfile) G2AddPerSec() float64 {
+	return d.PairingPerSec * g2AddsPerPairing
+}
+
+// SubgroupCheckPerSec derives the device's wire-parse subgroup-check rate.
+func (d DeviceProfile) SubgroupCheckPerSec() float64 {
+	return d.PairingPerSec * subgroupChecksPerPairing
+}
+
+// G1MulPerSec derives the device's variable-base G1 multiplication rate.
+func (d DeviceProfile) G1MulPerSec() float64 {
+	return d.PairingPerSec * g1MulsPerPairing
+}
+
 // SoloKey is the paper's evaluation device (Tables 2 and 7).
 func SoloKey() DeviceProfile {
 	return DeviceProfile{

@@ -71,7 +71,8 @@ func opClass(op meter.Op) class {
 	switch op {
 	case meter.OpECMul, meter.OpECDSAVerify, meter.OpECDSASign,
 		meter.OpElGamalDecrypt, meter.OpPairing, meter.OpMillerLoop,
-		meter.OpFinalExp, meter.OpBLSSign:
+		meter.OpFinalExp, meter.OpBLSSign, meter.OpG2Add,
+		meter.OpSubgroupCheck:
 		return classPublic
 	case meter.OpAES32, meter.OpHMAC, meter.OpFlashRead32:
 		return classSymmetric
@@ -97,6 +98,10 @@ func secondsPerOp(op meter.Op, d DeviceProfile) float64 {
 		return 1 / d.MillerLoopPerSec()
 	case meter.OpFinalExp:
 		return 1 / d.FinalExpPerSec()
+	case meter.OpG2Add:
+		return 1 / d.G2AddPerSec()
+	case meter.OpSubgroupCheck:
+		return 1 / d.SubgroupCheckPerSec()
 	case meter.OpBLSSign:
 		// A G1 hash-and-multiply over the ~2.5× wider BLS12-381 base field;
 		// costed as two P-256 point multiplications.

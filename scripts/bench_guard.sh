@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# bench_guard.sh — the CI benchmark regression guard (the long-open
+# ROADMAP item): runs the BLS scalar/pairing benchmark set, compares each
+# ns/op against the checked-in baseline with a slack factor, and emits a
+# BENCH_5.json perf-trajectory snapshot.
+#
+#  * Baseline: scripts/bench_baseline.txt — "<name> <ns/op>" lines,
+#    recorded on the reference host. Update it deliberately when a PR
+#    changes performance on purpose.
+#  * Threshold: a benchmark fails the guard if it is more than
+#    BENCH_GUARD_FACTOR× slower than baseline (default 4.0 — generous,
+#    because CI runners are noisy and share cores; the guard exists to
+#    catch order-of-magnitude regressions like an accidental fallback to
+#    a naive path, not 10% drift).
+#  * Output: BENCH_5.json (override with BENCH_JSON_OUT) holding the
+#    measured ns/op for the Sign / Verify / AggregateVerify / FromBytes /
+#    MSM trajectory.
+#
+# Run from the repository root: ./scripts/bench_guard.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FACTOR="${BENCH_GUARD_FACTOR:-4.0}"
+OUT="${BENCH_JSON_OUT:-BENCH_5.json}"
+BASELINE="scripts/bench_baseline.txt"
+
+BLS_BENCHES='BenchmarkSign$|BenchmarkVerify$|BenchmarkPairing$|BenchmarkG1MulGLV$|BenchmarkG2MulPsi$|BenchmarkG1FromBytes$|BenchmarkG2FromBytes$|BenchmarkAggregatePublicKeys1024$|BenchmarkG2MultiExp$'
+# Sub-microsecond field ops need a large fixed iteration count or the
+# per-op numbers are timer-resolution noise.
+FIELD_BENCHES='BenchmarkFeMul$|BenchmarkFeSquare$'
+AGG_BENCHES='BenchmarkBLSAggregateVerify16$'
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== running benchmark set"
+go test -run=NONE -bench="$BLS_BENCHES" -benchtime=20x -count=1 ./internal/bls/ | tee -a "$raw"
+go test -run=NONE -bench="$FIELD_BENCHES" -benchtime=200000x -count=1 ./internal/bls/ | tee -a "$raw"
+go test -run=NONE -bench="$AGG_BENCHES" -benchtime=10x -count=1 ./internal/aggsig/ | tee -a "$raw"
+
+# Parse "BenchmarkName(-N)  iters  12345 ns/op" lines into "name ns" pairs.
+measured="$(awk '/^Benchmark/ && /ns\/op/ {
+	name = $1; sub(/-[0-9]+$/, "", name);
+	printf "%s %s\n", name, $3
+}' "$raw")"
+
+if [ -z "$measured" ]; then
+	echo "bench_guard: no benchmark output parsed" >&2
+	exit 1
+fi
+
+echo "== regression check (factor ${FACTOR}x vs ${BASELINE})"
+fail=0
+while read -r name ns; do
+	base="$(awk -v n="$name" '$1 == n { print $2 }' "$BASELINE")"
+	if [ -z "$base" ]; then
+		echo "  (no baseline) $name: $ns ns/op"
+		continue
+	fi
+	ok="$(awk -v ns="$ns" -v base="$base" -v f="$FACTOR" \
+		'BEGIN { print (ns <= base * f) ? "ok" : "FAIL" }')"
+	ratio="$(awk -v ns="$ns" -v base="$base" 'BEGIN { printf "%.2f", ns / base }')"
+	echo "  $ok $name: $ns ns/op (baseline $base, ${ratio}x)"
+	if [ "$ok" = "FAIL" ]; then
+		fail=1
+	fi
+done <<<"$measured"
+
+echo "== writing $OUT"
+{
+	echo '{'
+	echo '  "schema": "safetypin-bench-trajectory",'
+	echo '  "pr": 5,'
+	echo "  \"guard_factor\": ${FACTOR},"
+	echo '  "unit": "ns/op",'
+	echo '  "benchmarks": {'
+	first=1
+	while read -r name ns; do
+		if [ "$first" = 0 ]; then
+			echo ','
+		fi
+		first=0
+		printf '    "%s": %s' "$name" "$ns"
+	done <<<"$measured"
+	echo
+	echo '  }'
+	echo '}'
+} >"$OUT"
+
+if [ "$fail" = 1 ]; then
+	echo "bench_guard: regression threshold exceeded" >&2
+	exit 1
+fi
+echo "bench_guard: all benchmarks within ${FACTOR}x of baseline"
