@@ -242,12 +242,22 @@ func BenchmarkMultiUserLoad(b *testing.B) {
 		{"N24/conc1", experiments.LoadConfig{NumHSMs: 24, ClusterSize: 8, Threshold: 4, Users: 8, Concurrency: 1}},
 		{"N24/conc8", experiments.LoadConfig{NumHSMs: 24, ClusterSize: 8, Threshold: 4, Users: 8, Concurrency: 8}},
 		{"N48/conc16", experiments.LoadConfig{NumHSMs: 48, ClusterSize: 8, Threshold: 4, Users: 16, Concurrency: 16}},
+		// The wal variants run the same shapes with every provider-state
+		// mutation journaled through the on-disk WAL+snapshot engine
+		// (epoch commits fsync); the delta against the in-memory pair
+		// above is the steady-state price of durability.
+		{"N24/conc8/wal", experiments.LoadConfig{NumHSMs: 24, ClusterSize: 8, Threshold: 4, Users: 8, Concurrency: 8, DataDir: "wal"}},
+		{"N48/conc16/wal", experiments.LoadConfig{NumHSMs: 48, ClusterSize: 8, Threshold: 4, Users: 16, Concurrency: 16, DataDir: "wal"}},
 	}
 	for _, c := range cases {
 		c.cfg.BFE = bfe.Params{M: 512, K: 4}
 		b.Run(c.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := experiments.MultiUserLoad(c.cfg)
+				cfg := c.cfg
+				if cfg.DataDir != "" {
+					cfg.DataDir = b.TempDir()
+				}
+				res, err := experiments.MultiUserLoad(cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -24,8 +24,10 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
+	"safetypin/internal/storage"
 	"safetypin/internal/transport"
 )
 
@@ -47,6 +49,10 @@ func main() {
 	epochBatch := flag.Int("epoch-max-batch", 0, "commit an epoch early at this many pending insertions (0 → default)")
 	epochWorkers := flag.Int("epoch-workers", 0, "audit fan-out worker pool size (0 → min(16, fleet))")
 	epochInterval := flag.Duration("epoch-interval", 0, "standing epoch cadence (e.g. 10m): commit pending insertions on this timer even with no waiters (0 → disabled)")
+	storageKind := flag.String("storage", "mem", "provider state storage engine (mem | wal | blob); mem loses all state on exit, wal journals to -data-dir with crash recovery on restart")
+	dataDir := flag.String("data-dir", "", "directory for the wal engine's journal and snapshots (required with -storage wal)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "compact the journal into a snapshot every N epoch commits (0 → default 8; negative disables)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "how long a graceful shutdown may spend flushing the pending epoch")
 	flag.Parse()
 
 	n := *hsms
@@ -93,11 +99,37 @@ func main() {
 		EpochWorkers:    *epochWorkers,
 		EpochIntervalMS: int(epochInterval.Milliseconds()),
 	}
-	d, err := transport.NewProviderDaemon(cfg)
+	var opts []transport.DaemonOption
+	switch *storageKind {
+	case "mem":
+		// Volatile: the pre-durability behavior.
+	case "wal":
+		if *dataDir == "" {
+			log.Fatalf("providerd: -storage wal requires -data-dir")
+		}
+		eng, err := storage.OpenFile(*dataDir)
+		if err != nil {
+			log.Fatalf("providerd: opening %s: %v", *dataDir, err)
+		}
+		opts = append(opts, transport.WithStorageEngine(eng))
+	case "blob":
+		// The blob engine shares the wal codec but uploads segments to an
+		// object store; only the in-memory stand-in is wired up here.
+		eng, err := storage.OpenBlob(storage.NewMemBlobStore())
+		if err != nil {
+			log.Fatalf("providerd: blob engine: %v", err)
+		}
+		opts = append(opts, transport.WithStorageEngine(eng))
+	default:
+		log.Fatalf("providerd: unknown -storage %q (mem | wal | blob)", *storageKind)
+	}
+	if *snapshotEvery != 0 {
+		opts = append(opts, transport.WithSnapshotEvery(*snapshotEvery))
+	}
+	d, err := transport.NewProviderDaemon(cfg, opts...)
 	if err != nil {
 		log.Fatalf("providerd: %v", err)
 	}
-	defer d.Close()
 	ln, addr, err := transport.Serve("Provider", d.Service(), d.WireRegistry(), *listen)
 	if err != nil {
 		log.Fatalf("providerd: %v", err)
@@ -137,8 +169,17 @@ func main() {
 		}
 	}()
 
+	// SIGTERM/SIGINT: stop accepting, flush the pending epoch, snapshot,
+	// close storage — a graceful stop leaves no WAL to replay on restart.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("providerd: shutting down")
+	ln.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		log.Printf("providerd: shutdown: %v", err)
+		os.Exit(1)
+	}
 }

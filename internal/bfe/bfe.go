@@ -154,6 +154,11 @@ func KeyGenSecretOnly(p Params, oracle securestore.Oracle, rng io.Reader, m *met
 	return &PrivateKey{Params: p, store: st, meter: m}, nil
 }
 
+// SwapOracle repoints the key's outsourced secret array at a different
+// oracle holding the same blocks (see securestore.Store.SetOracle) —
+// the reattach path after a provider restart rebuilds the hosted store.
+func (sk *PrivateKey) SwapOracle(o securestore.Oracle) { sk.store.SetOracle(o) }
+
 // PublicKeyAt derives the public key of a single position by reading its
 // scalar (errors if that position was punctured).
 func (sk *PrivateKey) PublicKeyAt(i int) (ecgroup.Point, error) {

@@ -152,6 +152,11 @@ type Provider struct {
 
 	// staged epoch state
 	staged *stagedEpoch
+
+	// journal hooks (see journal.go); invoked under mu so the journal
+	// order matches the state-mutation order exactly.
+	onAppend func(id, val []byte) error
+	onCommit func(msg *CommitMessage, numEntries int) error
 }
 
 type stagedEpoch struct {
@@ -185,6 +190,11 @@ func (p *Provider) Append(id, val []byte) error {
 	for _, e := range p.pending {
 		if bytes.Equal(e.ID, id) {
 			return fmt.Errorf("dlog: %w (pending): %q", logtree.ErrDuplicate, string(id))
+		}
+	}
+	if p.onAppend != nil {
+		if err := p.onAppend(id, val); err != nil {
+			return fmt.Errorf("dlog: journaling insertion: %w", err)
 		}
 	}
 	p.pending = append(p.pending, logtree.Entry{
@@ -312,6 +322,14 @@ func (p *Provider) Commit(sigs [][]byte, signers []int) (*CommitMessage, error) 
 		return nil, err
 	}
 	msg := &CommitMessage{Header: p.staged.header, AggSig: agg, Signers: signers}
+	if p.onCommit != nil {
+		// Journal before the swap: if the journal rejects the record
+		// the staged epoch stays intact and nothing was mutated, so
+		// the scheduler can abort or retry.
+		if err := p.onCommit(msg, p.staged.numEntries); err != nil {
+			return nil, fmt.Errorf("dlog: journaling epoch commit: %w", err)
+		}
+	}
 	p.tree = p.staged.nextTree
 	p.pending = p.pending[p.staged.numEntries:]
 	p.epoch = p.staged.header.Epoch

@@ -25,6 +25,8 @@ import (
 	"safetypin/internal/bfe"
 	"safetypin/internal/client"
 	"safetypin/internal/protocol"
+	"safetypin/internal/provider"
+	"safetypin/internal/storage"
 )
 
 // LoadConfig parameterizes one multi-user load run.
@@ -44,6 +46,10 @@ type LoadConfig struct {
 	// Scheme defaults to the cheap ECDSA ablation so the measurement
 	// isolates the system layer rather than pairing time.
 	Scheme aggsig.Scheme
+	// DataDir, when non-empty, journals all provider state through the
+	// WAL+snapshot file engine rooted there, measuring the durable
+	// provider's steady-state cost against the in-memory baseline.
+	DataDir string
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -111,7 +117,7 @@ func (l latencyAPI) RelayRecover(ctx context.Context, req *protocol.RecoveryRequ
 
 // loadDeployment builds the fleet and enrolled clients for a load run.
 func loadDeployment(cfg LoadConfig) (*safetypin.Deployment, []*client.Client, error) {
-	d, err := safetypin.NewDeployment(safetypin.Params{
+	params := safetypin.Params{
 		NumHSMs:       cfg.NumHSMs,
 		ClusterSize:   cfg.ClusterSize,
 		Threshold:     cfg.Threshold,
@@ -119,7 +125,15 @@ func loadDeployment(cfg LoadConfig) (*safetypin.Deployment, []*client.Client, er
 		MinSignerFrac: 0.5,
 		GuessLimit:    1 << 20,
 		Scheme:        cfg.Scheme,
-	})
+	}
+	if cfg.DataDir != "" {
+		eng, err := storage.OpenFile(cfg.DataDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		params.Engine = provider.EngineConfig{Storage: eng, SnapshotEvery: -1}
+	}
+	d, err := safetypin.NewDeployment(params)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -316,6 +316,22 @@ func (h *HSM) RotateKey(freshOracle securestore.Oracle) (*bfe.PublicKey, error) 
 	return pk, nil
 }
 
+// SwapOracle reattaches the HSM's outsourced securestore to a different
+// oracle holding the same encrypted blocks. This is the recovery path
+// after a provider restart: the provider rebuilds its hosted block
+// stores from the journal and live HSMs repoint at the rebuilt copies.
+// The root key never left the HSM, so a provider that serves back
+// tampered blocks is still caught by the AEAD integrity check. In-flight
+// recoveries drain first (keyMu is held across the swap).
+func (h *HSM) SwapOracle(o securestore.Oracle) {
+	h.keyMu.Lock()
+	h.bfeKey.SwapOracle(o)
+	h.keyMu.Unlock()
+	h.stateMu.Lock()
+	h.oracle = o
+	h.stateMu.Unlock()
+}
+
 // KeyEpoch returns how many times this HSM has rotated its key.
 func (h *HSM) KeyEpoch() int {
 	h.stateMu.RLock()

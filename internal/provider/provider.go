@@ -11,6 +11,7 @@ import (
 	"safetypin/internal/logtree"
 	"safetypin/internal/protocol"
 	"safetypin/internal/securestore"
+	"safetypin/internal/storage"
 )
 
 // HSMHandle is the provider's view of one HSM: its message interface only.
@@ -51,6 +52,28 @@ type EngineConfig struct {
 	// epochs with idle-trickle LogRecoveryAttempt traffic. Stop it with
 	// Provider.Close.
 	EpochInterval time.Duration
+	// Storage, when non-nil, journals every durable state change —
+	// attempt reservations, ciphertexts, log insertions and commits,
+	// escrow, oracle blocks, roster — so Open can rebuild the provider
+	// after a crash. Nil keeps all state in RAM (the pre-durability
+	// behavior, still the default for tests). Construct with Open when
+	// set: recovery can fail, and Open reports it.
+	Storage storage.Engine
+	// SnapshotEvery compacts the journal into a snapshot after every
+	// N successful epoch commits (0 → 8; negative disables periodic
+	// compaction — a snapshot is still written on Close).
+	SnapshotEvery int
+	// ExchangeRetries is how many times a transient HSM exchange
+	// failure (connection reset, timeout-free I/O error) is retried
+	// inside the epoch fan-out before the HSM is skipped, with capped
+	// exponential backoff between tries (0 → 2; negative disables).
+	// Protocol errors — an HSM rejecting an audit — are never retried,
+	// and AuditTimeout stays the outer bound on the whole exchange.
+	ExchangeRetries int
+	// RetryBaseDelay is the first backoff step (0 → 25ms).
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the backoff growth (0 → 1s).
+	RetryMaxDelay time.Duration
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -65,6 +88,18 @@ func (c EngineConfig) withDefaults() EngineConfig {
 	}
 	if c.AuditTimeout <= 0 {
 		c.AuditTimeout = 30 * time.Second
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 8
+	}
+	if c.ExchangeRetries == 0 {
+		c.ExchangeRetries = 2
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 25 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = time.Second
 	}
 	return c
 }
@@ -97,7 +132,17 @@ type Provider struct {
 
 	fleetMu sync.RWMutex
 	hsms    map[int]HSMHandle
-	oracles map[int]*securestore.MemOracle
+	oracles map[int]*providerOracle
+	roster  map[int]RosterEntry
+
+	// store is the durability journal (nil = volatile provider).
+	store storage.Engine
+	// durMu guards lastCommit and snapshot construction ordering.
+	durMu      sync.Mutex
+	lastCommit *dlog.CommitMessage
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // New creates an empty provider around a distributed-log configuration with
@@ -106,15 +151,34 @@ func New(logCfg dlog.Config) *Provider {
 	return NewWithEngine(logCfg, EngineConfig{})
 }
 
-// NewWithEngine creates a provider with explicit concurrency settings.
+// NewWithEngine creates a provider with explicit concurrency settings. It
+// panics if engine.Storage is set and replaying it fails — callers wiring
+// durable storage should use Open, which reports recovery errors.
 func NewWithEngine(logCfg dlog.Config, engine EngineConfig) *Provider {
+	p, err := Open(logCfg, engine)
+	if err != nil {
+		panic(fmt.Sprintf("provider: NewWithEngine over durable storage: %v (use Open)", err))
+	}
+	return p
+}
+
+// Open creates a provider, replaying engine.Storage first when set: the
+// journal rebuilds attempt counters, ciphertexts, the committed log and
+// its epoch counter, escrow, hosted oracle blocks, and the HSM roster.
+// Uncommitted pending log insertions are dropped (their clients were
+// never acknowledged) and the drop itself is journaled so later replays
+// stay aligned. After recovery the journal hooks are enabled and the
+// epoch scheduler starts.
+func Open(logCfg dlog.Config, engine EngineConfig) (*Provider, error) {
 	engine = engine.withDefaults()
 	p := &Provider{
 		log:     dlog.NewProvider(logCfg),
 		engine:  engine,
 		shards:  make([]*shard, engine.Shards),
 		hsms:    make(map[int]HSMHandle),
-		oracles: make(map[int]*securestore.MemOracle),
+		oracles: make(map[int]*providerOracle),
+		roster:  make(map[int]RosterEntry),
+		store:   engine.Storage,
 	}
 	for i := range p.shards {
 		p.shards[i] = &shard{
@@ -123,16 +187,39 @@ func NewWithEngine(logCfg dlog.Config, engine EngineConfig) *Provider {
 			attempts: make(map[string]int),
 		}
 	}
+	if p.store != nil {
+		if err := p.recover(); err != nil {
+			return nil, err
+		}
+		p.log.SetJournal(p.journalLogInsert, p.journalEpochCommit)
+	}
 	p.sched = newEpochScheduler(p)
-	return p
+	return p, nil
 }
 
-// Close stops the provider's background machinery (the standing epoch
-// timer, when EngineConfig.EpochInterval enabled one). Safe to call more
-// than once; a provider without a standing timer needs no Close.
+// Close stops the provider's background machinery, wakes every blocked
+// WaitForCommit waiter with ErrProviderClosed, and — when durable
+// storage is attached — writes a final snapshot and closes the engine,
+// so a clean shutdown needs no WAL replay on the next Open. Safe to
+// call more than once.
 func (p *Provider) Close() error {
-	p.sched.close()
-	return nil
+	p.closeOnce.Do(func() {
+		p.sched.close()
+		if p.store != nil {
+			// commitMu drains any in-flight epoch (which journals through
+			// the store) before the final snapshot and engine close; rounds
+			// started after close() never take commitMu.
+			p.sched.commitMu.Lock()
+			defer p.sched.commitMu.Unlock()
+			if err := p.SnapshotNow(); err != nil {
+				p.closeErr = err
+			}
+			if err := p.store.Close(); err != nil && p.closeErr == nil {
+				p.closeErr = err
+			}
+		}
+	})
+	return p.closeErr
 }
 
 // shardFor returns the lock stripe owning a user's state (inline FNV-1a:
@@ -147,24 +234,35 @@ func (p *Provider) shardFor(user string) *shard {
 }
 
 // OracleFor returns (creating on demand) the outsourced block store hosted
-// for one HSM.
-func (p *Provider) OracleFor(hsmID int) *securestore.MemOracle {
+// for one HSM. The handle journals every block write, so a recovered
+// provider serves back the blocks the HSM last stored.
+func (p *Provider) OracleFor(hsmID int) securestore.Oracle {
+	return p.oracleHandle(hsmID)
+}
+
+func (p *Provider) oracleHandle(hsmID int) *providerOracle {
 	p.fleetMu.Lock()
 	defer p.fleetMu.Unlock()
 	o, ok := p.oracles[hsmID]
 	if !ok {
-		o = securestore.NewMemOracle()
+		o = &providerOracle{p: p, hsmID: hsmID, mem: securestore.NewMemOracle()}
 		p.oracles[hsmID] = o
 	}
 	return o
 }
 
-// ReplaceOracle installs a fresh store for an HSM key rotation.
-func (p *Provider) ReplaceOracle(hsmID int) *securestore.MemOracle {
-	p.fleetMu.Lock()
-	defer p.fleetMu.Unlock()
-	o := securestore.NewMemOracle()
-	p.oracles[hsmID] = o
+// ReplaceOracle empties the HSM's hosted store for a key rotation and
+// returns the handle (same handle, fresh contents — live references keep
+// working).
+func (p *Provider) ReplaceOracle(hsmID int) securestore.Oracle {
+	o := p.oracleHandle(hsmID)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	// Best-effort: if the clear fails to journal, the fresh KeyGen's
+	// block writes (which go through the same broken engine) will fail
+	// and abort the rotation anyway.
+	_ = p.journalSync(&storage.OracleClearRecord{HSMID: uint32(hsmID)})
+	o.mem = securestore.NewMemOracle()
 	return o
 }
 
@@ -205,9 +303,18 @@ func (p *Provider) StoreCiphertext(ctx context.Context, user string, ct []byte) 
 	}
 	s := p.shardFor(user)
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if err := p.journal(&storage.CiphertextRecord{
+		User:  user,
+		Index: uint32(len(s.cts[user])),
+		Blob:  ct,
+	}); err != nil {
+		s.mu.Unlock()
+		return err
+	}
 	s.cts[user] = append(s.cts[user], append([]byte(nil), ct...))
-	return nil
+	s.mu.Unlock()
+	// Durable before the client is told its backup exists.
+	return p.syncStore()
 }
 
 // FetchCiphertext returns the client's latest recovery ciphertext.
@@ -256,9 +363,20 @@ func (p *Provider) ReserveAttempt(ctx context.Context, user string) (int, error)
 	}
 	s := p.shardFor(user)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := s.attempts[user]
+	if err := p.journal(&storage.AttemptRecord{User: user, Attempt: uint32(n)}); err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
 	s.attempts[user] = n + 1
+	s.mu.Unlock()
+	// The reservation must hit stable storage before the client learns
+	// its attempt number: a kill -9 after the ack can never un-burn the
+	// guess. (If the sync fails the counter stays advanced in RAM —
+	// erring toward fewer guesses, never more.)
+	if err := p.syncStore(); err != nil {
+		return 0, err
+	}
 	return n, nil
 }
 
@@ -275,8 +393,14 @@ func (p *Provider) LogRecoveryAttempt(ctx context.Context, user string, attempt 
 	s.mu.Lock()
 	// Direct callers may log attempt numbers they chose themselves; keep
 	// the counter ahead of any observed index (ReserveAttempt already
-	// advanced it for the client path).
+	// advanced it for the client path). The advance is journaled but not
+	// synced — the insertion itself only becomes visible at the epoch
+	// barrier, which is the sync point.
 	if attempt >= s.attempts[user] {
+		if err := p.journal(&storage.AttemptRecord{User: user, Attempt: uint32(attempt)}); err != nil {
+			s.mu.Unlock()
+			return err
+		}
 		s.attempts[user] = attempt + 1
 	}
 	s.mu.Unlock()
@@ -327,6 +451,9 @@ func (p *Provider) LogDigest() logtree.Digest { return p.log.Digest() }
 // GarbageCollectLog clears the log state (HSMs must consent via their own
 // bounded-budget GarbageCollect).
 func (p *Provider) GarbageCollectLog() {
+	// Journal first: replay must reset at the same point in the record
+	// stream, before any post-GC insertions.
+	_ = p.journalSync(&storage.GCRecord{})
 	p.log.GarbageCollect()
 	for _, s := range p.shards {
 		s.mu.Lock()
@@ -365,20 +492,39 @@ func (p *Provider) RelayRecover(ctx context.Context, req *protocol.RecoveryReque
 	s := p.shardFor(req.User)
 	s.mu.Lock()
 	box := s.escrow[req.User]
-	switch {
-	case box == nil || req.Attempt > box.attempt:
-		box = &escrowBox{attempt: req.Attempt, replies: make(map[int]*protocol.RecoveryReply)}
-		s.escrow[req.User] = box
-	case req.Attempt < box.attempt:
+	if box != nil && req.Attempt < box.attempt {
 		// Stale attempt: serve the reply but do not escrow it.
 		s.mu.Unlock()
 		return reply, nil
+	}
+	// Journal before mutating so a storage failure leaves RAM and
+	// journal agreeing; replay re-applies the same eviction rule.
+	if err := p.journal(&storage.EscrowRecord{
+		User:     req.User,
+		Attempt:  uint32(req.Attempt),
+		HSMIndex: uint32(reply.HSMIndex),
+		SharePos: uint32(reply.SharePos),
+		Box:      reply.Box,
+	}); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	if box == nil || req.Attempt > box.attempt {
+		box = &escrowBox{attempt: req.Attempt, replies: make(map[int]*protocol.RecoveryReply)}
+		s.escrow[req.User] = box
 	}
 	if _, seen := box.replies[req.SharePos]; !seen {
 		box.order = append(box.order, req.SharePos)
 	}
 	box.replies[req.SharePos] = reply
 	s.mu.Unlock()
+	// Write-only, not synced: the record reaches the OS before the reply
+	// is served, so it survives a process kill; full power-loss
+	// durability arrives with the next epoch barrier. The client holding
+	// the in-flight reply covers the sliver in between — escrow exists
+	// for the CLIENT's crash, and syncing here would put an fsync on
+	// every relayed share (the hot path the epoch barrier exists to
+	// protect).
 	return reply, nil
 }
 
@@ -421,7 +567,15 @@ func (p *Provider) ClearEscrow(ctx context.Context, user string) error {
 	}
 	s := p.shardFor(user)
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if err := p.journal(&storage.EscrowClearRecord{User: user}); err != nil {
+		s.mu.Unlock()
+		return err
+	}
 	delete(s.escrow, user)
+	s.mu.Unlock()
+	// Write-only: losing an escrow clear to a power cut merely leaves
+	// stale (already-punctured, undecryptable) replies behind, so the
+	// clear rides the next epoch barrier rather than forcing its own
+	// fsync on every completed recovery.
 	return nil
 }

@@ -1,0 +1,95 @@
+package provider
+
+// retry.go classifies HSM exchange failures and retries the transient
+// ones inside the epoch fan-out. The distinction matters: a connection
+// reset mid-audit says nothing about the log, so retrying is free and
+// keeps one flaky link from costing an HSM its epoch signature — but an
+// HSM *rejecting* an audit is a protocol verdict, and retrying it would
+// only re-ask a question that was already answered. AuditTimeout stays
+// the outer bound on the whole exchange, retries included.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"syscall"
+	"time"
+)
+
+// ErrTransient marks an exchange failure as retryable. Transports wrap
+// connection-level failures with MarkTransient; anything else reaching
+// the fan-out is treated as a protocol error and fails fast.
+var ErrTransient = errors.New("transient exchange failure")
+
+// MarkTransient tags err as transient for IsTransient. Nil stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrTransient, err)
+}
+
+// IsTransient reports whether an exchange failure is worth retrying:
+// explicitly marked errors, network errors, and torn-connection I/O
+// errors are; context cancellation/expiry and protocol rejections are
+// not.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	// An explicit mark wins even over a wrapped context error: the
+	// transport declared the failure connection-level, and withRetry
+	// checks its *own* context separately before retrying.
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ECONNREFUSED)
+}
+
+// withRetry runs op up to ExchangeRetries+1 times, sleeping a capped
+// exponential backoff with jitter between tries. Non-transient errors
+// and context expiry return immediately; the last transient error is
+// returned when the budget runs out.
+func (p *Provider) withRetry(ctx context.Context, op func() error) error {
+	tries := p.engine.ExchangeRetries + 1
+	if tries < 1 {
+		tries = 1
+	}
+	var err error
+	for i := 0; i < tries; i++ {
+		if i > 0 {
+			d := p.engine.RetryBaseDelay << (i - 1)
+			if d > p.engine.RetryMaxDelay {
+				d = p.engine.RetryMaxDelay
+			}
+			// Up to 50% jitter so a fleet-wide blip doesn't resynchronize
+			// every retry into the same instant.
+			d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return err
+			}
+		}
+		err = op()
+		if err == nil || !IsTransient(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}

@@ -37,6 +37,12 @@ import (
 	"safetypin/internal/dlog"
 )
 
+// ErrProviderClosed is delivered to every in-flight WaitForCommit waiter
+// when the provider shuts down, and returned by later waits. A waiter
+// must never block forever on a provider that will not run another
+// epoch.
+var ErrProviderClosed = errors.New("provider: closed")
+
 // waiter is one WaitForCommit subscription: the round's result is delivered
 // on ch (buffered, so the leader never blocks on a slow receiver).
 type waiter struct {
@@ -60,25 +66,58 @@ type epochScheduler struct {
 	// insertion appended while a round is joinable is guaranteed to be
 	// included in that round's epoch.
 	cur *epochRound
+	// rounds tracks every round whose result has not yet been delivered,
+	// including the detached one an epoch is running for — close must be
+	// able to wake its waiters too. Guarded by mu.
+	rounds map[*epochRound]struct{}
+	// closed rejects new rounds after close. Guarded by mu.
+	closed bool
 	// commitMu serializes epoch executions: the dlog stages exactly one
 	// epoch at a time.
 	commitMu sync.Mutex
+	// commits counts successful epochs for the snapshot cadence. Guarded
+	// by commitMu.
+	commits int
 
 	stop     chan struct{}
 	stopOnce sync.Once
 }
 
 func newEpochScheduler(p *Provider) *epochScheduler {
-	s := &epochScheduler{p: p, stop: make(chan struct{})}
+	s := &epochScheduler{p: p, rounds: make(map[*epochRound]struct{}), stop: make(chan struct{})}
 	if p.engine.EpochInterval > 0 {
 		go s.standingTimer(p.engine.EpochInterval)
 	}
 	return s
 }
 
-// close stops the standing timer (idempotent).
+// close stops the standing timer, rejects future rounds, and wakes every
+// waiter of every undelivered round with ErrProviderClosed (idempotent).
+// Leaders still in flight find their round's waiter list already nil and
+// deliver to no one.
 func (s *epochScheduler) close() {
-	s.stopOnce.Do(func() { close(s.stop) })
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		s.mu.Lock()
+		s.closed = true
+		s.cur = nil
+		var orphaned []map[*waiter]struct{}
+		for r := range s.rounds {
+			if !r.fired {
+				r.fired = true
+				close(r.fire)
+			}
+			orphaned = append(orphaned, r.waiters)
+			r.waiters = nil
+		}
+		s.rounds = make(map[*epochRound]struct{})
+		s.mu.Unlock()
+		for _, ws := range orphaned {
+			for w := range ws {
+				w.ch <- ErrProviderClosed
+			}
+		}
+	})
 }
 
 // standingTimer commits pending insertions on a fixed cadence even when no
@@ -107,6 +146,10 @@ func (s *epochScheduler) waitForCommit(ctx context.Context) error {
 	w := &waiter{ch: make(chan error, 1)}
 	s.mu.Lock()
 	r := s.openRoundLocked()
+	if r == nil {
+		s.mu.Unlock()
+		return ErrProviderClosed
+	}
 	r.waiters[w] = struct{}{}
 	s.mu.Unlock()
 	select {
@@ -122,11 +165,15 @@ func (s *epochScheduler) waitForCommit(ctx context.Context) error {
 }
 
 // openRoundLocked returns the gathering round, creating and leading a fresh
-// one when none is open. Callers hold s.mu.
+// one when none is open. It returns nil after close. Callers hold s.mu.
 func (s *epochScheduler) openRoundLocked() *epochRound {
+	if s.closed {
+		return nil
+	}
 	if s.cur == nil {
 		r := &epochRound{fire: make(chan struct{}), waiters: make(map[*waiter]struct{})}
 		s.cur = r
+		s.rounds[r] = struct{}{}
 		go s.lead(r)
 	}
 	return s.cur
@@ -173,6 +220,10 @@ func (s *epochScheduler) commitNow(ctx context.Context) error {
 	w := &waiter{ch: make(chan error, 1)}
 	s.mu.Lock()
 	r := s.openRoundLocked()
+	if r == nil {
+		s.mu.Unlock()
+		return ErrProviderClosed
+	}
 	r.waiters[w] = struct{}{}
 	if !r.fired {
 		r.fired = true
@@ -202,13 +253,28 @@ func (s *epochScheduler) lead(r *epochRound) {
 	if s.cur == r {
 		s.cur = nil
 	}
+	closed := s.closed
 	s.mu.Unlock()
-	s.commitMu.Lock()
-	err := s.p.runEpochNow(context.Background())
-	s.commitMu.Unlock()
+	var err error
+	if closed {
+		err = ErrProviderClosed
+	} else {
+		s.commitMu.Lock()
+		err = s.p.runEpochNow(context.Background())
+		if err == nil || errors.Is(err, dlog.ErrNoPending) {
+			s.commits++
+			if every := s.p.engine.SnapshotEvery; every > 0 && s.commits%every == 0 {
+				// Best-effort compaction: a failed snapshot leaves the
+				// journal longer, not the state wrong.
+				_ = s.p.SnapshotNow()
+			}
+		}
+		s.commitMu.Unlock()
+	}
 	s.mu.Lock()
 	ws := r.waiters
 	r.waiters = nil // late unsubscribes become no-ops
+	delete(s.rounds, r)
 	s.mu.Unlock()
 	for w := range ws {
 		w.ch <- err
@@ -298,6 +364,13 @@ func (p *Provider) runEpochNow(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	// The epoch barrier: the commit record (journaled by the dlog hook
+	// inside Commit) and every insertion it consumed must be on stable
+	// storage before any HSM or waiter learns the epoch exists. One fsync
+	// covers the whole batch.
+	if err := p.syncStore(); err != nil {
+		return fmt.Errorf("provider: epoch durability barrier: %w", err)
+	}
 
 	// Commit fan-out: every HSM learns the new digest. The provider's log
 	// has already committed; an unreachable HSM just misses the digest
@@ -336,17 +409,22 @@ func (p *Provider) auditOne(ctx context.Context, h HSMHandle, hdr dlog.EpochHead
 	}
 	ch := make(chan out, 1)
 	go func() {
-		chunks, err := h.LogChooseChunks(ctx, hdr)
-		if err != nil {
-			ch <- out{err: err}
-			return
-		}
-		pkg, err := p.log.AuditPackageFor(chunks)
-		if err != nil {
-			ch <- out{err: err}
-			return
-		}
-		sig, err := h.LogHandleAudit(ctx, pkg)
+		// Retry the whole choose/audit sequence on transient failures: a
+		// reconnected HSM must re-choose its chunks, not resume half an
+		// exchange. Protocol rejections fail fast.
+		var sig []byte
+		err := p.withRetry(ctx, func() error {
+			chunks, err := h.LogChooseChunks(ctx, hdr)
+			if err != nil {
+				return err
+			}
+			pkg, err := p.log.AuditPackageFor(chunks)
+			if err != nil {
+				return err
+			}
+			sig, err = h.LogHandleAudit(ctx, pkg)
+			return err
+		})
 		ch <- out{sig: sig, err: err}
 	}()
 	select {
@@ -362,7 +440,9 @@ func (p *Provider) commitOne(ctx context.Context, h HSMHandle, cm *dlog.CommitMe
 	ctx, cancel := context.WithTimeout(ctx, p.engine.AuditTimeout)
 	defer cancel()
 	ch := make(chan error, 1)
-	go func() { ch <- h.LogHandleCommit(ctx, cm) }()
+	go func() {
+		ch <- p.withRetry(ctx, func() error { return h.LogHandleCommit(ctx, cm) })
+	}()
 	select {
 	case err := <-ch:
 		return err

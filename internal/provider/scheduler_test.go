@@ -8,6 +8,9 @@ package provider
 
 import (
 	"context"
+	"errors"
+	"io"
+	"syscall"
 	"testing"
 	"time"
 
@@ -138,6 +141,111 @@ func TestStandingTimerStopsOnClose(t *testing.T) {
 	time.Sleep(50 * time.Millisecond)
 	if p.PendingLogLen() != 1 {
 		t.Fatal("closed provider still running standing epochs")
+	}
+}
+
+// TestCloseWakesBlockedWaiters: waiters blocked in WaitForCommit when the
+// provider shuts down must all receive ErrProviderClosed — never hang on
+// a round whose epoch will no longer run. Meant for -race.
+func TestCloseWakesBlockedWaiters(t *testing.T) {
+	cfg := logCfg()
+	// The gathering window never fires on its own; only Close can end the
+	// round the waiters subscribe to.
+	p := NewWithEngine(cfg, EngineConfig{BatchWindow: time.Hour})
+	newStubFleet(t, p, 2, nil)
+	if err := p.LogRecoveryAttempt(tctx, "alice", 0, []byte("h")); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 8
+	done := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() { done <- p.WaitForCommit(tctx) }()
+	}
+	deadline := time.After(5 * time.Second)
+	for p.sched.waiterCount() < waiters {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d waiters subscribed", p.sched.waiterCount(), waiters)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < waiters; i++ {
+		select {
+		case err := <-done:
+			if err != ErrProviderClosed {
+				t.Fatalf("waiter %d returned %v, want ErrProviderClosed", i, err)
+			}
+		case <-deadline:
+			t.Fatalf("waiter %d still blocked after Close", i)
+		}
+	}
+	// Waits after Close fail immediately with the same terminal error.
+	if err := p.WaitForCommit(tctx); err != ErrProviderClosed {
+		t.Fatalf("post-Close WaitForCommit returned %v", err)
+	}
+	if err := p.RunEpoch(tctx); err != ErrProviderClosed {
+		t.Fatalf("post-Close RunEpoch returned %v", err)
+	}
+}
+
+// TestTransientClassification pins which failures the epoch fan-out
+// retries: marked/connection errors yes, protocol and context errors no.
+func TestTransientClassification(t *testing.T) {
+	if !IsTransient(MarkTransient(context.Canceled)) {
+		// Marking overrides even a context error buried underneath: the
+		// transport declared the failure connection-level.
+		t.Error("explicitly marked error not transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil transient")
+	}
+	if IsTransient(context.Canceled) || IsTransient(context.DeadlineExceeded) {
+		t.Error("context errors must not be retried")
+	}
+	if IsTransient(errProtocol) {
+		t.Error("protocol rejection must not be retried")
+	}
+	if !IsTransient(io.ErrUnexpectedEOF) || !IsTransient(syscall.ECONNRESET) {
+		t.Error("torn-connection I/O errors should be retried")
+	}
+}
+
+var errProtocol = errors.New("hsm: audit rejected")
+
+// TestWithRetryRecoversTransientFailure: an HSM whose exchange fails
+// transiently a bounded number of times still contributes its signature.
+func TestWithRetryRecoversTransientFailure(t *testing.T) {
+	cfg := logCfg()
+	p := NewWithEngine(cfg, EngineConfig{
+		ExchangeRetries: 3,
+		RetryBaseDelay:  time.Microsecond,
+		RetryMaxDelay:   10 * time.Microsecond,
+	})
+	calls := 0
+	err := p.withRetry(tctx, func() error {
+		calls++
+		if calls < 3 {
+			return MarkTransient(errors.New("conn reset"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("withRetry: err=%v calls=%d", err, calls)
+	}
+	// Non-transient errors are never retried.
+	calls = 0
+	err = p.withRetry(tctx, func() error { calls++; return errProtocol })
+	if err != errProtocol || calls != 1 {
+		t.Fatalf("protocol error retried: err=%v calls=%d", err, calls)
+	}
+	// The retry budget is finite.
+	calls = 0
+	err = p.withRetry(tctx, func() error { calls++; return MarkTransient(errProtocol) })
+	if !IsTransient(err) || calls != 4 {
+		t.Fatalf("budget: err=%v calls=%d, want 4 tries", err, calls)
 	}
 }
 

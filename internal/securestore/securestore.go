@@ -56,6 +56,18 @@ func (o *MemOracle) Len() int {
 	return len(o.blocks)
 }
 
+// Blocks returns a copy of every stored block keyed by address — the
+// provider's durability layer snapshots oracle contents through this.
+func (o *MemOracle) Blocks() map[uint64][]byte {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make(map[uint64][]byte, len(o.blocks))
+	for addr, b := range o.blocks {
+		out[addr] = append([]byte(nil), b...)
+	}
+	return out
+}
+
 // Store is the HSM-side handle: the root key plus tree geometry. Only the
 // root key is secret; everything else is public parameters.
 type Store struct {
@@ -156,6 +168,14 @@ func (s *Store) countIO(blockLen int) {
 	s.meter.Add(meter.OpIORoundTrip, 1)
 	s.meter.Add(meter.OpIOByte, int64(blockLen))
 }
+
+// SetOracle repoints the store at a different oracle holding the same
+// encrypted blocks — used when a restarted provider rebuilds its hosted
+// block stores from the journal and live HSMs must reattach to the new
+// copies. The root key is unchanged: the store's contents are defined
+// by (rootKey, oracle blocks), so the caller must hand over a faithful
+// replica of the blocks this store last wrote.
+func (s *Store) SetOracle(o Oracle) { s.oracle = o }
 
 // Len returns the number of logical data blocks.
 func (s *Store) Len() int { return s.numData }

@@ -1,0 +1,307 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// BlobStore is the minimal object-store surface a blob engine needs —
+// the subset of S3/GCS-style APIs used here. Objects are immutable
+// once Put; names are flat strings.
+type BlobStore interface {
+	Put(name string, data []byte) error
+	Get(name string) ([]byte, error)
+	// List returns object names with the given prefix, in any order.
+	List(prefix string) ([]string, error)
+	Delete(name string) error
+}
+
+// MemBlobStore is an in-memory BlobStore for tests and the stub
+// deployment path.
+type MemBlobStore struct {
+	mu   sync.Mutex
+	objs map[string][]byte
+}
+
+// NewMemBlobStore returns an empty in-memory object store.
+func NewMemBlobStore() *MemBlobStore {
+	return &MemBlobStore{objs: make(map[string][]byte)}
+}
+
+// Put implements BlobStore.
+func (s *MemBlobStore) Put(name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objs[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get implements BlobStore.
+func (s *MemBlobStore) Get(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.objs[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: blob %q not found", name)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List implements BlobStore.
+func (s *MemBlobStore) List(prefix string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var names []string
+	for name := range s.objs {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	return names, nil
+}
+
+// Delete implements BlobStore.
+func (s *MemBlobStore) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objs, name)
+	return nil
+}
+
+// BlobEngine journals onto an object store using the same frame codec
+// as FileEngine: appended records accumulate in a buffer, each Sync
+// uploads the buffer as one immutable segment object (one upload per
+// epoch barrier, mirroring the one-fsync rule), and WriteSnapshot
+// uploads a snapshot object and deletes the segments it covers.
+//
+// This is the stub for future S3 backends: durability is only as real
+// as the BlobStore behind it, and the in-tree MemBlobStore is
+// memory-backed. The engine exists to prove the codec and barrier
+// sequencing work against an object-store shape.
+type BlobEngine struct {
+	store BlobStore
+
+	mu       sync.Mutex
+	pending  []byte // frames not yet uploaded
+	firstSeq uint64 // seq of the first pending frame
+	seq      uint64
+	base     uint64 // BaseSeq of the newest snapshot
+	closed   bool
+}
+
+const (
+	segPrefix  = "wal/seg-"
+	snapPrefix = "snap/at-"
+)
+
+// OpenBlob opens a blob engine over store, discovering the newest
+// snapshot and the last used sequence number from existing objects.
+func OpenBlob(store BlobStore) (*BlobEngine, error) {
+	e := &BlobEngine{store: store}
+	snaps, err := store.List(snapPrefix)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range snaps {
+		var base uint64
+		if _, err := fmt.Sscanf(name, snapPrefix+"%016x", &base); err == nil && base > e.base {
+			e.base = base
+		}
+	}
+	e.seq = e.base
+	segs, err := store.List(segPrefix)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range segs {
+		var first, last uint64
+		if _, err := fmt.Sscanf(name, segPrefix+"%016x-%016x", &first, &last); err == nil && last > e.seq {
+			e.seq = last
+		}
+	}
+	return e, nil
+}
+
+// Append implements Engine.
+func (e *BlobEngine) Append(rec Record) (uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, ErrClosed
+	}
+	e.seq++
+	if len(e.pending) == 0 {
+		e.firstSeq = e.seq
+	}
+	e.pending = appendFrame(e.pending, e.seq, rec)
+	return e.seq, nil
+}
+
+// Sync implements Engine: upload the pending buffer as one segment.
+func (e *BlobEngine) Sync() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if len(e.pending) == 0 {
+		return nil
+	}
+	name := fmt.Sprintf("%s%016x-%016x", segPrefix, e.firstSeq, e.seq)
+	if err := e.store.Put(name, e.pending); err != nil {
+		return fmt.Errorf("storage: segment upload: %w", err)
+	}
+	e.pending = nil
+	return nil
+}
+
+// LastSeq implements Engine.
+func (e *BlobEngine) LastSeq() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seq
+}
+
+// WriteSnapshot implements Engine.
+func (e *BlobEngine) WriteSnapshot(snap *Snapshot) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	buf := appendFrame(nil, 0, &snapshotMeta{
+		Version: snapshotVersion,
+		BaseSeq: snap.BaseSeq,
+		Count:   uint32(len(snap.Records)),
+	})
+	for _, rec := range snap.Records {
+		buf = appendFrame(buf, 0, rec)
+	}
+	name := fmt.Sprintf("%s%016x", snapPrefix, snap.BaseSeq)
+	if err := e.store.Put(name, buf); err != nil {
+		return fmt.Errorf("storage: snapshot upload: %w", err)
+	}
+	// Garbage-collect segments fully covered by the snapshot and any
+	// older snapshots. Best-effort: a failed delete leaves harmless
+	// extra objects that replay skips by sequence number.
+	if segs, err := e.store.List(segPrefix); err == nil {
+		for _, seg := range segs {
+			var first, last uint64
+			if _, err := fmt.Sscanf(seg, segPrefix+"%016x-%016x", &first, &last); err == nil && last <= snap.BaseSeq {
+				_ = e.store.Delete(seg)
+			}
+		}
+	}
+	if snaps, err := e.store.List(snapPrefix); err == nil {
+		for _, old := range snaps {
+			var base uint64
+			if _, err := fmt.Sscanf(old, snapPrefix+"%016x", &base); err == nil && base < snap.BaseSeq {
+				_ = e.store.Delete(old)
+			}
+		}
+	}
+	if snap.BaseSeq > e.base {
+		e.base = snap.BaseSeq
+	}
+	if snap.BaseSeq > e.seq {
+		e.seq = snap.BaseSeq
+	}
+	return nil
+}
+
+// Replay implements Engine: newest snapshot, then segments in sequence
+// order, then the not-yet-uploaded pending buffer (present only when
+// replaying a live engine; a reopened engine has no pending).
+func (e *BlobEngine) Replay(fn func(seq uint64, rec Record) error) (Stats, error) {
+	e.mu.Lock()
+	base := e.base
+	pending := append([]byte(nil), e.pending...)
+	e.mu.Unlock()
+
+	var st Stats
+	if base > 0 {
+		buf, err := e.store.Get(fmt.Sprintf("%s%016x", snapPrefix, base))
+		if err != nil {
+			return st, fmt.Errorf("storage: snapshot fetch: %w", err)
+		}
+		recs, _, err := parseSnapshot(buf)
+		if err != nil {
+			return st, err
+		}
+		for _, rec := range recs {
+			if err := fn(0, rec); err != nil {
+				return st, err
+			}
+			st.SnapshotRecords++
+		}
+	}
+	segs, err := e.store.List(segPrefix)
+	if err != nil {
+		return st, err
+	}
+	sort.Strings(segs) // names embed zero-padded first-seq ⇒ lexical = sequential
+	apply := func(buf []byte) error {
+		_, err := scanFrames(buf, func(seq uint64, rec Record) error {
+			if seq <= base {
+				return nil
+			}
+			if err := fn(seq, rec); err != nil {
+				return err
+			}
+			st.WALRecords++
+			return nil
+		})
+		return err
+	}
+	for _, seg := range segs {
+		buf, err := e.store.Get(seg)
+		if err != nil {
+			return st, err
+		}
+		if err := apply(buf); err != nil {
+			return st, err
+		}
+	}
+	if err := apply(pending); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// Close implements Engine. Pending (un-synced) records are dropped,
+// matching the file engine's crash semantics.
+func (e *BlobEngine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	return nil
+}
+
+// parseSnapshot decodes an encoded snapshot object.
+func parseSnapshot(buf []byte) ([]Record, uint64, error) {
+	var meta *snapshotMeta
+	var recs []Record
+	if _, err := scanFrames(buf, func(_ uint64, rec Record) error {
+		if meta == nil {
+			m, ok := rec.(*snapshotMeta)
+			if !ok {
+				return fmt.Errorf("%w: snapshot missing meta record", ErrCorrupt)
+			}
+			if m.Version != snapshotVersion {
+				return fmt.Errorf("storage: snapshot version %d unsupported", m.Version)
+			}
+			meta = m
+			return nil
+		}
+		recs = append(recs, rec)
+		return nil
+	}); err != nil {
+		return nil, 0, err
+	}
+	if meta == nil || int(meta.Count) != len(recs) {
+		return nil, 0, fmt.Errorf("%w: snapshot record count", ErrCorrupt)
+	}
+	return recs, meta.BaseSeq, nil
+}

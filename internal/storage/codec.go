@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Frame layout: len(u32) ‖ crc32c(u32) ‖ payload, where
+// payload = kind(u8) ‖ seq(u64) ‖ body. len counts payload bytes only.
+const (
+	frameHeader = 8
+	payloadMin  = 9 // kind + seq
+	// maxFrame bounds a single frame's payload; anything larger is
+	// treated as corruption rather than a 4 GiB allocation.
+	maxFrame = maxBlob + 1024
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errShortFrame marks an incomplete frame at the end of a buffer — the
+// torn tail of an interrupted append, distinguishable from a CRC
+// failure only in that fewer bytes exist than the header promises.
+var errShortFrame = errors.New("storage: short frame")
+
+// EncodeRecord returns a record's canonical framed encoding (sequence
+// number 0). The provider hashes these to build its state digest, so
+// the encoding must be deterministic — it is, because every codec is a
+// fixed field walk.
+func EncodeRecord(rec Record) []byte { return appendFrame(nil, 0, rec) }
+
+// appendFrame encodes one record into dst.
+func appendFrame(dst []byte, seq uint64, rec Record) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // len + crc placeholders
+	dst = append(dst, rec.Kind())
+	dst = appendU64(dst, seq)
+	dst = rec.append(dst)
+	payload := dst[start+frameHeader:]
+	n := uint32(len(payload))
+	crc := crc32.Checksum(payload, castagnoli)
+	dst[start+0] = byte(n >> 24)
+	dst[start+1] = byte(n >> 16)
+	dst[start+2] = byte(n >> 8)
+	dst[start+3] = byte(n)
+	dst[start+4] = byte(crc >> 24)
+	dst[start+5] = byte(crc >> 16)
+	dst[start+6] = byte(crc >> 8)
+	dst[start+7] = byte(crc)
+	return dst
+}
+
+// readFrame decodes the frame at the start of b, returning the record,
+// its sequence number, and the bytes consumed. It returns errShortFrame
+// when b ends before the frame does and ErrCorrupt for CRC or
+// structural failures.
+func readFrame(b []byte) (seq uint64, rec Record, n int, err error) {
+	if len(b) < frameHeader {
+		return 0, nil, 0, errShortFrame
+	}
+	plen := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	crc := uint32(b[4])<<24 | uint32(b[5])<<16 | uint32(b[6])<<8 | uint32(b[7])
+	if plen < payloadMin || plen > maxFrame {
+		return 0, nil, 0, fmt.Errorf("%w: frame length %d", ErrCorrupt, plen)
+	}
+	if len(b) < frameHeader+int(plen) {
+		return 0, nil, 0, errShortFrame
+	}
+	payload := b[frameHeader : frameHeader+int(plen)]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return 0, nil, 0, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	rec, err = newRecord(payload[0])
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	seq = uint64(payload[1])<<56 | uint64(payload[2])<<48 | uint64(payload[3])<<40 | uint64(payload[4])<<32 |
+		uint64(payload[5])<<24 | uint64(payload[6])<<16 | uint64(payload[7])<<8 | uint64(payload[8])
+	if err := rec.decode(payload[payloadMin:]); err != nil {
+		return 0, nil, 0, err
+	}
+	return seq, rec, frameHeader + int(plen), nil
+}
+
+// scanFrames walks every whole frame in b, invoking fn for each. It
+// returns the byte offset just past the last good frame and the error
+// that stopped the scan: nil if the buffer was fully consumed,
+// errShortFrame or ErrCorrupt otherwise. Errors from fn abort the scan
+// and are returned verbatim.
+func scanFrames(b []byte, fn func(seq uint64, rec Record) error) (int, error) {
+	off := 0
+	for off < len(b) {
+		seq, rec, n, err := readFrame(b[off:])
+		if err != nil {
+			return off, err
+		}
+		if err := fn(seq, rec); err != nil {
+			return off, err
+		}
+		off += n
+	}
+	return off, nil
+}

@@ -1,0 +1,60 @@
+package storage
+
+import "errors"
+
+// ErrClosed reports an operation on a closed engine.
+var ErrClosed = errors.New("storage: engine closed")
+
+// Engine is the pluggable journal backing a provider. Append assigns a
+// monotonically increasing sequence number and buffers or writes the
+// record; Sync is the durability barrier — when it returns nil every
+// record appended before the call survives a crash. Implementations
+// must make Append and Sync safe for concurrent use; the provider
+// relies on Append calls made under its own locks retaining that order
+// in the journal.
+type Engine interface {
+	// Append journals one record and returns its sequence number.
+	Append(rec Record) (uint64, error)
+	// Sync forces every record appended so far to stable storage.
+	// Engines coalesce concurrent calls (group commit): a Sync whose
+	// records were already covered by another caller's flush returns
+	// immediately.
+	Sync() error
+	// LastSeq returns the sequence number of the newest appended
+	// record (0 if none).
+	LastSeq() uint64
+	// WriteSnapshot atomically replaces the engine's snapshot with
+	// snap and discards journal records with seq ≤ snap.BaseSeq.
+	WriteSnapshot(snap *Snapshot) error
+	// Replay streams the snapshot's records (seq 0) and then every
+	// journal record with seq > BaseSeq, in order. fn errors abort
+	// the replay.
+	Replay(fn func(seq uint64, rec Record) error) (Stats, error)
+	// Close releases resources. It does NOT sync: callers that want a
+	// clean shutdown snapshot/sync first.
+	Close() error
+}
+
+// Snapshot is a compacted rendering of provider state: a flat record
+// list that, replayed alone, rebuilds the state as of journal sequence
+// BaseSeq.
+type Snapshot struct {
+	// BaseSeq is the newest journal sequence number the snapshot
+	// covers. Replay applies journal records with seq > BaseSeq on
+	// top; re-applying overlap must therefore be idempotent, which
+	// every provider record is by construction.
+	BaseSeq uint64
+	Records []Record
+}
+
+// Stats summarizes a Replay for observability and tests.
+type Stats struct {
+	// SnapshotRecords counts records served from the snapshot.
+	SnapshotRecords int
+	// WALRecords counts journal records replayed on top of the
+	// snapshot. A graceful shutdown followed by reopen replays zero.
+	WALRecords int
+	// TruncatedBytes counts torn-tail bytes dropped from the end of
+	// the journal.
+	TruncatedBytes int64
+}

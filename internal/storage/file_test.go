@@ -1,0 +1,297 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func collect(t *testing.T, e Engine) ([]Record, Stats) {
+	t.Helper()
+	var recs []Record
+	st, err := e.Replay(func(_ uint64, rec Record) error {
+		recs = append(recs, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs, st
+}
+
+func TestFileEngineAppendReopenReplay(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()[:6]
+	for _, rec := range want {
+		if _, err := e.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	got, st := collect(t, e2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\n got %#v\nwant %#v", got, want)
+	}
+	if st.WALRecords != len(want) || st.SnapshotRecords != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if e2.LastSeq() != uint64(len(want)) {
+		t.Fatalf("LastSeq %d, want %d", e2.LastSeq(), len(want))
+	}
+	// Appends continue the sequence.
+	seq, err := e2.Append(&GCRecord{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != uint64(len(want))+1 {
+		t.Fatalf("next seq %d, want %d", seq, len(want)+1)
+	}
+}
+
+func TestFileEngineTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := e.Append(&AttemptRecord{User: "u", Attempt: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	durable := e.DurableOffset()
+	// A 6th record is written but the "machine dies" before sync; the
+	// write is torn 3 bytes short.
+	if _, err := e.Append(&AttemptRecord{User: "u", Attempt: 5}); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	if err := TornTail(e.WALPath(), 3); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	recs, st := collect(t, e2)
+	if len(recs) != 5 {
+		t.Fatalf("replayed %d records, want 5 (torn 6th dropped)", len(recs))
+	}
+	if st.TruncatedBytes == 0 {
+		t.Fatal("expected TruncatedBytes > 0")
+	}
+	if info, err := os.Stat(e2.WALPath()); err != nil || info.Size() != durable {
+		t.Fatalf("wal size %d, want durable offset %d (err %v)", info.Size(), durable, err)
+	}
+}
+
+func TestFileEngineCorruptTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := e.Append(&AttemptRecord{User: "u", Attempt: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	durable := e.DurableOffset()
+	if _, err := e.Append(&EscrowClearRecord{User: "victim"}); err != nil {
+		t.Fatal(err)
+	}
+	written := e.written
+	e.Close()
+	// Power loss garbles the unsynced record's bytes in place.
+	if err := CorruptTail(e.WALPath(), written-durable); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	recs, _ := collect(t, e2)
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4 (corrupt 5th dropped)", len(recs))
+	}
+}
+
+func TestFileEngineSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := e.Append(&AttemptRecord{User: fmt.Sprintf("u%d", i), Attempt: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot covering the first 7 records.
+	snap := &Snapshot{BaseSeq: 7}
+	for i := 0; i < 7; i++ {
+		snap.Records = append(snap.Records, &AttemptRecord{User: fmt.Sprintf("u%d", i), Attempt: 0})
+	}
+	if err := e.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Post-rotation appends land after the kept tail.
+	if _, err := e.Append(&GCRecord{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	e2, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	recs, st := collect(t, e2)
+	if st.SnapshotRecords != 7 {
+		t.Fatalf("snapshot records %d, want 7", st.SnapshotRecords)
+	}
+	if st.WALRecords != 4 { // u7, u8, u9, GC
+		t.Fatalf("wal records %d, want 4", st.WALRecords)
+	}
+	if len(recs) != 11 {
+		t.Fatalf("total %d, want 11", len(recs))
+	}
+	if _, ok := recs[len(recs)-1].(*GCRecord); !ok {
+		t.Fatalf("last record %T, want *GCRecord", recs[len(recs)-1])
+	}
+	if e2.LastSeq() != 11 {
+		t.Fatalf("LastSeq %d, want 11", e2.LastSeq())
+	}
+}
+
+func TestFileEngineGracefulShutdownLeavesNoWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := e.Append(&AttemptRecord{User: "u", Attempt: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Graceful shutdown = snapshot everything, then close.
+	snap := &Snapshot{BaseSeq: e.LastSeq()}
+	for i := 0; i < 6; i++ {
+		snap.Records = append(snap.Records, &AttemptRecord{User: "u", Attempt: uint32(i)})
+	}
+	if err := e.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	_, st := collect(t, e2)
+	if st.WALRecords != 0 {
+		t.Fatalf("graceful shutdown left %d WAL records to replay", st.WALRecords)
+	}
+	if st.SnapshotRecords != 6 {
+		t.Fatalf("snapshot records %d, want 6", st.SnapshotRecords)
+	}
+}
+
+func TestFileEngineCorruptSnapshotFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteSnapshot(&Snapshot{BaseSeq: 1, Records: []Record{&GCRecord{}}}); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	// Flip bytes in the middle of the snapshot — unlike the WAL there
+	// is no torn-tail tolerance.
+	if err := CorruptTail(filepath.Join(dir, snapName), 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over corrupt snapshot: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFileEngineConcurrentAppendSync(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var wg sync.WaitGroup
+	const writers, per = 8, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := e.Append(&AttemptRecord{User: fmt.Sprintf("w%d", w), Attempt: uint32(i)}); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				if i%10 == 0 {
+					if err := e.Sync(); err != nil {
+						t.Errorf("sync: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, e)
+	if len(recs) != writers*per {
+		t.Fatalf("replayed %d, want %d", len(recs), writers*per)
+	}
+	if e.DurableOffset() != e.written {
+		t.Fatalf("durable %d != written %d after final sync", e.DurableOffset(), e.written)
+	}
+}

@@ -1,0 +1,464 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Record kinds. The byte value is part of the on-disk format — append
+// new kinds, never renumber.
+const (
+	kindAttempt      byte = 1
+	kindCiphertext   byte = 2
+	kindLogInsert    byte = 3
+	kindEpochCommit  byte = 4
+	kindEscrow       byte = 5
+	kindEscrowClear  byte = 6
+	kindOraclePut    byte = 7
+	kindOracleClear  byte = 8
+	kindRoster       byte = 9
+	kindGC           byte = 10
+	kindPendingDrop  byte = 11
+	kindSnapshotMeta byte = 12
+)
+
+// ErrCorrupt reports a frame or record body that is structurally
+// invalid: bad CRC, impossible length, unknown kind, or trailing bytes.
+var ErrCorrupt = errors.New("storage: corrupt record")
+
+// Record is one journaled state change. Implementations are plain
+// structs with exported fields; the codec is hand-rolled so that
+// malformed input errors instead of panicking.
+type Record interface {
+	// Kind returns the on-disk record tag.
+	Kind() byte
+	// append encodes the body onto dst and returns the extended slice.
+	append(dst []byte) []byte
+	// decode parses the body, rejecting short or oversized input.
+	decode(b []byte) error
+}
+
+// AttemptRecord journals a per-user recovery-attempt reservation:
+// after replay the user's counter is at least Attempt+1. Synced before
+// the reservation is acknowledged so a kill -9 can never un-burn a
+// guess.
+type AttemptRecord struct {
+	User    string
+	Attempt uint32
+}
+
+// CiphertextRecord journals a stored backup ciphertext at an explicit
+// slot index, making replay idempotent (re-applying the record is a
+// no-op rather than a duplicate append).
+type CiphertextRecord struct {
+	User  string
+	Index uint32
+	Blob  []byte
+}
+
+// LogInsertRecord journals one log-tree insertion, in exactly the
+// order the distributed log accepted it. Ordering matters: epoch
+// commits consume the first NumEntries pending insertions on replay.
+// WAL records always have Pending true (an insertion is pending when
+// accepted); snapshots use Pending false for entries already folded
+// into the committed tree.
+type LogInsertRecord struct {
+	ID      []byte
+	Val     []byte
+	Pending bool
+}
+
+// EpochCommitRecord journals a committed log epoch: the signed header,
+// the aggregate signature and signer set, and how many pending
+// insertions the epoch consumed. It carries everything needed to
+// re-deliver the commit message to an HSM that missed the original
+// fan-out.
+type EpochCommitRecord struct {
+	Epoch      uint64
+	NumEntries uint32 // pending insertions consumed by this epoch
+	OldDigest  [32]byte
+	NewDigest  [32]byte
+	Root       [32]byte
+	NumChunks  uint32
+	NumEntry   uint32 // header field: entries in the committed batch
+	AggSig     []byte
+	Signers    []uint32
+}
+
+// EscrowRecord journals one escrowed recovery reply for
+// client-independent completion (PR 3): keyed by (user, attempt,
+// share position) so replay is idempotent and eviction deterministic.
+type EscrowRecord struct {
+	User     string
+	Attempt  uint32
+	HSMIndex uint32
+	SharePos uint32
+	Box      []byte
+}
+
+// EscrowClearRecord journals the client acknowledging receipt: the
+// user's escrow box is deleted.
+type EscrowClearRecord struct {
+	User string
+}
+
+// OraclePutRecord journals one block written to an HSM's outsourced
+// securestore oracle. Write-only class: forced to disk at the next
+// epoch barrier, not per write.
+type OraclePutRecord struct {
+	HSMID uint32
+	Addr  uint64
+	Block []byte
+}
+
+// OracleClearRecord journals an oracle being discarded wholesale
+// (HSM key rotation installs a fresh store).
+type OracleClearRecord struct {
+	HSMID uint32
+}
+
+// RosterRecord journals one HSM joining the epoch roster: its dial
+// address and public keys, enough for a restarted provider daemon to
+// re-establish the fleet without waiting for re-registration.
+type RosterRecord struct {
+	ID     uint32
+	Addr   string
+	BFEPub []byte
+	AggPub []byte
+}
+
+// GCRecord journals a log garbage collection: the committed tree is
+// reset and all attempt counters return to zero.
+type GCRecord struct{}
+
+// PendingDropRecord journals recovery dropping Count uncommitted
+// pending insertions. Without it a later replay would feed those same
+// dropped insertions into the next EpochCommitRecord and diverge.
+type PendingDropRecord struct {
+	Count uint32
+}
+
+// snapshotMeta is the first record of a snapshot file: format version,
+// the journal sequence number the snapshot covers, and the record
+// count (so a truncated snapshot is detected as corrupt, not silently
+// short).
+type snapshotMeta struct {
+	Version uint32
+	BaseSeq uint64
+	Count   uint32
+}
+
+const snapshotVersion = 1
+
+// --- codec helpers -----------------------------------------------------
+
+// maxBlob bounds any single variable-length field; longer values are
+// rejected as corrupt before allocation.
+const maxBlob = 1 << 26 // 64 MiB
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendBlob(dst, p []byte) []byte {
+	dst = appendU32(dst, uint32(len(p)))
+	return append(dst, p...)
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = appendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// reader is a bounds-checked cursor over a record body. The first
+// failure latches; callers check done() once at the end.
+type reader struct {
+	b   []byte
+	bad bool
+}
+
+func (r *reader) u32() uint32 {
+	if r.bad || len(r.b) < 4 {
+		r.bad = true
+		return 0
+	}
+	v := uint32(r.b[0])<<24 | uint32(r.b[1])<<16 | uint32(r.b[2])<<8 | uint32(r.b[3])
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.bad || len(r.b) < 8 {
+		r.bad = true
+		return 0
+	}
+	v := uint64(r.b[0])<<56 | uint64(r.b[1])<<48 | uint64(r.b[2])<<40 | uint64(r.b[3])<<32 |
+		uint64(r.b[4])<<24 | uint64(r.b[5])<<16 | uint64(r.b[6])<<8 | uint64(r.b[7])
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) blob() []byte {
+	n := r.u32()
+	if r.bad || n > maxBlob || int(n) > len(r.b) {
+		r.bad = true
+		return nil
+	}
+	v := append([]byte(nil), r.b[:n]...)
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.u32()
+	if r.bad || n > maxBlob || int(n) > len(r.b) {
+		r.bad = true
+		return ""
+	}
+	v := string(r.b[:n])
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) hash() (h [32]byte) {
+	if r.bad || len(r.b) < 32 {
+		r.bad = true
+		return
+	}
+	copy(h[:], r.b[:32])
+	r.b = r.b[32:]
+	return
+}
+
+// done returns ErrCorrupt if any read failed or bytes remain.
+func (r *reader) done() error {
+	if r.bad || len(r.b) != 0 {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// --- per-record codecs -------------------------------------------------
+
+func (rec *AttemptRecord) Kind() byte { return kindAttempt }
+func (rec *AttemptRecord) append(dst []byte) []byte {
+	dst = appendStr(dst, rec.User)
+	return appendU32(dst, rec.Attempt)
+}
+func (rec *AttemptRecord) decode(b []byte) error {
+	r := reader{b: b}
+	rec.User = r.str()
+	rec.Attempt = r.u32()
+	return r.done()
+}
+
+func (rec *CiphertextRecord) Kind() byte { return kindCiphertext }
+func (rec *CiphertextRecord) append(dst []byte) []byte {
+	dst = appendStr(dst, rec.User)
+	dst = appendU32(dst, rec.Index)
+	return appendBlob(dst, rec.Blob)
+}
+func (rec *CiphertextRecord) decode(b []byte) error {
+	r := reader{b: b}
+	rec.User = r.str()
+	rec.Index = r.u32()
+	rec.Blob = r.blob()
+	return r.done()
+}
+
+func (rec *LogInsertRecord) Kind() byte { return kindLogInsert }
+func (rec *LogInsertRecord) append(dst []byte) []byte {
+	dst = appendBlob(dst, rec.ID)
+	dst = appendBlob(dst, rec.Val)
+	if rec.Pending {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+func (rec *LogInsertRecord) decode(b []byte) error {
+	r := reader{b: b}
+	rec.ID = r.blob()
+	rec.Val = r.blob()
+	if r.bad || len(r.b) != 1 || r.b[0] > 1 {
+		return ErrCorrupt
+	}
+	rec.Pending = r.b[0] == 1
+	r.b = nil
+	return r.done()
+}
+
+func (rec *EpochCommitRecord) Kind() byte { return kindEpochCommit }
+func (rec *EpochCommitRecord) append(dst []byte) []byte {
+	dst = appendU64(dst, rec.Epoch)
+	dst = appendU32(dst, rec.NumEntries)
+	dst = append(dst, rec.OldDigest[:]...)
+	dst = append(dst, rec.NewDigest[:]...)
+	dst = append(dst, rec.Root[:]...)
+	dst = appendU32(dst, rec.NumChunks)
+	dst = appendU32(dst, rec.NumEntry)
+	dst = appendBlob(dst, rec.AggSig)
+	dst = appendU32(dst, uint32(len(rec.Signers)))
+	for _, s := range rec.Signers {
+		dst = appendU32(dst, s)
+	}
+	return dst
+}
+func (rec *EpochCommitRecord) decode(b []byte) error {
+	r := reader{b: b}
+	rec.Epoch = r.u64()
+	rec.NumEntries = r.u32()
+	rec.OldDigest = r.hash()
+	rec.NewDigest = r.hash()
+	rec.Root = r.hash()
+	rec.NumChunks = r.u32()
+	rec.NumEntry = r.u32()
+	rec.AggSig = r.blob()
+	n := r.u32()
+	if r.bad || n > maxBlob/4 || int(n)*4 > len(r.b) {
+		return ErrCorrupt
+	}
+	rec.Signers = make([]uint32, n)
+	for i := range rec.Signers {
+		rec.Signers[i] = r.u32()
+	}
+	return r.done()
+}
+
+func (rec *EscrowRecord) Kind() byte { return kindEscrow }
+func (rec *EscrowRecord) append(dst []byte) []byte {
+	dst = appendStr(dst, rec.User)
+	dst = appendU32(dst, rec.Attempt)
+	dst = appendU32(dst, rec.HSMIndex)
+	dst = appendU32(dst, rec.SharePos)
+	return appendBlob(dst, rec.Box)
+}
+func (rec *EscrowRecord) decode(b []byte) error {
+	r := reader{b: b}
+	rec.User = r.str()
+	rec.Attempt = r.u32()
+	rec.HSMIndex = r.u32()
+	rec.SharePos = r.u32()
+	rec.Box = r.blob()
+	return r.done()
+}
+
+func (rec *EscrowClearRecord) Kind() byte { return kindEscrowClear }
+func (rec *EscrowClearRecord) append(dst []byte) []byte {
+	return appendStr(dst, rec.User)
+}
+func (rec *EscrowClearRecord) decode(b []byte) error {
+	r := reader{b: b}
+	rec.User = r.str()
+	return r.done()
+}
+
+func (rec *OraclePutRecord) Kind() byte { return kindOraclePut }
+func (rec *OraclePutRecord) append(dst []byte) []byte {
+	dst = appendU32(dst, rec.HSMID)
+	dst = appendU64(dst, rec.Addr)
+	return appendBlob(dst, rec.Block)
+}
+func (rec *OraclePutRecord) decode(b []byte) error {
+	r := reader{b: b}
+	rec.HSMID = r.u32()
+	rec.Addr = r.u64()
+	rec.Block = r.blob()
+	return r.done()
+}
+
+func (rec *OracleClearRecord) Kind() byte { return kindOracleClear }
+func (rec *OracleClearRecord) append(dst []byte) []byte {
+	return appendU32(dst, rec.HSMID)
+}
+func (rec *OracleClearRecord) decode(b []byte) error {
+	r := reader{b: b}
+	rec.HSMID = r.u32()
+	return r.done()
+}
+
+func (rec *RosterRecord) Kind() byte { return kindRoster }
+func (rec *RosterRecord) append(dst []byte) []byte {
+	dst = appendU32(dst, rec.ID)
+	dst = appendStr(dst, rec.Addr)
+	dst = appendBlob(dst, rec.BFEPub)
+	return appendBlob(dst, rec.AggPub)
+}
+func (rec *RosterRecord) decode(b []byte) error {
+	r := reader{b: b}
+	rec.ID = r.u32()
+	rec.Addr = r.str()
+	rec.BFEPub = r.blob()
+	rec.AggPub = r.blob()
+	return r.done()
+}
+
+func (rec *GCRecord) Kind() byte               { return kindGC }
+func (rec *GCRecord) append(dst []byte) []byte { return dst }
+func (rec *GCRecord) decode(b []byte) error {
+	if len(b) != 0 {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+func (rec *PendingDropRecord) Kind() byte { return kindPendingDrop }
+func (rec *PendingDropRecord) append(dst []byte) []byte {
+	return appendU32(dst, rec.Count)
+}
+func (rec *PendingDropRecord) decode(b []byte) error {
+	r := reader{b: b}
+	rec.Count = r.u32()
+	return r.done()
+}
+
+func (rec *snapshotMeta) Kind() byte { return kindSnapshotMeta }
+func (rec *snapshotMeta) append(dst []byte) []byte {
+	dst = appendU32(dst, rec.Version)
+	dst = appendU64(dst, rec.BaseSeq)
+	return appendU32(dst, rec.Count)
+}
+func (rec *snapshotMeta) decode(b []byte) error {
+	r := reader{b: b}
+	rec.Version = r.u32()
+	rec.BaseSeq = r.u64()
+	rec.Count = r.u32()
+	return r.done()
+}
+
+// newRecord returns a zero value of the record type for an on-disk kind.
+func newRecord(kind byte) (Record, error) {
+	switch kind {
+	case kindAttempt:
+		return &AttemptRecord{}, nil
+	case kindCiphertext:
+		return &CiphertextRecord{}, nil
+	case kindLogInsert:
+		return &LogInsertRecord{}, nil
+	case kindEpochCommit:
+		return &EpochCommitRecord{}, nil
+	case kindEscrow:
+		return &EscrowRecord{}, nil
+	case kindEscrowClear:
+		return &EscrowClearRecord{}, nil
+	case kindOraclePut:
+		return &OraclePutRecord{}, nil
+	case kindOracleClear:
+		return &OracleClearRecord{}, nil
+	case kindRoster:
+		return &RosterRecord{}, nil
+	case kindGC:
+		return &GCRecord{}, nil
+	case kindPendingDrop:
+		return &PendingDropRecord{}, nil
+	case kindSnapshotMeta:
+		return &snapshotMeta{}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
+	}
+}

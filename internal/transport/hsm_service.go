@@ -3,13 +3,16 @@ package transport
 import (
 	"context"
 	"crypto/rand"
+	"errors"
 	"fmt"
+	"sync"
 
 	"safetypin/internal/aggsig"
 	"safetypin/internal/bfe"
 	"safetypin/internal/dlog"
 	"safetypin/internal/hsm"
 	"safetypin/internal/protocol"
+	"safetypin/internal/provider"
 	"safetypin/internal/securestore"
 )
 
@@ -17,10 +20,14 @@ import (
 // provider, block by block, over RPC — the paper's host-hosted storage.
 // securestore.Oracle has no context parameter (block I/O is part of every
 // HSM key operation, which must run to completion once started), so calls
-// ride context.Background().
+// ride context.Background(). Like RemoteHSM on the provider side, a
+// connection-level failure redials: the provider restarting from its
+// journal must not strand every HSM's key array behind a dead socket.
 type RemoteOracle struct {
-	c     *Conn
+	addr  string
 	hsmID int
+	mu    sync.Mutex
+	c     *Conn
 }
 
 // DialOracle connects an HSM daemon's oracle to the provider.
@@ -29,19 +36,45 @@ func DialOracle(providerAddr string, hsmID int) (*RemoteOracle, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &RemoteOracle{c: c, hsmID: hsmID}, nil
+	return &RemoteOracle{addr: providerAddr, hsmID: hsmID, c: c}, nil
+}
+
+// call runs one oracle RPC, redialing once if the connection has died
+// (provider restart). App-level errors pass through untouched.
+func (o *RemoteOracle) call(msg byte, args OracleArgs, reply any) error {
+	o.mu.Lock()
+	c := o.c
+	o.mu.Unlock()
+	err := c.Call(context.Background(), msg, args, reply)
+	if err == nil || !errors.Is(err, ErrConnClosed) {
+		return err
+	}
+	nc, derr := DialWire(o.addr)
+	if derr != nil {
+		return err
+	}
+	o.mu.Lock()
+	if o.c == c {
+		o.c = nc
+	} else {
+		// A concurrent caller already replaced the connection.
+		nc.Close()
+		nc = o.c
+	}
+	o.mu.Unlock()
+	return nc.Call(context.Background(), msg, args, reply)
 }
 
 // Get implements securestore.Oracle.
 func (o *RemoteOracle) Get(addr uint64) ([]byte, error) {
 	var out BytesReply
-	err := o.c.Call(context.Background(), MsgOracleGet, OracleArgs{HSMID: o.hsmID, Addr: addr}, &out)
+	err := o.call(MsgOracleGet, OracleArgs{HSMID: o.hsmID, Addr: addr}, &out)
 	return out.B, err
 }
 
 // Put implements securestore.Oracle.
 func (o *RemoteOracle) Put(addr uint64, block []byte) error {
-	return o.c.Call(context.Background(), MsgOraclePut, OracleArgs{HSMID: o.hsmID, Addr: addr, Block: block}, nil)
+	return o.call(MsgOraclePut, OracleArgs{HSMID: o.hsmID, Addr: addr, Block: block}, nil)
 }
 
 var _ securestore.Oracle = (*RemoteOracle)(nil)
@@ -200,10 +233,15 @@ func (s *HSMService) LogHandleCommit(cm CommitMsg, _ *Nothing) error {
 
 // RemoteHSM implements provider.HSMHandle over the v2 wire protocol: the
 // provider's per-exchange contexts (audit timeouts, relayed client
-// cancellations) cancel the matching daemon-side handler.
+// cancellations) cancel the matching daemon-side handler. Connection
+// failures are marked transient (provider.MarkTransient) and the
+// connection is redialed, so the provider's epoch-fan-out retry finds a
+// live link on its next try instead of a permanently dead handle.
 type RemoteHSM struct {
-	id int
-	c  *Conn
+	id   int
+	addr string
+	mu   sync.Mutex
+	c    *Conn
 }
 
 // NewRemoteHSM dials an HSM daemon.
@@ -212,35 +250,60 @@ func NewRemoteHSM(id int, addr string) (*RemoteHSM, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &RemoteHSM{id: id, c: c}, nil
+	return &RemoteHSM{id: id, addr: addr, c: c}, nil
 }
 
 // ID implements provider.HSMHandle.
 func (r *RemoteHSM) ID() int { return r.id }
 
+// call runs one wire call. A connection-level failure (the HSM daemon
+// restarted, the link dropped) is classified transient and the
+// connection replaced; app-level errors — an HSM rejecting an audit —
+// pass through untouched and are never retried.
+func (r *RemoteHSM) call(ctx context.Context, msg byte, args, reply any) error {
+	r.mu.Lock()
+	c := r.c
+	r.mu.Unlock()
+	err := c.Call(ctx, msg, args, reply)
+	if err == nil || !errors.Is(err, ErrConnClosed) {
+		return err
+	}
+	if nc, derr := DialWire(r.addr); derr == nil {
+		r.mu.Lock()
+		if r.c == c {
+			r.c = nc
+		} else {
+			// A concurrent caller already replaced the connection.
+			defer nc.Close()
+		}
+		r.mu.Unlock()
+	}
+	return provider.MarkTransient(err)
+}
+
 // LogChooseChunks implements provider.HSMHandle.
 func (r *RemoteHSM) LogChooseChunks(ctx context.Context, hdr dlog.EpochHeader) ([]int, error) {
 	var out ChunksMsg
-	err := r.c.Call(ctx, MsgHSMChooseChunks, EpochHeaderMsg{Hdr: hdr}, &out)
+	err := r.call(ctx, MsgHSMChooseChunks, EpochHeaderMsg{Hdr: hdr}, &out)
 	return out.Chunks, err
 }
 
 // LogHandleAudit implements provider.HSMHandle.
 func (r *RemoteHSM) LogHandleAudit(ctx context.Context, pkg *dlog.AuditPackage) ([]byte, error) {
 	var out BytesReply
-	err := r.c.Call(ctx, MsgHSMHandleAudit, AuditPackageMsg{Pkg: *pkg}, &out)
+	err := r.call(ctx, MsgHSMHandleAudit, AuditPackageMsg{Pkg: *pkg}, &out)
 	return out.B, err
 }
 
 // LogHandleCommit implements provider.HSMHandle.
 func (r *RemoteHSM) LogHandleCommit(ctx context.Context, cm *dlog.CommitMessage) error {
-	return r.c.Call(ctx, MsgHSMHandleCommit, CommitMsg{CM: *cm}, nil)
+	return r.call(ctx, MsgHSMHandleCommit, CommitMsg{CM: *cm}, nil)
 }
 
 // HandleRecover implements provider.HSMHandle.
 func (r *RemoteHSM) HandleRecover(ctx context.Context, req *protocol.RecoveryRequest) (*protocol.RecoveryReply, error) {
 	var out RecoverReplyMsg
-	if err := r.c.Call(ctx, MsgHSMRecover, req, &out); err != nil {
+	if err := r.call(ctx, MsgHSMRecover, req, &out); err != nil {
 		return nil, err
 	}
 	return &out.Reply, nil
@@ -248,5 +311,5 @@ func (r *RemoteHSM) HandleRecover(ctx context.Context, req *protocol.RecoveryReq
 
 // InstallRoster pushes the fleet roster.
 func (r *RemoteHSM) InstallRoster(ctx context.Context, roster [][]byte) error {
-	return r.c.Call(ctx, MsgHSMInstallRoster, RosterMsg{Roster: roster}, nil)
+	return r.call(ctx, MsgHSMInstallRoster, RosterMsg{Roster: roster}, nil)
 }

@@ -14,6 +14,7 @@ import (
 	"safetypin/internal/logtree"
 	"safetypin/internal/protocol"
 	"safetypin/internal/provider"
+	"safetypin/internal/storage"
 )
 
 // ProviderDaemon hosts the untrusted data-center side as a network service.
@@ -29,8 +30,41 @@ type ProviderDaemon struct {
 	rosterOK bool
 }
 
+// DaemonOption configures daemon-local machinery that is not part of the
+// wire-negotiated FleetConfig — durable storage above all. Keeping these
+// out of FleetConfig matters: FleetConfig rides the wire to HSM daemons
+// and clients, and a provider's storage layout is nobody's business but
+// its own.
+type DaemonOption func(*daemonConfig)
+
+type daemonConfig struct {
+	storage       storage.Engine
+	snapshotEvery int
+}
+
+// WithStorageEngine journals all provider state through eng, so the
+// daemon survives a crash or restart with its log, attempt counters,
+// escrow, hosted oracle blocks, and fleet roster intact.
+func WithStorageEngine(eng storage.Engine) DaemonOption {
+	return func(c *daemonConfig) { c.storage = eng }
+}
+
+// WithSnapshotEvery sets the journal compaction cadence in epoch commits
+// (0 → provider default; negative disables periodic compaction).
+func WithSnapshotEvery(n int) DaemonOption {
+	return func(c *daemonConfig) { c.snapshotEvery = n }
+}
+
 // NewProviderDaemon builds the daemon state for a fleet of cfg.NumHSMs.
-func NewProviderDaemon(cfg FleetConfig) (*ProviderDaemon, error) {
+// With WithStorageEngine the provider state is first recovered from the
+// journal, journaled HSM registrations are re-dialed (best effort — an
+// HSM daemon that is still down re-registers on its own later), and the
+// last committed epoch is re-delivered to HSMs that missed its fan-out.
+func NewProviderDaemon(cfg FleetConfig, opts ...DaemonOption) (*ProviderDaemon, error) {
+	var dc daemonConfig
+	for _, o := range opts {
+		o(&dc)
+	}
 	scheme, err := schemeByName(cfg.SchemeName, cfg.HashModeName)
 	if err != nil {
 		return nil, err
@@ -47,20 +81,75 @@ func NewProviderDaemon(cfg FleetConfig) (*ProviderDaemon, error) {
 		MaxBatch:      cfg.EpochMaxBatch,
 		EpochWorkers:  cfg.EpochWorkers,
 		EpochInterval: time.Duration(cfg.EpochIntervalMS) * time.Millisecond,
+		Storage:       dc.storage,
+		SnapshotEvery: dc.snapshotEvery,
 	}
-	return &ProviderDaemon{
+	p, err := provider.Open(logCfg, engine)
+	if err != nil {
+		return nil, err
+	}
+	d := &ProviderDaemon{
 		cfg:      cfg,
 		scheme:   scheme,
-		p:        provider.NewWithEngine(logCfg, engine),
+		p:        p,
 		fleetPKs: make([][]byte, cfg.NumHSMs),
 		aggPKs:   make([][]byte, cfg.NumHSMs),
 		hsmAddrs: make(map[int]string),
 		remotes:  make(map[int]*RemoteHSM),
-	}, nil
+	}
+	if dc.storage != nil {
+		d.restoreRoster()
+		// Catch up any HSM that missed the last epoch's commit fan-out
+		// before the crash; HSMs already at the digest reject the
+		// duplicate harmlessly.
+		p.ResendLastCommit(context.Background())
+	}
+	return d, nil
 }
 
-// Close stops the daemon's provider engine (standing epoch timer).
+// restoreRoster re-dials every journaled HSM registration. Failures are
+// tolerated: an HSM daemon that is down re-registers itself when it
+// comes back, through the same path as at first provisioning.
+func (d *ProviderDaemon) restoreRoster() {
+	for _, e := range d.p.RecoveredRoster() {
+		if e.ID < 0 || e.ID >= d.cfg.NumHSMs {
+			continue
+		}
+		remote, err := NewRemoteHSM(e.ID, e.Addr)
+		if err != nil {
+			continue
+		}
+		d.mu.Lock()
+		d.fleetPKs[e.ID] = e.BFEPub
+		d.aggPKs[e.ID] = e.AggPub
+		d.hsmAddrs[e.ID] = e.Addr
+		d.remotes[e.ID] = remote
+		d.mu.Unlock()
+		d.p.Register(remote)
+	}
+}
+
+// Close stops the daemon's provider engine (standing epoch timer) and,
+// with durable storage attached, snapshots and closes the engine.
 func (d *ProviderDaemon) Close() error { return d.p.Close() }
+
+// Shutdown is the graceful stop: commit whatever log insertions are
+// still pending (so no client's acknowledged-but-uncommitted attempt is
+// stranded), then Close. ctx bounds the final epoch; on expiry the
+// pending batch is abandoned to the journal's pending-drop recovery path
+// and Close proceeds anyway.
+func (d *ProviderDaemon) Shutdown(ctx context.Context) error {
+	if d.p.PendingLogLen() > 0 {
+		// Best effort: a failed or timed-out flush falls through to Close,
+		// whose journal recovery drops the never-acknowledged batch.
+		_ = d.p.RunEpoch(ctx)
+	}
+	return d.Close()
+}
+
+// Provider exposes the daemon's provider for in-process administrative
+// tooling and tests.
+func (d *ProviderDaemon) Provider() *provider.Provider { return d.p }
 
 // schemeByName builds the fleet's aggregate-signature scheme from the two
 // wire-negotiated names: the scheme family and the BLS message-hash mode
@@ -101,7 +190,14 @@ func (d *ProviderDaemon) register(args *RegisterArgs) error {
 	d.remotes[args.ID] = remote
 	d.mu.Unlock()
 	d.p.Register(remote)
-	return nil
+	// Durable before the HSM's registration is acknowledged: a restarted
+	// provider re-dials its fleet from the journaled roster.
+	return d.p.JournalRoster(provider.RosterEntry{
+		ID:     args.ID,
+		Addr:   args.Addr,
+		BFEPub: args.BFEPub,
+		AggPub: args.AggSigPub,
+	})
 }
 
 func (d *ProviderDaemon) status() FleetStatus {

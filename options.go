@@ -19,6 +19,7 @@ import (
 	"safetypin/internal/bfe"
 	"safetypin/internal/bls"
 	"safetypin/internal/provider"
+	"safetypin/internal/storage"
 )
 
 // Option configures a Deployment under construction.
@@ -117,4 +118,21 @@ func WithMetered() Option {
 // width, lock striping.
 func WithEngine(e provider.EngineConfig) Option {
 	return func(p *Params) { p.Engine = e }
+}
+
+// WithStorage journals all provider-side state — the distributed log,
+// attempt counters, ciphertexts, escrow, hosted oracle blocks — through
+// eng, so the (untrusted, crashable) provider recovers its state on
+// reopen. storage.NewMem is the test engine; storage.OpenFile the
+// WAL+snapshot production engine. Composes with WithEngine when the
+// engine option is applied first.
+func WithStorage(eng storage.Engine) Option {
+	return func(p *Params) { p.Engine.Storage = eng }
+}
+
+// WithSnapshotEvery sets the journal compaction cadence in epoch commits
+// (default 8; negative disables periodic compaction — a snapshot is
+// still written on Close).
+func WithSnapshotEvery(n int) Option {
+	return func(p *Params) { p.Engine.SnapshotEvery = n }
 }

@@ -105,6 +105,7 @@
 package safetypin
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -209,6 +210,7 @@ func (p Params) withDefaults() (Params, error) {
 type Deployment struct {
 	params   Params
 	lhe      lhe.Params
+	logCfg   dlog.Config
 	Provider *provider.Provider
 	HSMs     []*hsm.HSM
 	fleet    *bfe.Fleet
@@ -235,10 +237,15 @@ func NewDeployment(p Params) (*Deployment, error) {
 	}
 	hsmCfg := hsm.Config{BFE: p.BFE, Log: logCfg, GuessLimit: p.GuessLimit}
 
+	prov, err := provider.Open(logCfg, p.Engine)
+	if err != nil {
+		return nil, err
+	}
 	d := &Deployment{
 		params:   p,
 		lhe:      lheParams,
-		Provider: provider.NewWithEngine(logCfg, p.Engine),
+		logCfg:   logCfg,
+		Provider: prov,
 		meters:   make([]*meter.Meter, p.NumHSMs),
 	}
 	pubs := make([]*bfe.PublicKey, p.NumHSMs)
@@ -318,6 +325,31 @@ func (d *Deployment) RotateHSMKey(i int) error {
 		return err
 	}
 	d.fleet.Replace(i, pk)
+	return nil
+}
+
+// ReopenProvider replaces the deployment's provider with one recovered
+// from eng — the in-process analogue of a provider daemon restarting
+// after a crash. The HSM fleet is untouched (HSMs hold their own sealed
+// state; only the untrusted provider died): each HSM is re-pointed at
+// the recovered provider's hosted block store and re-registered, and the
+// last committed epoch is re-delivered to any HSM that missed its commit
+// fan-out before the crash. The old provider is simply abandoned, as a
+// kill -9 would leave it.
+func (d *Deployment) ReopenProvider(eng provider.EngineConfig) error {
+	if eng.Storage == nil {
+		return errors.New("safetypin: ReopenProvider needs a storage engine to recover from")
+	}
+	prov, err := provider.Open(d.logCfg, eng)
+	if err != nil {
+		return err
+	}
+	for i, h := range d.HSMs {
+		h.SwapOracle(prov.OracleFor(i))
+		prov.Register(h)
+	}
+	d.Provider = prov
+	prov.ResendLastCommit(context.Background())
 	return nil
 }
 
