@@ -8,6 +8,9 @@
 //	                            # fig9, fig10, fig11, fig12, fig13,
 //	                            # table14, bandwidth)
 //	experiments -quick          # reduced sizes (seconds instead of minutes)
+//	experiments -only load -rate 100 -duration 5s -out load.json
+//	                            # open-loop load at one offered rate,
+//	                            # machine-readable report to load.json
 //
 // Times reported as "SoloKey time" are computed by metering every primitive
 // operation the real implementation performs and pricing the counts with
@@ -27,6 +30,9 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment by name")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
+	rate := flag.Float64("rate", 0, "load: single open-loop arrival rate (ops/sec); 0 sweeps a rate ladder")
+	duration := flag.Duration("duration", 0, "load: open-loop measurement window per rate (default 2s)")
+	outPath := flag.String("out", "", "load: write the open-loop report as JSON to this file")
 	flag.Parse()
 
 	want := func(name string) bool {
@@ -122,15 +128,68 @@ func main() {
 	}
 	if want("load") {
 		ran = true
-		fleets := []int{24, 48, 96}
-		concs := []int{1, 8, 32}
+		// Open-loop mode (the primary measurement): arrival-rate-controlled
+		// mixed traffic with latency histograms, swept to the saturation
+		// knee per fleet size.
+		fleets := []int{24, 96}
+		rates := []float64{25, 50, 100, 200, 400}
 		users := 32
 		if *quick {
-			fleets = []int{16, 32}
-			concs = []int{1, 8}
+			fleets = []int{16}
+			rates = []float64{25, 100}
 			users = 8
 		}
-		out, err := experiments.LoadSweep(fleets, concs, users, 2*time.Millisecond)
+		if *rate > 0 {
+			rates = []float64{*rate}
+		}
+		report := experiments.OpenLoopReport{Mode: "poisson"}
+		for _, n := range fleets {
+			cluster := 8
+			if cluster > n/2 {
+				cluster = n / 2
+			}
+			cfg := experiments.OpenLoopConfig{
+				Load: experiments.LoadConfig{
+					NumHSMs:     n,
+					ClusterSize: cluster,
+					Threshold:   cluster / 2,
+					Users:       users,
+				},
+				Duration: *duration,
+				Poisson:  true,
+			}
+			results, knee, err := experiments.OpenLoopSweep(cfg, rates)
+			if err != nil {
+				fail("load", err)
+			}
+			fmt.Printf("Open-loop load, N=%d (Poisson arrivals, mixed backup/recover/audit)\n", n)
+			fmt.Println(experiments.RenderOpenLoop(results))
+			fmt.Printf("saturation knee: %.0f ops/sec sustained\n\n", knee)
+			report.Fleets = append(report.Fleets, experiments.OpenLoopFleetReport{
+				NumHSMs: n, SaturationRate: knee, Sweep: results,
+			})
+		}
+		if *outPath != "" {
+			blob, err := report.JSON()
+			if err != nil {
+				fail("load", err)
+			}
+			if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
+				fail("load", err)
+			}
+			fmt.Printf("open-loop report written to %s\n\n", *outPath)
+		}
+
+		// Closed-loop comparison mode (the PR 2 measurement, retained):
+		// fixed virtual-user population, throughput self-throttles under
+		// overload — kept as the contrast that motivates the open loop.
+		clFleets := []int{24, 48, 96}
+		concs := []int{1, 8, 32}
+		if *quick {
+			clFleets = []int{16, 32}
+			concs = []int{1, 8}
+		}
+		out, err := experiments.LoadSweep(clFleets, concs, users, 2*time.Millisecond)
 		if err != nil {
 			fail("load", err)
 		}

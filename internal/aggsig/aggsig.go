@@ -34,6 +34,28 @@ type KeyAggregator interface {
 	AggregateKeys(pks []PublicKey) (PublicKey, error)
 }
 
+// KeySubtractor is implemented by schemes whose aggregate keys form a
+// group: removing signers from an aggregate costs O(removed) operations
+// instead of re-aggregating the remaining set. RosterCache builds
+// per-epoch quorum keys this way — epoch commits carry near-complete
+// signer sets, so the missing side is the cheap one.
+type KeySubtractor interface {
+	// SubtractKeys removes the missing keys from the full aggregate,
+	// returning exactly the key AggregateKeys would produce over the
+	// remaining set (byte-identical serialization).
+	SubtractKeys(full PublicKey, missing []PublicKey) (PublicKey, error)
+}
+
+// AggregateKeyVerifier is implemented by schemes that can verify an
+// aggregate signature against a pre-computed aggregate verification key,
+// skipping the per-verification roster aggregation that VerifyAggregate
+// performs internally.
+type AggregateKeyVerifier interface {
+	// VerifyWithKey checks aggSig over msg against the aggregate key apk
+	// (as produced by AggregateKeys, SubtractKeys, or RosterCache).
+	VerifyWithKey(apk PublicKey, msg, aggSig []byte) (bool, error)
+}
+
 // RosterSerializer is implemented by schemes that can serialize a whole
 // roster more cheaply than one key at a time (the BLS backend shares one
 // field inversion across all compressions).
@@ -181,6 +203,38 @@ func (blsScheme) AggregateKeys(pks []PublicKey) (PublicKey, error) {
 		return nil, err
 	}
 	return blsPub{apk}, nil
+}
+
+// SubtractKeys removes missing signers from the full-roster aggregate:
+// O(missing) G2 additions against AggregateKeys' O(n) MSM.
+func (blsScheme) SubtractKeys(full PublicKey, missing []PublicKey) (PublicKey, error) {
+	fp, ok := full.(blsPub)
+	if !ok {
+		return nil, errors.New("aggsig: aggregate is not a BLS key")
+	}
+	keys, err := blsRoster(missing)
+	if err != nil {
+		return nil, err
+	}
+	apk, err := bls.SubtractPublicKeys(fp.pk, keys)
+	if err != nil {
+		return nil, err
+	}
+	return blsPub{apk}, nil
+}
+
+// VerifyWithKey checks an aggregate signature against a pre-aggregated
+// verification key — the cached-quorum-key fast path of RosterCache.
+func (s blsScheme) VerifyWithKey(apk PublicKey, msg, aggSig []byte) (bool, error) {
+	bp, ok := apk.(blsPub)
+	if !ok {
+		return false, errors.New("aggsig: aggregate is not a BLS key")
+	}
+	sig, err := bls.SignatureFromBytes(aggSig)
+	if err != nil {
+		return false, err
+	}
+	return bp.pk.VerifyWithMode(s.mode, msg, sig)
 }
 
 // RosterBytes serializes the roster with one shared field inversion across

@@ -1,0 +1,199 @@
+package aggsig
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// RosterCache caches the full-roster aggregate verification key — the
+// point and its serialized form — keyed by a roster generation counter,
+// and derives per-epoch quorum keys incrementally. Every epoch commit
+// used to re-run the O(n) AggregateKeys MSM over a signer set that barely
+// changes between epochs; with the cache, an epoch whose commit carries m
+// missing signers costs O(m) group subtractions against the cached full
+// aggregate (built once per roster generation, amortized across every
+// subsequent epoch).
+//
+// Invalidation is by generation: every roster mutation (SetRoster,
+// AppendKey) bumps the counter, and the cached aggregate is only served
+// while its build generation matches. A registration that lands after the
+// aggregate was built therefore forces a rebuild on next use — the
+// mid-stream-registration rule the provider's journaled roster relies on
+// (see provider.RosterAggregate).
+//
+// The subtracted quorum key is the exact group element a from-scratch
+// aggregation of the signer subset produces, so serializations are
+// byte-identical; QuorumKeyNaive retains the from-scratch path as the
+// differential oracle.
+type RosterCache struct {
+	mu     sync.Mutex
+	scheme Scheme
+	agg    KeyAggregator
+	sub    KeySubtractor
+
+	gen    uint64
+	roster []PublicKey
+
+	// Cached full aggregate, valid only while builtGen == gen.
+	full      PublicKey
+	fullBytes []byte
+	builtGen  uint64
+}
+
+// NewRosterCache returns a cache for scheme, or nil when the scheme does
+// not support key aggregation and subtraction (callers fall back to
+// Scheme.VerifyAggregate).
+func NewRosterCache(scheme Scheme) *RosterCache {
+	agg, okAgg := scheme.(KeyAggregator)
+	sub, okSub := scheme.(KeySubtractor)
+	if !okAgg || !okSub {
+		return nil
+	}
+	return &RosterCache{scheme: scheme, agg: agg, sub: sub}
+}
+
+// SetRoster replaces the roster, bumping the generation and invalidating
+// the cached aggregate.
+func (c *RosterCache) SetRoster(pks []PublicKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.roster = append([]PublicKey(nil), pks...)
+	c.bumpLocked()
+}
+
+// AppendKey registers one more roster member, bumping the generation and
+// invalidating the cached aggregate.
+func (c *RosterCache) AppendKey(pk PublicKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.roster = append(c.roster, pk)
+	c.bumpLocked()
+}
+
+// bumpLocked advances the generation and drops the cached aggregate.
+// Caller holds mu.
+func (c *RosterCache) bumpLocked() {
+	c.gen++
+	c.full = nil
+	c.fullBytes = nil
+}
+
+// Generation returns the roster generation counter: it changes on every
+// roster mutation, so equal generations imply an identical roster view.
+func (c *RosterCache) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Size returns the roster size.
+func (c *RosterCache) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.roster)
+}
+
+// FullAggregate returns the aggregate over the whole roster plus its
+// serialized form, building it at most once per generation.
+func (c *RosterCache) FullAggregate() (PublicKey, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.buildLocked(); err != nil {
+		return nil, nil, err
+	}
+	return c.full, c.fullBytes, nil
+}
+
+// buildLocked (re)builds the cached full aggregate if the generation
+// moved since it was last built. Caller holds mu.
+func (c *RosterCache) buildLocked() error {
+	if c.full != nil && c.builtGen == c.gen {
+		return nil
+	}
+	if len(c.roster) == 0 {
+		return errors.New("aggsig: empty roster")
+	}
+	full, err := c.agg.AggregateKeys(c.roster)
+	if err != nil {
+		return err
+	}
+	c.full = full
+	c.fullBytes = full.Bytes()
+	c.builtGen = c.gen
+	return nil
+}
+
+// missingFrom validates the signer index set and returns the roster
+// members NOT in it. Caller holds mu.
+func (c *RosterCache) missingFrom(signers []int) ([]PublicKey, error) {
+	present := make([]bool, len(c.roster))
+	for _, s := range signers {
+		if s < 0 || s >= len(c.roster) {
+			return nil, fmt.Errorf("aggsig: signer index %d out of roster range %d", s, len(c.roster))
+		}
+		if present[s] {
+			return nil, fmt.Errorf("aggsig: duplicate signer index %d", s)
+		}
+		present[s] = true
+	}
+	missing := make([]PublicKey, 0, len(c.roster)-len(signers))
+	for i, ok := range present {
+		if !ok {
+			missing = append(missing, c.roster[i])
+		}
+	}
+	return missing, nil
+}
+
+// QuorumKey returns the aggregate verification key of the roster subset
+// given by signer indices. When few signers are missing — the per-epoch
+// common case — it subtracts them from the cached full aggregate; when
+// most are missing it falls back to aggregating the subset directly,
+// which is cheaper than subtracting more than half the roster. Both paths
+// return the identical group element.
+func (c *RosterCache) QuorumKey(signers []int) (PublicKey, error) {
+	if len(signers) == 0 {
+		return nil, errors.New("aggsig: empty signer set")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	missing, err := c.missingFrom(signers)
+	if err != nil {
+		return nil, err
+	}
+	if len(missing) > len(c.roster)/2 {
+		return c.quorumKeyDirectLocked(signers)
+	}
+	if err := c.buildLocked(); err != nil {
+		return nil, err
+	}
+	if len(missing) == 0 {
+		return c.full, nil
+	}
+	return c.sub.SubtractKeys(c.full, missing)
+}
+
+// QuorumKeyNaive aggregates the signer subset from scratch (the full-MSM
+// path): the differential oracle and benchmark baseline for QuorumKey.
+func (c *RosterCache) QuorumKeyNaive(signers []int) (PublicKey, error) {
+	if len(signers) == 0 {
+		return nil, errors.New("aggsig: empty signer set")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.missingFrom(signers); err != nil {
+		return nil, err
+	}
+	return c.quorumKeyDirectLocked(signers)
+}
+
+// quorumKeyDirectLocked runs AggregateKeys over the signer subset.
+// Indices must already be validated; caller holds mu.
+func (c *RosterCache) quorumKeyDirectLocked(signers []int) (PublicKey, error) {
+	pks := make([]PublicKey, len(signers))
+	for i, s := range signers {
+		pks[i] = c.roster[s]
+	}
+	return c.agg.AggregateKeys(pks)
+}

@@ -1,0 +1,215 @@
+package aggsig
+
+// Differential property tests for RosterCache: the subtract-missing-
+// signers quorum key must be byte-identical to the from-scratch
+// AggregateKeys MSM for every signer subset, across roster generations,
+// and the cached path must amortize — the acceptance bar is ≥5× over the
+// full-MSM path at n=1024 with ≤8 missing signers (BenchmarkQuorumKey*).
+
+import (
+	"crypto/rand"
+	mrand "math/rand"
+	"testing"
+)
+
+// rosterKeys generates n BLS roster keys.
+func rosterKeys(tb testing.TB, sc Scheme, n int) []PublicKey {
+	tb.Helper()
+	pks := make([]PublicKey, n)
+	for i := range pks {
+		s, err := sc.KeyGen(rand.Reader)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		pks[i] = s.PublicKey()
+	}
+	return pks
+}
+
+// signersWithout returns 0..n−1 minus the given missing set.
+func signersWithout(n int, missing map[int]bool) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !missing[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func assertQuorumMatchesNaive(t *testing.T, c *RosterCache, signers []int) {
+	t.Helper()
+	fast, err := c.QuorumKey(signers)
+	if err != nil {
+		t.Fatalf("QuorumKey(%d signers): %v", len(signers), err)
+	}
+	naive, err := c.QuorumKeyNaive(signers)
+	if err != nil {
+		t.Fatalf("QuorumKeyNaive(%d signers): %v", len(signers), err)
+	}
+	if string(fast.Bytes()) != string(naive.Bytes()) {
+		t.Fatalf("quorum key for %d signers: subtracted key differs from full MSM", len(signers))
+	}
+}
+
+func TestQuorumKeyDifferential(t *testing.T) {
+	sc := BLS()
+	const n = 24
+	c := NewRosterCache(sc)
+	if c == nil {
+		t.Fatal("BLS scheme should support a roster cache")
+	}
+	c.SetRoster(rosterKeys(t, sc, n))
+
+	// None missing: the quorum key IS the cached full aggregate.
+	assertQuorumMatchesNaive(t, c, signersWithout(n, nil))
+	full, fullBytes, err := c.FullAggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(full.Bytes()) != string(fullBytes) {
+		t.Fatal("cached serialized form differs from the cached point")
+	}
+	qk, err := c.QuorumKey(signersWithout(n, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(qk.Bytes()) != string(fullBytes) {
+		t.Fatal("complete signer set should return the full aggregate")
+	}
+
+	// Single missing, threshold boundary (half missing, the subtract/
+	// direct crossover on both sides), and all-but-one missing.
+	for _, m := range []int{1, n/2 - 1, n / 2, n/2 + 1, n - 1} {
+		missing := map[int]bool{}
+		for i := 0; i < m; i++ {
+			missing[i] = true
+		}
+		assertQuorumMatchesNaive(t, c, signersWithout(n, missing))
+	}
+
+	// All missing: an empty signer set is an error on both paths.
+	if _, err := c.QuorumKey(nil); err == nil {
+		t.Fatal("empty signer set accepted by QuorumKey")
+	}
+	if _, err := c.QuorumKeyNaive(nil); err == nil {
+		t.Fatal("empty signer set accepted by QuorumKeyNaive")
+	}
+
+	// Random missing sets, repeated epochs against the same cached
+	// aggregate (the steady-state the cache exists for).
+	rng := mrand.New(mrand.NewSource(7))
+	for epoch := 0; epoch < 20; epoch++ {
+		missing := map[int]bool{}
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				missing[i] = true
+			}
+		}
+		if len(missing) == n {
+			delete(missing, 0)
+		}
+		assertQuorumMatchesNaive(t, c, signersWithout(n, missing))
+	}
+
+	// Bad signer sets are rejected.
+	for _, bad := range [][]int{{-1}, {n}, {0, 0}} {
+		if _, err := c.QuorumKey(bad); err == nil {
+			t.Fatalf("bad signer set %v accepted", bad)
+		}
+	}
+}
+
+func TestRosterCacheGenerationInvalidation(t *testing.T) {
+	sc := BLS()
+	c := NewRosterCache(sc)
+	keys := rosterKeys(t, sc, 6)
+	c.SetRoster(keys[:5])
+	gen := c.Generation()
+	_, before, err := c.FullAggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A registration landing after the aggregate is built must bump the
+	// generation and invalidate: the next aggregate includes the new key.
+	c.AppendKey(keys[5])
+	if c.Generation() <= gen {
+		t.Fatal("AppendKey did not bump the roster generation")
+	}
+	_, after, err := c.FullAggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) == string(after) {
+		t.Fatal("aggregate not invalidated by mid-stream registration")
+	}
+	fresh := NewRosterCache(sc)
+	fresh.SetRoster(keys)
+	_, want, err := fresh.FullAggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(want) {
+		t.Fatal("rebuilt aggregate differs from from-scratch aggregation")
+	}
+
+	// SetRoster also bumps, and quorum keys follow the new roster.
+	genBefore := c.Generation()
+	c.SetRoster(keys[:4])
+	if c.Generation() <= genBefore {
+		t.Fatal("SetRoster did not bump the roster generation")
+	}
+	assertQuorumMatchesNaive(t, c, []int{0, 1, 2})
+}
+
+func TestRosterCacheNonAggregatingScheme(t *testing.T) {
+	if c := NewRosterCache(ECDSAConcat()); c != nil {
+		t.Fatal("ECDSA-concat cannot subtract keys; cache must be nil")
+	}
+}
+
+// benchRoster is shared by the quorum-key benchmarks: 1024 keys is the
+// ISSUE's acceptance shape, with 8 missing signers.
+func benchQuorum(b *testing.B, n, missing int) (*RosterCache, []int) {
+	b.Helper()
+	sc := BLS()
+	c := NewRosterCache(sc)
+	c.SetRoster(rosterKeys(b, sc, n))
+	m := map[int]bool{}
+	for i := 0; i < missing; i++ {
+		m[i*7%n] = true
+	}
+	signers := signersWithout(n, m)
+	// Pre-build the full aggregate: the steady state being measured is
+	// the per-epoch cost, not the once-per-generation build.
+	if _, _, err := c.FullAggregate(); err != nil {
+		b.Fatal(err)
+	}
+	return c, signers
+}
+
+// BenchmarkQuorumKeyCached1024 is the per-epoch cost with the cache: 8
+// missing signers from a 1024-HSM roster, subtracted from the cached full
+// aggregate.
+func BenchmarkQuorumKeyCached1024(b *testing.B) {
+	c, signers := benchQuorum(b, 1024, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.QuorumKey(signers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuorumKeyFullMSM1024 is the retained from-scratch path: the
+// O(n) MSM every epoch used to pay.
+func BenchmarkQuorumKeyFullMSM1024(b *testing.B) {
+	c, signers := benchQuorum(b, 1024, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.QuorumKeyNaive(signers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -161,6 +161,40 @@ func AggregatePublicKeys(pks []*PublicKey) (*PublicKey, error) {
 	return &PublicKey{p: g2Sum(ps)}, nil
 }
 
+// SubtractPublicKeys returns agg − (missing₀ + … + missingₙ₋₁): the
+// incremental path for per-epoch quorum keys. Epoch commits carry
+// near-complete signer sets, so subtracting the few absent signers from a
+// cached full-roster aggregate costs O(missing) group operations where
+// re-aggregating the quorum from scratch costs an O(n) MSM. The result is
+// the exact group element the full aggregation would produce (point
+// addition is exact), so serializations are byte-identical — asserted by
+// the differential tests in aggsig.
+func SubtractPublicKeys(agg *PublicKey, missing []*PublicKey) (*PublicKey, error) {
+	if agg == nil {
+		return nil, errors.New("bls: nil aggregate")
+	}
+	if len(missing) == 0 {
+		return &PublicKey{p: agg.p}, nil
+	}
+	ps := make([]G2, len(missing))
+	for i, pk := range missing {
+		if pk == nil {
+			return nil, fmt.Errorf("bls: nil public key at %d", i)
+		}
+		ps[i] = pk.p
+	}
+	return &PublicKey{p: agg.p.Add(g2Sum(ps).Neg())}, nil
+}
+
+// AddPublicKeys returns agg + pk — the O(1) cache update when a single
+// key joins an already-aggregated roster.
+func AddPublicKeys(agg, pk *PublicKey) (*PublicKey, error) {
+	if agg == nil || pk == nil {
+		return nil, errors.New("bls: nil public key")
+	}
+	return &PublicKey{p: agg.p.Add(pk.p)}, nil
+}
+
 // aggregatePublicKeysNaive is the retained point-by-point summation, the
 // differential oracle (and benchmark baseline) for the batch-affine path.
 func aggregatePublicKeysNaive(pks []*PublicKey) *PublicKey {

@@ -6,9 +6,11 @@
 // The implementation is performance-oriented:
 //
 //   - Fp runs on a fixed 6×uint64 Montgomery representation (fp_limb.go)
-//     with math/bits carry chains; math/big never appears in field,
-//     curve, or pairing arithmetic (only in the scalar-exponent API and
-//     in test oracles).
+//     with math/bits carry chains; feMul/feSquare are fully unrolled
+//     no-carry CIOS straight-line code (fp_unrolled.go, with the loop
+//     versions retained as differential oracles); math/big never appears
+//     in field, curve, or pairing arithmetic (only in the
+//     scalar-exponent API and in test oracles).
 //   - The extension tower Fp2/Fp6/Fp12 (fp2.go, fp6.go, fp12.go) uses
 //     Karatsuba multiplication, dedicated squarings (complex squaring in
 //     Fp2/Fp12, CH-SQR3 in Fp6), sparse mulBy014/mulBy01 products, and

@@ -26,6 +26,26 @@ func BenchmarkFeSquare(b *testing.B) {
 	}
 }
 
+// The *Loop variants benchmark the retained looped kernels the unrolled
+// straight-line code replaced (fp_unrolled.go); the gap is the PR 7 win.
+func BenchmarkFeMulLoop(b *testing.B) {
+	x, y := randFe2(b).c0, randFe2(b).c1
+	var z fe
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feMulLoop(&z, &x, &y)
+	}
+}
+
+func BenchmarkFeSquareLoop(b *testing.B) {
+	x := randFe2(b).c0
+	var z fe
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feSquareLoop(&z, &x)
+	}
+}
+
 func BenchmarkFeInv(b *testing.B) {
 	x := randFe2(b).c0
 	var z fe

@@ -152,9 +152,13 @@ func mulWide(out, x, y []uint64) {
 
 // --- core Montgomery arithmetic ---
 
-// feMul sets z = x·y·R⁻¹ mod p (CIOS Montgomery multiplication). x may be
-// any 384-bit value; y must be < p; the result is fully reduced.
-func feMul(z, x, y *fe) {
+// feMulLoop is the looped CIOS Montgomery multiplication
+// (z = x·y·R⁻¹ mod p). It is the retained differential oracle for the
+// unrolled straight-line feMul (fp_unrolled.go), which replaced it on the
+// hot path: the loop's per-iteration carry bookkeeping defeats the
+// compiler's add-carry fusion. Same contract as feMul: x may be any
+// 384-bit value; y must be < p; the result is fully reduced.
+func feMulLoop(z, x, y *fe) {
 	var t [8]uint64
 	for i := 0; i < 6; i++ {
 		// t += x · y[i]
@@ -208,7 +212,7 @@ func feMul(z, x, y *fe) {
 	}
 }
 
-// feSquare sets z = x² with a dedicated symmetric squaring: the 15
+// feSquareLoop sets z = x² with a dedicated symmetric squaring: the 15
 // off-diagonal products x_i·x_j (i < j) are computed once and doubled by a
 // one-bit shift, then the 6 diagonal squares are folded in — 21 wide
 // multiplications against feMul's 36 — followed by a separate 6-step
@@ -216,7 +220,9 @@ func feMul(z, x, y *fe) {
 // result is fully reduced. Every point doubling in the wNAF/GLV/MSM paths
 // bottoms out here, which is why the ~15% it saves over feMul(z, x, x) is
 // now worth the extra trusted code (BenchmarkFeSquare vs BenchmarkFeMul).
-func feSquare(z, x *fe) {
+// Like feMulLoop it is the retained differential oracle for the unrolled
+// feSquare in fp_unrolled.go.
+func feSquareLoop(z, x *fe) {
 	var t [12]uint64
 
 	// Off-diagonal partial products: t[i+j] += x[i]·x[j] for i < j.

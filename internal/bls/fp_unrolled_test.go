@@ -1,0 +1,167 @@
+package bls
+
+// Differential and fuzz coverage for the unrolled straight-line feMul /
+// feSquare (fp_unrolled.go) against the retained loop kernels
+// (feMulLoop/feSquareLoop in fp_limb.go). The loop versions are the
+// oracle: they were themselves differentially tested against math/big, so
+// limb-for-limb agreement here chains the unrolled code back to the
+// reference arithmetic.
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"math/bits"
+	"testing"
+)
+
+func TestUnrolledModulusConsts(t *testing.T) {
+	if (fe{q0, q1, q2, q3, q4, q5}) != pLimbs {
+		t.Fatal("fp_unrolled.go q-constants drifted from pLimbs")
+	}
+	if q5 >= 1<<61 {
+		t.Fatal("no-carry CIOS precondition violated: top modulus word too large")
+	}
+}
+
+// feEdgeCases returns raw limb vectors exercising the carry chains: 0, 1,
+// p−1, p, p+1, 2^384−1, all-ones limbs, single high bits, and the
+// Montgomery constants. Values ≥ p are legal for feMul's x operand only.
+func feEdgeCases() []fe {
+	pm1 := pLimbs
+	pm1[0]--
+	pp1 := pLimbs
+	pp1[0]++
+	return []fe{
+		{},
+		{1},
+		pm1,
+		pLimbs,
+		pp1,
+		{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)},
+		{0, 0, 0, 0, 0, 1 << 63},
+		{1 << 63, 0, 0, 0, 0, 0},
+		feR,
+		feR2,
+	}
+}
+
+func feLess(x, y *fe) bool {
+	var borrow uint64
+	for i := 0; i < 6; i++ {
+		_, borrow = bits.Sub64(x[i], y[i], borrow)
+	}
+	return borrow != 0
+}
+
+func TestFeMulUnrolledMatchesLoopEdges(t *testing.T) {
+	edges := feEdgeCases()
+	for _, x := range edges {
+		for _, y := range edges {
+			if !feLess(&y, &pLimbs) {
+				continue // y must be < p (the shared contract)
+			}
+			var got, want fe
+			feMul(&got, &x, &y)
+			feMulLoop(&want, &x, &y)
+			if got != want {
+				t.Fatalf("feMul(%x, %x): unrolled %x, loop %x", x, y, got, want)
+			}
+		}
+		if feLess(&x, &pLimbs) {
+			var got, want fe
+			feSquare(&got, &x)
+			feSquareLoop(&want, &x)
+			if got != want {
+				t.Fatalf("feSquare(%x): unrolled %x, loop %x", x, got, want)
+			}
+		}
+	}
+}
+
+func TestFeMulUnrolledMatchesLoopRandom(t *testing.T) {
+	var buf [96]byte
+	for i := 0; i < 2000; i++ {
+		if _, err := rand.Read(buf[:]); err != nil {
+			t.Fatal(err)
+		}
+		var x, y fe
+		for j := 0; j < 6; j++ {
+			x[j] = binary.LittleEndian.Uint64(buf[j*8:])
+			y[j] = binary.LittleEndian.Uint64(buf[48+j*8:])
+		}
+		// x stays arbitrary 384-bit; y is brought under p.
+		for !feLess(&y, &pLimbs) {
+			y[5] >>= 1
+		}
+		var got, want fe
+		feMul(&got, &x, &y)
+		feMulLoop(&want, &x, &y)
+		if got != want {
+			t.Fatalf("feMul(%x, %x): unrolled %x, loop %x", x, y, got, want)
+		}
+		feSquare(&got, &y)
+		feSquareLoop(&want, &y)
+		if got != want {
+			t.Fatalf("feSquare(%x): unrolled %x, loop %x", y, got, want)
+		}
+	}
+}
+
+// decodeFuzzFe splits 96 fuzz bytes into (x, y) limb vectors with y
+// reduced below p; x is left raw so the fuzzer explores the ≥ p range the
+// feFromBytes/feReduceWide callers rely on.
+func decodeFuzzFe(data []byte) (x, y fe, ok bool) {
+	if len(data) < 96 {
+		return x, y, false
+	}
+	for j := 0; j < 6; j++ {
+		x[j] = binary.LittleEndian.Uint64(data[j*8:])
+		y[j] = binary.LittleEndian.Uint64(data[48+j*8:])
+	}
+	for !feLess(&y, &pLimbs) {
+		y[5] >>= 1
+	}
+	return x, y, true
+}
+
+func FuzzFeMulUnrolled(f *testing.F) {
+	var seed [96]byte
+	f.Add(seed[:])
+	for i, e := range feEdgeCases() {
+		var buf [96]byte
+		for j := 0; j < 6; j++ {
+			binary.LittleEndian.PutUint64(buf[j*8:], e[j])
+			binary.LittleEndian.PutUint64(buf[48+j*8:], feEdgeCases()[len(feEdgeCases())-1-i][j])
+		}
+		f.Add(buf[:])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, y, ok := decodeFuzzFe(data)
+		if !ok {
+			return
+		}
+		var got, want fe
+		feMul(&got, &x, &y)
+		feMulLoop(&want, &x, &y)
+		if got != want {
+			t.Fatalf("feMul(%x, %x): unrolled %x, loop %x", x, y, got, want)
+		}
+	})
+}
+
+func FuzzFeSquareUnrolled(f *testing.F) {
+	var seed [96]byte
+	f.Add(seed[:])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, y, ok := decodeFuzzFe(data)
+		if !ok {
+			return
+		}
+		var got, want fe
+		feSquare(&got, &y)
+		feSquareLoop(&want, &y)
+		if got != want {
+			t.Fatalf("feSquare(%x): unrolled %x, loop %x", y, got, want)
+		}
+	})
+}

@@ -392,6 +392,14 @@ type Auditor struct {
 	pending  map[[32]byte][]int // headerHash → chosen chunks (random mode)
 	meter    *meter.Meter
 	minSigns int
+
+	// rcache caches the full-roster aggregate key so each epoch's quorum
+	// key costs O(missing signers) instead of an O(n) MSM; nil (with a
+	// nil verifier) when the scheme cannot subtract keys, in which case
+	// HandleCommit falls back to VerifyAggregate. The naive path is also
+	// the differential oracle (TestHandleCommitQuorumKeyDifferential).
+	rcache   *aggsig.RosterCache
+	verifier aggsig.AggregateKeyVerifier
 }
 
 // NewAuditor creates the log state for HSM id out of fleetSize members.
@@ -406,7 +414,7 @@ func NewAuditor(cfg Config, id int, roster []aggsig.PublicKey, signer aggsig.Sig
 	if minSigns < 1 {
 		minSigns = 1
 	}
-	return &Auditor{
+	a := &Auditor{
 		cfg:      cfg,
 		id:       id,
 		digest:   logtree.EmptyDigest(),
@@ -416,7 +424,14 @@ func NewAuditor(cfg Config, id int, roster []aggsig.PublicKey, signer aggsig.Sig
 		pending:  make(map[[32]byte][]int),
 		meter:    m,
 		minSigns: minSigns,
-	}, nil
+	}
+	if v, ok := cfg.Scheme.(aggsig.AggregateKeyVerifier); ok {
+		if c := aggsig.NewRosterCache(cfg.Scheme); c != nil {
+			c.SetRoster(roster)
+			a.rcache, a.verifier = c, v
+		}
+	}
+	return a, nil
 }
 
 // Digest returns the auditor's current accepted digest.
@@ -576,7 +591,7 @@ func (a *Auditor) HandleCommit(cm *CommitMessage) error {
 		pks = append(pks, a.roster[s])
 	}
 	a.cfg.Scheme.MeterVerify(a.meter, len(pks))
-	ok, err := a.cfg.Scheme.VerifyAggregate(pks, cm.Header.SigningBytes(), cm.AggSig)
+	ok, err := a.verifyQuorum(pks, cm)
 	if err != nil {
 		return fmt.Errorf("dlog: auditor %d: verifying aggregate: %w", a.id, err)
 	}
@@ -585,6 +600,23 @@ func (a *Auditor) HandleCommit(cm *CommitMessage) error {
 	}
 	a.digest = cm.Header.NewDigest
 	return nil
+}
+
+// verifyQuorum checks the commit's aggregate signature. With a roster
+// cache the quorum key is the cached full-roster aggregate minus the
+// missing signers (O(missing) instead of the O(n) MSM inside
+// VerifyAggregate); schemes without key subtraction take the retained
+// aggregate-and-verify path. Caller holds mu and has validated Signers.
+func (a *Auditor) verifyQuorum(pks []aggsig.PublicKey, cm *CommitMessage) (bool, error) {
+	msg := cm.Header.SigningBytes()
+	if a.rcache != nil {
+		apk, err := a.rcache.QuorumKey(cm.Signers)
+		if err != nil {
+			return false, err
+		}
+		return a.verifier.VerifyWithKey(apk, msg, cm.AggSig)
+	}
+	return a.cfg.Scheme.VerifyAggregate(pks, msg, cm.AggSig)
 }
 
 // VerifyInclusion checks a client's log-inclusion proof against the

@@ -484,6 +484,80 @@ func TestBLSBackendEndToEnd(t *testing.T) {
 	}
 }
 
+// TestHandleCommitQuorumKeyDifferential runs BLS epochs with missing
+// signers through two auditors — one on the cached subtract-missing
+// quorum-key path, one forced onto the retained VerifyAggregate MSM — and
+// requires identical accept/reject decisions, including on a forged
+// signer set.
+func TestHandleCommitQuorumKeyDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BLS pairing is slow in short mode")
+	}
+	cfg := testCfg()
+	cfg.Scheme = aggsig.BLS()
+	cfg.MinSignerFrac = 0.4
+	f := newFixture(t, cfg, 5)
+	if f.auditors[0].rcache == nil {
+		t.Fatal("BLS auditor should carry a roster cache")
+	}
+	// Auditor 1 becomes the differential oracle: no cache, naive path.
+	f.auditors[1].rcache, f.auditors[1].verifier = nil, nil
+
+	for epoch := 0; epoch < 2; epoch++ {
+		for i := 0; i < 3; i++ {
+			id := fmt.Sprintf("e%d-u%d", epoch, i)
+			if err := f.provider.Append([]byte(id), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// HSMs 3 and 4 are missing from the signer set each epoch.
+		live := []int{0, 1, 2}
+		hdr, err := f.provider.BuildEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sigs [][]byte
+		for _, id := range live {
+			a := f.auditors[id]
+			chunks, err := a.ChooseChunks(hdr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := f.provider.AuditPackageFor(chunks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sig, err := a.HandleAudit(pkg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sigs = append(sigs, sig)
+		}
+		cm, err := f.provider.Commit(sigs, live)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A forged signer set (claiming the missing HSM 3 signed) must be
+		// rejected by both paths before either advances its digest.
+		forged := *cm
+		forged.Signers = []int{0, 1, 3}
+		if err := f.auditors[0].HandleCommit(&forged); err == nil {
+			t.Fatal("cached path accepted forged signer set")
+		}
+		if err := f.auditors[1].HandleCommit(&forged); err == nil {
+			t.Fatal("naive path accepted forged signer set")
+		}
+		for _, id := range live {
+			if err := f.auditors[id].HandleCommit(cm); err != nil {
+				t.Fatalf("auditor %d epoch %d: %v", id, epoch, err)
+			}
+		}
+		if f.auditors[0].Digest() != f.auditors[1].Digest() {
+			t.Fatal("cached and naive auditors diverged")
+		}
+	}
+}
+
 func TestMeterRecordsAuditWork(t *testing.T) {
 	cfg := testCfg()
 	m := meter.New()

@@ -1,0 +1,165 @@
+package experiments
+
+// histogram.go is an HDR-style latency histogram: log-bucketed with a
+// fixed number of linear sub-buckets per power of two, so quantiles are
+// accurate to ~3% relative error across nanoseconds-to-minutes without
+// storing individual samples. The open-loop load harness records every
+// operation's latency here; storing raw samples at thousands of
+// arrivals per second would perturb the very tail it is measuring.
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+const (
+	// histSubBits linear sub-buckets per power of two: 2^5 = 32 gives a
+	// worst-case relative error of 1/32 ≈ 3.1% per recorded value.
+	histSubBits = 5
+	histSubs    = 1 << histSubBits
+	// histBuckets covers exact values below histSubs plus 32 sub-buckets
+	// for each exponent from histSubBits through 63.
+	histBuckets = histSubs + (64-histSubBits)*histSubs
+)
+
+// Histogram is a log-bucketed latency histogram. Not safe for
+// concurrent use; the harness merges per-worker histograms or guards
+// Record with its own lock.
+type Histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+	sum    uint64 // nanoseconds
+	max    int64
+	min    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{min: -1} }
+
+// bucketIndex maps a non-negative nanosecond value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSubs {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // top set bit, ≥ histSubBits
+	sub := (v >> (uint(e) - histSubBits)) & (histSubs - 1)
+	return histSubs + (e-histSubBits)*histSubs + int(sub)
+}
+
+// bucketMid is the representative (midpoint) value of bucket i.
+func bucketMid(i int) int64 {
+	if i < histSubs {
+		return int64(i)
+	}
+	e := uint((i-histSubs)/histSubs) + histSubBits
+	sub := int64((i - histSubs) % histSubs)
+	lo := (int64(1) << e) + sub<<(e-histSubBits)
+	return lo + (int64(1)<<(e-histSubBits))/2
+}
+
+// Record adds one latency sample.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += uint64(v)
+	if v > h.max {
+		h.max = v
+	}
+	if h.min < 0 || v < h.min {
+		h.min = v
+	}
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+	if o.min >= 0 && (h.min < 0 || o.min < h.min) {
+		h.min = o.min
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.total)
+}
+
+// Max returns the largest sample (exact, not bucketed).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns the latency at quantile q ∈ [0, 1]: the bucket
+// midpoint at the q·total-th ranked sample.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			mid := bucketMid(i)
+			if mid > h.max {
+				mid = h.max // never report beyond the observed max
+			}
+			return time.Duration(mid)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// LatencySummary is the JSON-friendly quantile digest of one histogram.
+type LatencySummary struct {
+	Count uint64        `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Summary digests the histogram into the standard quantile set.
+func (h *Histogram) Summary() LatencySummary {
+	return LatencySummary{
+		Count: h.total,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d p50=%v p95=%v p99=%v p99.9=%v max=%v",
+		s.Count, s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond),
+		s.P99.Round(time.Microsecond), s.P999.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}

@@ -265,6 +265,7 @@ func (p *Provider) applyRecord(seq uint64, rec storage.Record) error {
 			BFEPub: append([]byte(nil), r.BFEPub...),
 			AggPub: append([]byte(nil), r.AggPub...),
 		}
+		p.rosterGen++ // replayed registrations invalidate like live ones
 		p.fleetMu.Unlock()
 
 	case *storage.GCRecord:
@@ -493,6 +494,7 @@ func (p *Provider) StateDigest() [32]byte {
 func (p *Provider) JournalRoster(e RosterEntry) error {
 	p.fleetMu.Lock()
 	p.roster[e.ID] = e
+	p.rosterGen++ // invalidates any fleet aggregate built before this entry
 	p.fleetMu.Unlock()
 	return p.journalSync(&storage.RosterRecord{
 		ID:     uint32(e.ID),

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"safetypin/internal/aggsig"
 	"safetypin/internal/dlog"
 	"safetypin/internal/logtree"
 	"safetypin/internal/protocol"
@@ -135,6 +136,15 @@ type Provider struct {
 	oracles map[int]*providerOracle
 	roster  map[int]RosterEntry
 
+	// rosterGen counts roster mutations — live registrations AND journal
+	// replays — so the cached fleet aggregate below can tell whether a
+	// registration landed after it was built. Guarded by fleetMu.
+	rosterGen uint64
+	scheme    aggsig.Scheme
+	rcache    *aggsig.RosterCache
+	rcacheIDs map[int]int // HSM ID → cache roster position at rcacheGen
+	rcacheGen uint64
+
 	// store is the durability journal (nil = volatile provider).
 	store storage.Engine
 	// durMu guards lastCommit and snapshot construction ordering.
@@ -171,6 +181,10 @@ func NewWithEngine(logCfg dlog.Config, engine EngineConfig) *Provider {
 // epoch scheduler starts.
 func Open(logCfg dlog.Config, engine EngineConfig) (*Provider, error) {
 	engine = engine.withDefaults()
+	scheme := logCfg.Scheme
+	if scheme == nil {
+		scheme = aggsig.BLS() // mirror dlog.Config's default
+	}
 	p := &Provider{
 		log:     dlog.NewProvider(logCfg),
 		engine:  engine,
@@ -178,6 +192,7 @@ func Open(logCfg dlog.Config, engine EngineConfig) (*Provider, error) {
 		hsms:    make(map[int]HSMHandle),
 		oracles: make(map[int]*providerOracle),
 		roster:  make(map[int]RosterEntry),
+		scheme:  scheme,
 		store:   engine.Storage,
 	}
 	for i := range p.shards {

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# bench_guard.sh — the CI benchmark regression guard (the long-open
-# ROADMAP item): runs the BLS scalar/pairing benchmark set, compares each
+# bench_guard.sh — the CI benchmark regression guard: runs the BLS
+# scalar/pairing benchmark set plus the PR 7 additions (unrolled feMul,
+# cached quorum-key derivation, open-loop load smoke), compares each
 # ns/op against the checked-in baseline with a slack factor, and emits a
-# BENCH_5.json perf-trajectory snapshot.
+# BENCH_7.json perf-trajectory snapshot.
 #
 #  * Baseline: scripts/bench_baseline.txt — "<name> <ns/op>" lines,
 #    recorded on the reference host. Update it deliberately when a PR
@@ -12,31 +13,44 @@
 #    because CI runners are noisy and share cores; the guard exists to
 #    catch order-of-magnitude regressions like an accidental fallback to
 #    a naive path, not 10% drift).
-#  * Output: BENCH_5.json (override with BENCH_JSON_OUT) holding the
-#    measured ns/op for the Sign / Verify / AggregateVerify / FromBytes /
-#    MSM trajectory.
+#  * Output: BENCH_7.json (override with BENCH_JSON_OUT) holding the
+#    measured ns/op, the previous trajectory point (BENCH_5.json,
+#    embedded verbatim), and — unless BENCH_SKIP_OPENLOOP=1 — the
+#    open-loop load sweep for the 24- and 96-HSM fleets with p50/p95/p99
+#    and the measured saturation knee.
 #
 # Run from the repository root: ./scripts/bench_guard.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FACTOR="${BENCH_GUARD_FACTOR:-4.0}"
-OUT="${BENCH_JSON_OUT:-BENCH_5.json}"
+OUT="${BENCH_JSON_OUT:-BENCH_7.json}"
 BASELINE="scripts/bench_baseline.txt"
+PREV="BENCH_5.json"
 
 BLS_BENCHES='BenchmarkSign$|BenchmarkVerify$|BenchmarkPairing$|BenchmarkG1MulGLV$|BenchmarkG2MulPsi$|BenchmarkG1FromBytes$|BenchmarkG2FromBytes$|BenchmarkAggregatePublicKeys1024$|BenchmarkG2MultiExp$'
 # Sub-microsecond field ops need a large fixed iteration count or the
-# per-op numbers are timer-resolution noise.
-FIELD_BENCHES='BenchmarkFeMul$|BenchmarkFeSquare$'
+# per-op numbers are timer-resolution noise. The *Loop variants are the
+# retained pre-unroll differential oracles: their ratio to FeMul/FeSquare
+# is the unrolling win itself.
+FIELD_BENCHES='BenchmarkFeMul$|BenchmarkFeSquare$|BenchmarkFeMulLoop$|BenchmarkFeSquareLoop$'
 AGG_BENCHES='BenchmarkBLSAggregateVerify16$'
+# Cached quorum-key derivation vs the retained full-MSM path (n=1024,
+# 8 missing signers — the ISSUE 7 acceptance shape).
+QUORUM_BENCHES='BenchmarkQuorumKeyCached1024$|BenchmarkQuorumKeyFullMSM1024$'
+# One short open-loop burst: catches harness hangs and setup blow-ups.
+LOAD_BENCHES='BenchmarkOpenLoopSmoke$'
 
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+openloop_json="$(mktemp)"
+trap 'rm -f "$raw" "$openloop_json"' EXIT
 
 echo "== running benchmark set"
 go test -run=NONE -bench="$BLS_BENCHES" -benchtime=20x -count=1 ./internal/bls/ | tee -a "$raw"
 go test -run=NONE -bench="$FIELD_BENCHES" -benchtime=200000x -count=1 ./internal/bls/ | tee -a "$raw"
 go test -run=NONE -bench="$AGG_BENCHES" -benchtime=10x -count=1 ./internal/aggsig/ | tee -a "$raw"
+go test -run=NONE -bench="$QUORUM_BENCHES" -benchtime=10x -count=1 ./internal/aggsig/ | tee -a "$raw"
+go test -run=NONE -bench="$LOAD_BENCHES" -benchtime=1x -count=1 ./internal/experiments/ | tee -a "$raw"
 
 # Parse "BenchmarkName(-N)  iters  12345 ns/op" lines into "name ns" pairs.
 measured="$(awk '/^Benchmark/ && /ns\/op/ {
@@ -66,11 +80,22 @@ while read -r name ns; do
 	fi
 done <<<"$measured"
 
+# Open-loop load sweep: 24- and 96-HSM fleets, Poisson arrivals, the
+# p50/p95/p99 + saturation snapshot BENCH_7.json records. Skippable
+# because it costs a few wall-clock minutes.
+openloop_ran=0
+if [ "${BENCH_SKIP_OPENLOOP:-0}" != 1 ]; then
+	echo "== open-loop load sweep (24/96-HSM fleets; BENCH_SKIP_OPENLOOP=1 to skip)"
+	go run ./cmd/experiments -only load \
+		-duration "${BENCH_OPENLOOP_DURATION:-1500ms}" -out "$openloop_json"
+	openloop_ran=1
+fi
+
 echo "== writing $OUT"
 {
 	echo '{'
 	echo '  "schema": "safetypin-bench-trajectory",'
-	echo '  "pr": 5,'
+	echo '  "pr": 7,'
 	echo "  \"guard_factor\": ${FACTOR},"
 	echo '  "unit": "ns/op",'
 	echo '  "benchmarks": {'
@@ -83,7 +108,18 @@ echo "== writing $OUT"
 		printf '    "%s": %s' "$name" "$ns"
 	done <<<"$measured"
 	echo
-	echo '  }'
+	echo '  },'
+	if [ "$openloop_ran" = 1 ]; then
+		echo '  "open_loop":'
+		sed 's/^/  /' "$openloop_json"
+		echo '  ,'
+	fi
+	if [ -f "$PREV" ]; then
+		echo '  "previous":'
+		sed 's/^/  /' "$PREV"
+	else
+		echo '  "previous": null'
+	fi
 	echo '}'
 } >"$OUT"
 
