@@ -102,7 +102,7 @@ func BLSWithHashMode(mode bls.HashMode) Scheme { return blsScheme{mode: mode} }
 type blsScheme struct{ mode bls.HashMode }
 
 type blsSigner struct {
-	sk   *bls.SecretKey
+	sk   *bls.SecretKey //spin:secret
 	pk   *bls.PublicKey
 	mode bls.HashMode
 }

@@ -1,0 +1,166 @@
+package analysis
+
+// annotations.go collects the repo's source-level security annotations
+// into program-wide fact maps keyed by types.Object:
+//
+//	//spin:secret [name ...]   on a struct field, package var, or (in a
+//	    function's doc comment) naming parameters; the special name
+//	    "return" marks the function's results as secret. On a struct
+//	    field or var the directive takes no names. Interface methods use
+//	    the doc-comment form.
+//	//spin:vartime             on a function or method declares it
+//	    variable-time in its operands (e.g. math/big-backed arithmetic);
+//	    ctsecret flags calls that pass tainted values into it.
+//	//spin:guardedby <field>   on a struct field names the sync.Mutex /
+//	    sync.RWMutex field of the same struct that must be held when the
+//	    annotated field is read or written.
+//
+// Annotations are facts at function and type boundaries: the ctsecret
+// taint engine is intra-procedural, and these directives are how taint
+// crosses a call or a struct. See docs/ANALYSIS.md.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// isErrorType reports whether t is exactly the universe error type.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// directive returns the arguments of the first "//spin:<kind>" line in
+// the comment groups, and whether one was present.
+func directive(kind string, groups ...*ast.CommentGroup) ([]string, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			rest, ok := strings.CutPrefix(c.Text, "//spin:"+kind)
+			if !ok {
+				continue
+			}
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //spin:secretx
+			}
+			return strings.Fields(rest), true
+		}
+	}
+	return nil, false
+}
+
+func (prog *Program) collectAnnotations(pkg *Package) {
+	// Bare //spin:secret trailing comments mark the variables declared on
+	// that line (the short-declaration form).
+	for id, obj := range pkg.Info.Defs {
+		if obj == nil {
+			continue
+		}
+		if _, ok := obj.(*types.Var); !ok {
+			continue
+		}
+		pos := prog.Fset.Position(id.Pos())
+		if prog.secretLines[pos.Filename][pos.Line] && !isErrorType(obj.Type()) {
+			prog.Secret[obj] = true
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				prog.collectFuncAnnotations(pkg, d.Doc, d.Name, d.Type)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.ValueSpec:
+						if _, ok := directive("secret", s.Doc, s.Comment, d.Doc); ok {
+							for _, name := range s.Names {
+								if obj := pkg.Info.Defs[name]; obj != nil {
+									prog.Secret[obj] = true
+								}
+							}
+						}
+					case *ast.TypeSpec:
+						switch t := s.Type.(type) {
+						case *ast.StructType:
+							prog.collectFieldAnnotations(pkg, t.Fields)
+						case *ast.InterfaceType:
+							for _, m := range t.Methods.List {
+								ft, ok := m.Type.(*ast.FuncType)
+								if !ok || len(m.Names) == 0 {
+									continue
+								}
+								prog.collectFuncAnnotations(pkg, m.Doc, m.Names[0], ft)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectFieldAnnotations records //spin:secret and //spin:guardedby on
+// struct fields.
+func (prog *Program) collectFieldAnnotations(pkg *Package, fields *ast.FieldList) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		if _, ok := directive("secret", field.Doc, field.Comment); ok {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					prog.Secret[obj] = true
+				}
+			}
+		}
+		if args, ok := directive("guardedby", field.Doc, field.Comment); ok && len(args) == 1 {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					prog.GuardedBy[obj] = args[0]
+				}
+			}
+		}
+	}
+}
+
+// collectFuncAnnotations records //spin:secret (naming parameters or
+// "return") and //spin:vartime from a function or interface-method doc.
+func (prog *Program) collectFuncAnnotations(pkg *Package, doc *ast.CommentGroup, name *ast.Ident, ftype *ast.FuncType) {
+	fnObj := pkg.Info.Defs[name]
+	if _, ok := directive("vartime", doc); ok && fnObj != nil {
+		prog.Vartime[fnObj] = true
+	}
+	args, ok := directive("secret", doc)
+	if !ok {
+		return
+	}
+	if len(args) == 0 {
+		return // the bare form is only meaningful on fields and vars
+	}
+	want := make(map[string]bool, len(args))
+	for _, a := range args {
+		if a == "return" {
+			if fnObj != nil {
+				prog.SecretReturn[fnObj] = true
+			}
+			continue
+		}
+		want[a] = true
+	}
+	if ftype.Params == nil {
+		return
+	}
+	for _, field := range ftype.Params.List {
+		for _, pname := range field.Names {
+			if want[pname.Name] {
+				if obj := pkg.Info.Defs[pname]; obj != nil {
+					prog.Secret[obj] = true
+				}
+			}
+		}
+	}
+}

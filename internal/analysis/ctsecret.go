@@ -1,0 +1,448 @@
+package analysis
+
+// ctsecret.go is the secret-taint constant-time analyzer. Taint sources
+// are //spin:secret annotations (struct fields, function parameters,
+// package vars, and `//spin:secret` trailing a short variable
+// declaration); taint propagates intra-procedurally through assignments,
+// arithmetic, conversions, composite literals, and the
+// arithmetic-transparent stdlib packages (math/bits, encoding/binary,
+// math/big). Function calls are annotation boundaries: a call result is
+// tainted only if the callee is marked `//spin:secret return`.
+//
+// On tainted values the analyzer flags:
+//
+//   - branches: if/for/switch conditions (secret-dependent control flow),
+//   - comparisons: ==, !=, <, <=, >, >= with a tainted operand
+//     (`==` on secret bytes must be subtle.ConstantTimeCompare),
+//   - indexing: array/slice/map access with a tainted index
+//     (secret-indexed table lookups leak through the cache),
+//   - variable-time calls: math/big methods, bytes.Equal/Compare,
+//     strings.Compare/EqualFold, reflect.DeepEqual, and anything marked
+//     //spin:vartime.
+//
+// crypto/subtle is the sanctioned constant-time sink and is never
+// flagged. len/cap of a secret are treated as public (lengths are
+// protocol metadata here; the PIN length caveat is documented in
+// docs/ANALYSIS.md).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CTSecret is the secret-taint constant-time analyzer.
+var CTSecret = &Analyzer{
+	Name: "ctsecret",
+	Doc: "flag secret-dependent branches, comparisons, indexing, and " +
+		"variable-time calls on //spin:secret-tainted values",
+	Run: runCTSecret,
+}
+
+// taintPropagating are stdlib packages whose functions are pure
+// arithmetic on their operands: taint flows through them to the result.
+var taintPropagating = map[string]bool{
+	"math/bits":       true,
+	"encoding/binary": true,
+	"math/big":        true,
+}
+
+// vartimePackages are stdlib packages that are variable-time in their
+// operands as a whole (flagged when tainted data reaches any call).
+var vartimePackages = map[string]bool{
+	"math/big": true,
+}
+
+// vartimeFuncs are individual stdlib functions that are variable-time in
+// their operands.
+var vartimeFuncs = map[string]bool{
+	"bytes.Equal":       true,
+	"bytes.Compare":     true,
+	"bytes.Contains":    true,
+	"bytes.Index":       true,
+	"bytes.HasPrefix":   true,
+	"bytes.HasSuffix":   true,
+	"strings.Compare":   true,
+	"strings.EqualFold": true,
+	"reflect.DeepEqual": true,
+}
+
+func runCTSecret(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			t := &taintState{pass: pass, tainted: make(map[types.Object]bool)}
+			t.seed(fn)
+			t.fixpoint(fn.Body)
+			t.report(fn.Body)
+		}
+	}
+}
+
+type taintState struct {
+	pass    *Pass
+	tainted map[types.Object]bool
+	changed bool
+	// flagged collects subtree positions that already produced a
+	// comparison/vartime/index finding, so the enclosing branch check
+	// does not double-report the same condition.
+	flagged map[token.Pos]bool
+}
+
+// seed marks annotated parameters and receivers tainted.
+func (t *taintState) seed(fn *ast.FuncDecl) {
+	mark := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				obj := t.pass.Pkg.Info.Defs[name]
+				if obj != nil && t.pass.Prog.Secret[obj] {
+					t.tainted[obj] = true
+				}
+			}
+		}
+	}
+	mark(fn.Recv)
+	mark(fn.Type.Params)
+}
+
+// obj resolves an identifier to its object.
+func (t *taintState) obj(id *ast.Ident) types.Object {
+	info := t.pass.Pkg.Info
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// exprTainted reports whether the value of e derives from a secret.
+func (t *taintState) exprTainted(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		o := t.obj(e)
+		return o != nil && (t.tainted[o] || t.pass.Prog.Secret[o])
+	case *ast.SelectorExpr:
+		if sel, ok := t.pass.Pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if t.pass.Prog.Secret[sel.Obj()] {
+				return true
+			}
+			return t.exprTainted(e.X) // field of a tainted struct
+		}
+		// Package-qualified identifier (pkg.Var) or method value.
+		if o := t.pass.Pkg.Info.Uses[e.Sel]; o != nil && t.pass.Prog.Secret[o] {
+			return true
+		}
+		return false
+	case *ast.IndexExpr:
+		return t.exprTainted(e.X) // element of a tainted container
+	case *ast.SliceExpr:
+		return t.exprTainted(e.X)
+	case *ast.StarExpr:
+		return t.exprTainted(e.X)
+	case *ast.UnaryExpr:
+		return t.exprTainted(e.X)
+	case *ast.ParenExpr:
+		return t.exprTainted(e.X)
+	case *ast.TypeAssertExpr:
+		return t.exprTainted(e.X)
+	case *ast.BinaryExpr:
+		return t.exprTainted(e.X) || t.exprTainted(e.Y)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if t.exprTainted(el) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return t.callTainted(e)
+	}
+	return false
+}
+
+// callTainted decides whether a call expression yields a tainted value:
+// type conversions and arithmetic-transparent stdlib calls propagate
+// their arguments' taint; otherwise only //spin:secret-return callees do.
+func (t *taintState) callTainted(call *ast.CallExpr) bool {
+	if tv, ok := t.pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return t.anyArgTainted(call) // conversion
+	}
+	callee := t.callee(call)
+	if callee == nil {
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			switch id.Name { // builtins
+			case "append", "copy", "min", "max":
+				return t.anyArgTainted(call)
+			}
+		}
+		return false
+	}
+	if t.pass.Prog.SecretReturn[callee] {
+		return true
+	}
+	if pkg := callee.Pkg(); pkg != nil && taintPropagating[pkg.Path()] {
+		if t.anyArgTainted(call) {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			return t.exprTainted(sel.X) // method on tainted receiver
+		}
+	}
+	return false
+}
+
+func (t *taintState) anyArgTainted(call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if t.exprTainted(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// unparen strips parentheses (ast.Unparen is Go ≥1.22; go.mod says 1.21).
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// callee resolves the called function object, if statically known.
+func (t *taintState) callee(call *ast.CallExpr) types.Object {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return t.pass.Pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return t.pass.Pkg.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// lvalueRoot unwraps an assignable expression to its base object: the x
+// in x, x[i], x[i:j], *x, and x.f chains rooted at an identifier.
+func (t *taintState) lvalueRoot(e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return t.obj(v)
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (t *taintState) markObj(o types.Object) {
+	if o == nil || t.tainted[o] {
+		return
+	}
+	// Never taint error values (the err of a multi-assign from a
+	// secret-returning call carries no key material).
+	if isErrorType(o.Type()) {
+		return
+	}
+	t.tainted[o] = true
+	t.changed = true
+}
+
+// fixpoint runs the forward taint propagation until stable.
+func (t *taintState) fixpoint(body *ast.BlockStmt) {
+	for i := 0; i < 16; i++ {
+		t.changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				t.propagateAssign(n.Lhs, n.Rhs)
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+						lhs := make([]ast.Expr, len(vs.Names))
+						for i, name := range vs.Names {
+							lhs[i] = name
+						}
+						t.propagateAssign(lhs, vs.Values)
+					}
+				}
+			case *ast.RangeStmt:
+				if t.exprTainted(n.X) && n.Value != nil {
+					t.markObj(t.lvalueRoot(n.Value))
+				}
+			case *ast.CallExpr:
+				// copy(dst, src) and append assign through their args.
+				if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 {
+					if t.exprTainted(n.Args[1]) {
+						t.markObj(t.lvalueRoot(n.Args[0]))
+					}
+				}
+			}
+			return true
+		})
+		if !t.changed {
+			return
+		}
+	}
+}
+
+// propagateAssign taints left-hand sides fed by tainted right-hand sides.
+func (t *taintState) propagateAssign(lhs, rhs []ast.Expr) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		// Tuple assignment: a tainted multi-value source taints every
+		// destination (minus errors, filtered in markObj).
+		if t.exprTainted(rhs[0]) {
+			for _, l := range lhs {
+				t.markObj(t.lvalueRoot(l))
+			}
+		}
+		return
+	}
+	for i, l := range lhs {
+		if i < len(rhs) && t.exprTainted(rhs[i]) {
+			t.markObj(t.lvalueRoot(l))
+		}
+	}
+}
+
+// report walks the function body once, flagging comparisons, indexing,
+// and variable-time calls first, then secret-dependent branches whose
+// condition was not already covered by a more specific finding.
+func (t *taintState) report(body *ast.BlockStmt) {
+	t.flagged = make(map[token.Pos]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			t.checkComparison(n)
+		case *ast.IndexExpr:
+			if t.exprTainted(n.Index) {
+				t.flagged[n.Pos()] = true
+				t.pass.Reportf(n.Pos(), "secret-dependent index: table/map lookup position derives from a //spin:secret value (cache-timing leak)")
+			}
+		case *ast.CallExpr:
+			t.checkVartimeCall(n)
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			t.checkBranch(n.Cond, "if")
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				t.checkBranch(n.Cond, "for")
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil {
+				t.checkBranch(n.Tag, "switch")
+			}
+		}
+		return true
+	})
+}
+
+func (t *taintState) checkComparison(b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return
+	}
+	if !t.exprTainted(b.X) && !t.exprTainted(b.Y) {
+		return
+	}
+	t.flagged[b.Pos()] = true
+	tv := t.pass.Pkg.Info.Types[b.X]
+	if tv.Type != nil {
+		if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+			t.pass.Reportf(b.Pos(), "secret-dependent comparison %q on secret string: use subtle.ConstantTimeCompare on the byte forms", b.Op)
+			return
+		}
+	}
+	t.pass.Reportf(b.Pos(), "secret-dependent comparison %q on a //spin:secret-derived value: compare with crypto/subtle or fold into a mask (ctMask/feCMov)", b.Op)
+}
+
+func (t *taintState) checkVartimeCall(call *ast.CallExpr) {
+	callee := t.callee(call)
+	if callee == nil {
+		return
+	}
+	vartime := t.pass.Prog.Vartime[callee]
+	if !vartime {
+		if pkg := callee.Pkg(); pkg != nil {
+			if vartimePackages[pkg.Path()] {
+				vartime = true
+			} else if vartimeFuncs[pkg.Path()+"."+callee.Name()] {
+				vartime = true
+			}
+		}
+	}
+	if !vartime {
+		return
+	}
+	reason := ""
+	if t.anyArgTainted(call) {
+		reason = "argument"
+	} else if sel, ok := call.Fun.(*ast.SelectorExpr); ok && t.exprTainted(sel.X) {
+		reason = "receiver"
+	}
+	if reason == "" {
+		return
+	}
+	t.flagged[call.Pos()] = true
+	name := callee.Name()
+	if pkg := callee.Pkg(); pkg != nil {
+		name = pkg.Name() + "." + name
+	}
+	if name == "bytes.Equal" {
+		t.pass.Reportf(call.Pos(), "bytes.Equal on secret bytes: use subtle.ConstantTimeCompare")
+		return
+	}
+	t.pass.Reportf(call.Pos(), "variable-time call %s with secret %s (callee is %s)", name, reason, vartimeWhy(callee, t.pass.Prog))
+}
+
+func vartimeWhy(callee types.Object, prog *Program) string {
+	if prog.Vartime[callee] {
+		return "//spin:vartime"
+	}
+	if pkg := callee.Pkg(); pkg != nil && vartimePackages[pkg.Path()] {
+		return "math/big (no constant-time guarantees)"
+	}
+	return "known variable-time"
+}
+
+func (t *taintState) checkBranch(cond ast.Expr, kind string) {
+	if !t.exprTainted(cond) {
+		return
+	}
+	// Skip if a more specific finding already covers part of this
+	// condition (e.g. the tainted == inside the if).
+	covered := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if n != nil && t.flagged[n.Pos()] {
+			covered = true
+		}
+		return !covered
+	})
+	if covered {
+		return
+	}
+	t.pass.Reportf(cond.Pos(), "secret-dependent branch: %s condition derives from a //spin:secret value; use a masked select (feCMov/subtle.ConstantTimeSelect)", kind)
+}

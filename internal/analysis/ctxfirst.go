@@ -1,0 +1,118 @@
+package analysis
+
+// ctxfirst.go enforces the PR 3 service-API contract: context.Context,
+// when a function or interface method takes one, is the first parameter;
+// and an exported interface that has adopted contexts (any method taking
+// one) must thread them through every method that performs work (has
+// parameters). The second rule is what keeps a role-scoped service
+// interface from growing an uncancellable method.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst enforces context.Context-first signatures on functions and
+// exported service interfaces.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: "exported service-interface methods take context.Context first; " +
+		"no function buries a context mid-signature",
+	Run: runCtxFirst,
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxParamIndex returns the position of the first context.Context
+// parameter of sig, or -1.
+func ctxParamIndex(sig *types.Signature) int {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+func runCtxFirst(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				obj := info.Defs[d.Name]
+				if obj == nil {
+					continue
+				}
+				sig, ok := obj.Type().(*types.Signature)
+				if !ok {
+					continue
+				}
+				if i := ctxParamIndex(sig); i > 0 {
+					pass.Reportf(d.Name.Pos(), "%s takes context.Context as parameter %d: contexts come first (PR 3 API contract)", d.Name.Name, i+1)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !exportedName(ts.Name.Name) {
+						continue
+					}
+					it, ok := ts.Type.(*ast.InterfaceType)
+					if !ok {
+						continue
+					}
+					checkInterface(pass, ts.Name.Name, it)
+				}
+			}
+		}
+	}
+}
+
+// checkInterface applies both rules to one exported interface: a context
+// anywhere but first is always wrong, and once any method takes a
+// context, methods with parameters but no context are flagged.
+func checkInterface(pass *Pass, name string, it *ast.InterfaceType) {
+	info := pass.Pkg.Info
+	type method struct {
+		name *ast.Ident
+		sig  *types.Signature
+	}
+	var methods []method
+	usesCtx := false
+	for _, f := range it.Methods.List {
+		if len(f.Names) == 0 {
+			continue // embedded interface: checked at its own declaration
+		}
+		obj := info.Defs[f.Names[0]]
+		if obj == nil {
+			continue
+		}
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		methods = append(methods, method{f.Names[0], sig})
+		if i := ctxParamIndex(sig); i >= 0 {
+			usesCtx = true
+			if i > 0 {
+				pass.Reportf(f.Names[0].Pos(), "%s.%s takes context.Context as parameter %d: contexts come first (PR 3 API contract)", name, f.Names[0].Name, i+1)
+			}
+		}
+	}
+	if !usesCtx {
+		return // not a context-threaded service interface
+	}
+	for _, m := range methods {
+		if m.sig.Params().Len() > 0 && ctxParamIndex(m.sig) < 0 {
+			pass.Reportf(m.name.Pos(), "%s.%s: service interface threads context.Context but this method does not take one", name, m.name.Name)
+		}
+	}
+}

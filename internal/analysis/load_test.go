@@ -1,0 +1,38 @@
+package analysis
+
+// load_test.go loads the whole module through the production loader and
+// asserts two things: the annotation maps picked up the repo's secret
+// roots, and the full analyzer suite reports zero findings — the
+// spinlint-clean invariant CI enforces, here in tier-1 form.
+
+import "testing"
+
+func TestLoadModuleAndRunClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	prog, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(prog.Packages) < 20 {
+		t.Fatalf("loaded %d packages, want >= 20 (loader dropped module packages?)", len(prog.Packages))
+	}
+	for _, path := range []string{"safetypin/internal/bls", "safetypin/internal/shamir", "safetypin/internal/client"} {
+		if prog.ByPath[path] == nil {
+			t.Errorf("package %s not loaded", path)
+		}
+	}
+	if len(prog.Secret) == 0 {
+		t.Error("no //spin:secret annotations found; secret roots (PINs, shares, BLS keys) should be annotated")
+	}
+	if len(prog.Vartime) == 0 {
+		t.Error("no //spin:vartime annotations found; big.Int-backed math should be annotated")
+	}
+	if len(prog.GuardedBy) == 0 {
+		t.Error("no //spin:guardedby annotations found; HSM/provider state should be annotated")
+	}
+	for _, d := range Run(prog, All) {
+		t.Errorf("spinlint finding: %s", d)
+	}
+}

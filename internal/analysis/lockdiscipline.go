@@ -1,0 +1,154 @@
+package analysis
+
+// lockdiscipline.go checks that methods touching a struct field marked
+// `//spin:guardedby <mutex>` acquire that mutex first. The check is
+// lexical and intra-procedural: an access through the receiver is legal
+// if a receiver.<mutex>.Lock() / RLock() call appears earlier in the
+// method body (writes require the exclusive Lock), or if the method's
+// name carries the "Locked" suffix declaring that its callers hold the
+// mutex. That deliberately misses unlock-then-access orderings — the
+// race detector owns the dynamic cases — but it catches the common
+// refactoring accident: a new method (or a new early-return path)
+// reading guarded state with no lock in sight.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline flags guarded-field access without the owning mutex.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "methods must hold the //spin:guardedby mutex when touching " +
+		"guarded fields (writes need Lock, reads need at least RLock)",
+	Run: runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) {
+	if len(pass.Prog.GuardedBy) == 0 {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue // contract: caller holds the mutex
+			}
+			recvField := fn.Recv.List[0]
+			if len(recvField.Names) == 0 {
+				continue // unnamed receiver cannot access fields
+			}
+			recvObj := pass.Pkg.Info.Defs[recvField.Names[0]]
+			if recvObj == nil {
+				continue
+			}
+			checkMethodLocks(pass, fn, recvObj)
+		}
+	}
+}
+
+// lockEvent is one receiver.<mutex>.Lock()/RLock() call site.
+type lockEvent struct {
+	mutex     string
+	pos       token.Pos
+	exclusive bool
+}
+
+// checkMethodLocks scans one method for guarded accesses through the
+// receiver and the lock acquisitions that should precede them.
+func checkMethodLocks(pass *Pass, fn *ast.FuncDecl, recvObj types.Object) {
+	info := pass.Pkg.Info
+	var locks []lockEvent
+
+	// receiverIdent reports whether e is (possibly parenthesized) the
+	// receiver identifier.
+	receiverIdent := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == recvObj
+	}
+
+	// Pass 1: collect lock events.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var exclusive bool
+		switch sel.Sel.Name {
+		case "Lock":
+			exclusive = true
+		case "RLock":
+			exclusive = false
+		default:
+			return true
+		}
+		mu, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || !receiverIdent(mu.X) {
+			return true
+		}
+		locks = append(locks, lockEvent{mutex: mu.Sel.Name, pos: call.Pos(), exclusive: exclusive})
+		return true
+	})
+
+	held := func(mutex string, pos token.Pos, needExclusive bool) bool {
+		for _, l := range locks {
+			if l.mutex == mutex && l.pos < pos && (l.exclusive || !needExclusive) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: guarded accesses. Writes are assignment LHS and ++/--.
+	writes := make(map[ast.Expr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				writes[unparen(l)] = true
+			}
+		case *ast.IncDecStmt:
+			writes[unparen(n.X)] = true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				writes[unparen(n.X)] = true // escaping address: treat as write
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		mutex, guarded := pass.Prog.GuardedBy[selection.Obj()]
+		if !guarded || !receiverIdent(sel.X) {
+			return true
+		}
+		isWrite := writes[sel]
+		if held(mutex, sel.Pos(), isWrite) {
+			return true
+		}
+		verb := "read"
+		need := mutex + ".RLock or Lock"
+		if isWrite {
+			verb = "write"
+			need = mutex + ".Lock"
+		}
+		pass.Reportf(sel.Pos(), "%s of %s.%s without holding %s (field is //spin:guardedby %s)", verb, recvObj.Name(), selection.Obj().Name(), need, mutex)
+		return true
+	})
+}

@@ -1,0 +1,53 @@
+package analysis
+
+// nobigsecret.go statically verifies the claim in internal/bls/doc.go
+// that math/big never appears in the limb-arithmetic hot paths: inside
+// any package named bls, the field-kernel files (fp*.go) and the
+// constant-time hash-to-curve files (sswu.go, isogeny.go, pairing.go)
+// must not import math/big. The public-scalar recoding files — glv.go,
+// endomorphism.go, wnaf.go — and the API boundary files (bls.go,
+// curve.go, msm.go, fixedbase.go, hash2curve.go, g2compress.go) accept
+// *big.Int scalars on public values and are outside the deny set; that
+// allowlist is the one the ISSUE 8 policy names.
+
+import (
+	"strconv"
+	"strings"
+)
+
+// NoBigSecret bans math/big from the bls limb-arithmetic hot-path files.
+var NoBigSecret = &Analyzer{
+	Name: "nobigsecret",
+	Doc: "ban math/big imports in bls limb-arithmetic hot-path files " +
+		"(fp*.go, sswu.go, isogeny.go, pairing.go)",
+	Run: runNoBigSecret,
+}
+
+// hotPathFile reports whether a bls file basename is in the math/big
+// deny set.
+func hotPathFile(base string) bool {
+	switch base {
+	case "sswu.go", "isogeny.go", "pairing.go":
+		return true
+	}
+	return strings.HasPrefix(base, "fp") && strings.HasSuffix(base, ".go")
+}
+
+func runNoBigSecret(pass *Pass) {
+	if pass.Pkg.Name != "bls" {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		base := pass.filename(file.Package)
+		if !hotPathFile(base) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path != "math/big" {
+				continue
+			}
+			pass.Reportf(imp.Pos(), "math/big imported in limb-arithmetic hot path %s: field kernels must stay on fixed-width limb arithmetic (see bls/doc.go); public-scalar recoding belongs in glv.go/endomorphism.go/wnaf.go", base)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package fixture exercises the ctsecret analyzer. Every `want` comment
+// asserts a finding; every line without one must stay quiet.
+package fixture
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"math/big"
+	"math/bits"
+)
+
+// --- comparisons and branches on annotated parameters ---
+
+// checkPIN compares a candidate PIN against the stored one.
+//
+//spin:secret pin
+func checkPIN(pin, guess string) bool {
+	if pin == guess { // want `secret-dependent comparison "==" on secret string`
+		return true
+	}
+	return subtle.ConstantTimeCompare([]byte(pin), []byte(guess)) == 1 // ok: subtle sink
+}
+
+//spin:secret key
+func leakEqual(key, other []byte) bool {
+	return bytes.Equal(key, other) // want `bytes.Equal on secret bytes: use subtle.ConstantTimeCompare`
+}
+
+//spin:secret idx
+func tableLookup(idx int, table *[16]uint64) uint64 {
+	return table[idx] // want `secret-dependent index`
+}
+
+//spin:secret k
+func bigMul(k, p *big.Int) *big.Int {
+	return new(big.Int).Mul(k, p) // want `variable-time call big.Mul with secret argument`
+}
+
+// --- the fp_limb.go conditional-subtraction shape ---
+
+type fe [6]uint64
+
+var pFix = fe{1, 2, 3, 4, 5, 6}
+
+// feSubLeaky is the unmasked conditional-addition shape from a Montgomery
+// subtraction: the borrow of a secret subtraction drives a branch.
+//
+//spin:secret x y
+func feSubLeaky(z, x, y *fe) {
+	var b uint64
+	for i := 0; i < 6; i++ {
+		z[i], b = bits.Sub64(x[i], y[i], b)
+	}
+	if b != 0 { // want `secret-dependent comparison "!=" on a //spin:secret-derived value`
+		var c uint64
+		for i := 0; i < 6; i++ {
+			z[i], c = bits.Add64(z[i], pFix[i], c)
+		}
+	}
+}
+
+// feSubMasked is the repaired shape: the borrow becomes a mask and the
+// add-back always executes.
+//
+//spin:secret x y
+func feSubMasked(z, x, y *fe) {
+	var b uint64
+	for i := 0; i < 6; i++ {
+		z[i], b = bits.Sub64(x[i], y[i], b)
+	}
+	mask := -b // all-ones iff the subtraction borrowed
+	var c uint64
+	for i := 0; i < 6; i++ {
+		z[i], c = bits.Add64(z[i], pFix[i]&mask, c)
+	}
+}
+
+// --- struct fields and methods ---
+
+type vault struct {
+	rootKey []byte //spin:secret
+	public  []byte
+}
+
+func (v *vault) branchOnKey() bool {
+	if v.rootKey[0] == 0 { // want `secret-dependent comparison "=="`
+		return true
+	}
+	return false
+}
+
+func (v *vault) publicOK() bool {
+	return v.public[0] == 0 // ok: unannotated field
+}
+
+// --- secret returns and the bare short-declaration form ---
+
+// deriveKey stretches the root secret.
+//
+//spin:secret return
+func deriveKey() []byte { return make([]byte, 32) }
+
+func readSeed() ([]byte, error) { return make([]byte, 16), nil }
+
+func useDerived() int {
+	k := deriveKey()
+	if len(k) == 0 { // ok: lengths are public metadata
+		return 0
+	}
+	if k[0] > 10 { // want `secret-dependent comparison ">"`
+		return 1
+	}
+	return 2
+}
+
+func shortDecl() int {
+	seed, err := readSeed() //spin:secret
+	if err != nil {         // ok: error values are never tainted
+		return -1
+	}
+	if seed[0] == 0 { // want `secret-dependent comparison "=="`
+		return 0
+	}
+	return 1
+}
+
+// --- //spin:vartime callees ---
+
+// mulVartime stands in for a wNAF scalar multiplication.
+//
+//spin:vartime
+func mulVartime(k uint64) uint64 { return k * 3 }
+
+//spin:secret k
+func callVartime(k uint64) uint64 {
+	return mulVartime(k) // want `variable-time call fixture.mulVartime with secret argument`
+}
+
+//spin:secret k
+func maskFirst(k uint64) uint64 {
+	mask := -(k & 1) // ok: arithmetic only
+	return 7 & mask  // ok: no branch, no comparison
+}
+
+// --- suppressions ---
+
+//spin:secret pin
+func suppressedFinding(pin string) bool {
+	//spinlint:ignore ctsecret length-only check, content not compared
+	return pin == "" // ok: suppressed with a justification
+}
+
+//spin:secret pin
+func malformedSuppression(pin string) bool {
+	//spinlint:ignore ctsecret
+	return pin == "" // want `secret-dependent comparison "==" on secret string`
+}

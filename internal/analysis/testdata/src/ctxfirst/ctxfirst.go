@@ -1,0 +1,49 @@
+// Package fixture exercises the ctxfirst analyzer: exported service
+// interfaces that thread context.Context must do so consistently and
+// always as the first parameter.
+package fixture
+
+import "context"
+
+// Service is an exported role interface that has adopted contexts.
+type Service interface {
+	Recover(ctx context.Context, id uint64) ([]byte, error)
+	Store(id uint64, blob []byte) error          // want `Service.Store: service interface threads context.Context but this method does not take one`
+	Delete(id uint64, ctx context.Context) error // want `Service.Delete takes context.Context as parameter 2`
+	Epoch() uint64                               // ok: no parameters, nothing to cancel
+}
+
+// NoCtx is exported but entirely context-free: allowed.
+type NoCtx interface {
+	Ping() error
+	Count(n int) int
+}
+
+// helper is unexported and exempt from the interface rules.
+type helper interface {
+	run(id uint64) error
+}
+
+var _ helper = nil
+
+func fine(ctx context.Context, id uint64) error {
+	_ = ctx
+	_ = id
+	return nil
+}
+
+func buried(id uint64, ctx context.Context) error { // want `buried takes context.Context as parameter 2`
+	_ = ctx
+	_ = id
+	return nil
+}
+
+type impl struct{}
+
+func (impl) Do(id uint64, ctx context.Context) { // want `Do takes context.Context as parameter 2`
+	_ = ctx
+	_ = id
+}
+
+var _ = fine
+var _ = buried

@@ -1,0 +1,45 @@
+// Package fixture exercises the lockdiscipline analyzer: fields marked
+// //spin:guardedby must be touched only under their mutex (writes need
+// the exclusive Lock), unless the method's Locked suffix declares that
+// the caller holds it.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu  sync.RWMutex
+	n   int //spin:guardedby mu
+	pub int
+}
+
+func (c *counter) Good() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n // ok: read under RLock
+}
+
+func (c *counter) BadRead() int {
+	return c.n // want `read of c.n without holding mu.RLock or Lock`
+}
+
+func (c *counter) BadWrite() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.n = 1 // want `write of c.n without holding mu.Lock`
+}
+
+func (c *counter) GoodWrite() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) nLocked() int { return c.n } // ok: Locked suffix, caller holds mu
+
+func (c *counter) Public() int { return c.pub } // ok: unguarded field
+
+func (c *counter) BadAddr() *int {
+	return &c.n // want `write of c.n without holding mu.Lock`
+}
+
+var _ = (*counter)(nil).nLocked

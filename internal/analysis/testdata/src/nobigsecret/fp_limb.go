@@ -1,0 +1,10 @@
+// Package bls mimics the real bls package layout for the nobigsecret
+// analyzer: fp*.go and the constant-time curve files must not import
+// math/big; the public-scalar recoding files may.
+package bls
+
+import (
+	"math/big" // want `math/big imported in limb-arithmetic hot path fp_limb.go`
+)
+
+var _ = big.NewInt

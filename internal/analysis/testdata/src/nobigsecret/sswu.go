@@ -1,0 +1,7 @@
+package bls
+
+import (
+	"math/big" // want `math/big imported in limb-arithmetic hot path sswu.go`
+)
+
+var _ = big.NewFloat

@@ -100,7 +100,7 @@ type PublicKey struct {
 // puncture counter that drives key rotation.
 type PrivateKey struct {
 	Params
-	store     *securestore.Store
+	store     *securestore.Store //spin:secret
 	punctured int
 	meter     *meter.Meter
 }

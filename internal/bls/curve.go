@@ -313,7 +313,9 @@ func (p G1) addMixed(qx, qy *fe) G1 {
 // using the GLV endomorphism split (glv.go). Every exported constructor
 // only produces subgroup points; code handling arbitrary curve points
 // (cofactor clearing) uses mulRaw, which this package retains as the
-// differential oracle.
+// differential oracle. Variable-time in k: secret scalars use MulSecret.
+//
+//spin:vartime
 func (p G1) Mul(k *big.Int) G1 {
 	return p.mulGLV(new(big.Int).Mod(k, rOrder))
 }
@@ -540,6 +542,9 @@ func (p G2) addMixed(qx, qy *fe2) G2 {
 // Mul returns k·p for p in the order-r subgroup of the twist (k reduced
 // mod r), using the 4-way ψ decomposition (endomorphism.go). Code handling
 // arbitrary twist points uses mulRaw, retained as the differential oracle.
+// Variable-time in k.
+//
+//spin:vartime
 func (p G2) Mul(k *big.Int) G2 {
 	return p.mulPsi(new(big.Int).Mod(k, rOrder))
 }

@@ -76,6 +76,8 @@ func g2GenTableInit() {
 
 // G1MulGen returns k·G for the G1 generator (k reduced mod r): a pure
 // table walk of at most 64 mixed additions.
+//
+//spin:vartime
 func G1MulGen(k *big.Int) G1 {
 	g1GenTableInit()
 	limbs := scalarToLimbs256(new(big.Int).Mod(k, rOrder))
@@ -92,6 +94,8 @@ func G1MulGen(k *big.Int) G1 {
 
 // G2MulGen returns k·G for the G2 generator (k reduced mod r) — the key
 // generation path.
+//
+//spin:vartime
 func G2MulGen(k *big.Int) G2 {
 	g2GenTableInit()
 	limbs := scalarToLimbs256(new(big.Int).Mod(k, rOrder))

@@ -1,0 +1,192 @@
+package bls
+
+// fp_ct_test.go proves the masked constant-time kernels byte-identical
+// to the fast variable-time ones, with the reduction boundary cases
+// (both sides of every conditional subtraction) driven explicitly.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// ctRandFe returns a uniformly random reduced field element by
+// rejection sampling.
+func ctRandFe(rng *rand.Rand) fe {
+	for {
+		var z fe
+		for i := range z {
+			z[i] = rng.Uint64()
+		}
+		z[5] &= (1 << 61) - 1 // top limb of p is 61 bits
+		var t fe
+		feReduceCT(&t, &z)
+		if t == z { // z < p
+			return z
+		}
+	}
+}
+
+// ctEdgeCases are reduction-boundary operands: 0, 1, p−1 (so x+y and
+// x−y exercise both sides of every conditional subtraction), plus the
+// high-limbed Montgomery constants.
+func ctEdgeCases() []fe {
+	var zero, one, pm1 fe
+	feFromUint64(&one, 1)
+	feNeg(&pm1, &one) // p − 1
+	return []fe{zero, one, pm1, feR, feR2}
+}
+
+func TestFeAddSubReduceCTDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xc7))
+	cases := ctEdgeCases()
+	for i := 0; i < 2000; i++ {
+		cases = append(cases, ctRandFe(rng))
+	}
+	for i, x := range cases {
+		y := cases[(i*7+3)%len(cases)]
+		var want, got fe
+
+		feAdd(&want, &x, &y)
+		feAddCT(&got, &x, &y)
+		if want != got {
+			t.Fatalf("feAddCT mismatch: x=%x y=%x want=%x got=%x", x, y, want, got)
+		}
+
+		feSub(&want, &x, &y)
+		feSubCT(&got, &x, &y)
+		if want != got {
+			t.Fatalf("feSubCT mismatch: x=%x y=%x want=%x got=%x", x, y, want, got)
+		}
+
+		feDouble(&want, &x)
+		feDoubleCT(&got, &x)
+		if want != got {
+			t.Fatalf("feDoubleCT mismatch: x=%x want=%x got=%x", x, want, got)
+		}
+
+		t2 := x
+		feReduce(&want, &t2)
+		t2 = x
+		feReduceCT(&got, &t2)
+		if want != got {
+			t.Fatalf("feReduceCT mismatch: t=%x want=%x got=%x", x, want, got)
+		}
+	}
+}
+
+// TestFeReduceCTAboveP drives feReduceCT on unreduced inputs in [p, 2p)
+// where the subtraction branch must be taken.
+func TestFeReduceCTAboveP(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xd9))
+	for i := 0; i < 2000; i++ {
+		x := ctRandFe(rng)
+		// t = x + p (no overflow: x < p, 2p < 2^384).
+		var carry uint64
+		var tv fe
+		for j := range tv {
+			var c uint64
+			tv[j], c = addCarry(x[j], pLimbs[j], carry)
+			carry = c
+		}
+		var want, got fe
+		tw := tv
+		feReduce(&want, &tw)
+		tw = tv
+		feReduceCT(&got, &tw)
+		if want != got || got != x {
+			t.Fatalf("feReduceCT above p: x=%x want=%x got=%x", x, want, got)
+		}
+	}
+}
+
+func addCarry(a, b, c uint64) (uint64, uint64) {
+	s := a + b
+	c1 := uint64(0)
+	if s < a {
+		c1 = 1
+	}
+	s2 := s + c
+	if s2 < s {
+		c1 = 1
+	}
+	return s2, c1
+}
+
+func TestFeMulSquareCTDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xe3))
+	cases := ctEdgeCases()
+	for i := 0; i < 1000; i++ {
+		cases = append(cases, ctRandFe(rng))
+	}
+	for i, x := range cases {
+		y := cases[(i*11+5)%len(cases)]
+		var want, got fe
+
+		feMul(&want, &x, &y)
+		feMulCT(&got, &x, &y)
+		if want != got {
+			t.Fatalf("feMulCT mismatch: x=%x y=%x want=%x got=%x", x, y, want, got)
+		}
+
+		feSquare(&want, &x)
+		feSquareCT(&got, &x)
+		if want != got {
+			t.Fatalf("feSquareCT mismatch: x=%x want=%x got=%x", x, want, got)
+		}
+	}
+}
+
+func TestCt64Eq(t *testing.T) {
+	cases := []struct {
+		a, b uint64
+		want uint64
+	}{
+		{0, 0, 1}, {1, 0, 0}, {0, 1, 0}, {15, 15, 1},
+		{^uint64(0), ^uint64(0), 1}, {^uint64(0), 0, 0}, {1 << 63, 1 << 63, 1},
+	}
+	for _, c := range cases {
+		if got := ct64Eq(c.a, c.b); got != c.want {
+			t.Errorf("ct64Eq(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func BenchmarkFeAddCT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := ctRandFe(rng), ctRandFe(rng)
+	var z fe
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feAddCT(&z, &x, &y)
+	}
+}
+
+func BenchmarkFeSubCT(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := ctRandFe(rng), ctRandFe(rng)
+	var z fe
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feSubCT(&z, &x, &y)
+	}
+}
+
+func BenchmarkFeMulCT(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := ctRandFe(rng), ctRandFe(rng)
+	var z fe
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feMulCT(&z, &x, &y)
+	}
+}
+
+func BenchmarkFeSquareCT(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := ctRandFe(rng)
+	var z fe
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feSquareCT(&z, &x)
+	}
+}

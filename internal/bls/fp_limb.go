@@ -378,6 +378,8 @@ func (x *fe) isOne() bool { return *x == feR }
 
 // feExp sets z = x^e for a little-endian limb exponent (square-and-multiply,
 // not constant time — acceptable: exponents here are public constants).
+//
+//spin:vartime
 func feExp(z, x *fe, e []uint64) {
 	out := feR // 1 in Montgomery form
 	base := *x

@@ -1,0 +1,157 @@
+package bls
+
+// scalarmul_ct.go is the constant-time G1 scalar multiplication behind
+// SecretKey.Sign: a 4-bit fixed-window walk over the scalar where every
+// field operation is a masked fp_ct.go kernel, the window entry is
+// fetched by scanning the whole table with feCMov (no secret-indexed
+// load), and the two reachable exceptional cases — accumulator still at
+// infinity, window digit zero — are resolved by masked selects instead
+// of branches. The point is public (a hashed message); only the scalar
+// is secret, so the window table itself is built with the fast
+// variable-time arithmetic.
+//
+// The branch-free Jacobian formulas are exception-free here because the
+// scalar is reduced mod r and the base point has odd prime order r: the
+// running prefix of consumed windows never collides with ±digit (the
+// doubling/cancellation cases of madd-2007-bl), and y = 0 points do not
+// exist on the curve. scalarmul_ct_test.go drives the boundary scalars
+// (0, 1, small digits, r−1, leading-zero windows) differentially
+// against the GLV path.
+
+import "math/big"
+
+// g1CMov sets dst = src when cond = 1 and leaves dst unchanged when
+// cond = 0.
+func g1CMov(dst, src *G1, cond uint64) {
+	feCMov(&dst.x, &src.x, cond)
+	feCMov(&dst.y, &src.y, cond)
+	feCMov(&dst.z, &src.z, cond)
+}
+
+// g1DoubleCT returns 2p with branch-free dbl-2009-l formulas: an
+// infinity input (Z = 0) yields Z3 = 2YZ = 0, so the identity is
+// preserved without the early return of double().
+func (p G1) g1DoubleCT() G1 {
+	var a, b, c, d, e, f fe
+	feSquareCT(&a, &p.x)
+	feSquareCT(&b, &p.y)
+	feSquareCT(&c, &b)
+	feAddCT(&d, &p.x, &b)
+	feSquareCT(&d, &d)
+	feSubCT(&d, &d, &a)
+	feSubCT(&d, &d, &c)
+	feDoubleCT(&d, &d)
+	feDoubleCT(&e, &a)
+	feAddCT(&e, &e, &a)
+	feSquareCT(&f, &e)
+	var out G1
+	feSubCT(&out.x, &f, &d)
+	feSubCT(&out.x, &out.x, &d)
+	feSubCT(&out.y, &d, &out.x)
+	feMulCT(&out.y, &out.y, &e)
+	feDoubleCT(&c, &c)
+	feDoubleCT(&c, &c)
+	feDoubleCT(&c, &c)
+	feSubCT(&out.y, &out.y, &c)
+	feMulCT(&out.z, &p.y, &p.z)
+	feDoubleCT(&out.z, &out.z)
+	return out
+}
+
+// g1AddMixedCT returns p + (qx, qy) with branch-free madd-2007-bl
+// formulas plus masked fixups for the reachable exceptions: qValid = 0
+// (the window digit was zero) returns p, and p at infinity returns the
+// affine point. Callers must guarantee the doubling/cancellation cases
+// cannot occur (see the file comment).
+func g1AddMixedCT(p *G1, qx, qy *fe, qValid uint64) G1 {
+	var z1z1, u2, s2, h, r fe
+	feSquareCT(&z1z1, &p.z)
+	feMulCT(&u2, qx, &z1z1)
+	feMulCT(&s2, qy, &p.z)
+	feMulCT(&s2, &s2, &z1z1)
+	feSubCT(&h, &u2, &p.x)
+	feSubCT(&r, &s2, &p.y)
+	var hh, i, j, v fe
+	feSquareCT(&hh, &h)
+	feDoubleCT(&i, &hh)
+	feDoubleCT(&i, &i)
+	feMulCT(&j, &h, &i)
+	feDoubleCT(&r, &r)
+	feMulCT(&v, &p.x, &i)
+	var out G1
+	feSquareCT(&out.x, &r)
+	feSubCT(&out.x, &out.x, &j)
+	feSubCT(&out.x, &out.x, &v)
+	feSubCT(&out.x, &out.x, &v)
+	feSubCT(&out.y, &v, &out.x)
+	feMulCT(&out.y, &out.y, &r)
+	var t fe
+	feMulCT(&t, &p.y, &j)
+	feDoubleCT(&t, &t)
+	feSubCT(&out.y, &out.y, &t)
+	feAddCT(&out.z, &p.z, &h)
+	feSquareCT(&out.z, &out.z)
+	feSubCT(&out.z, &out.z, &z1z1)
+	feSubCT(&out.z, &out.z, &hh)
+	// p at infinity: the sum is q itself (as a Z = 1 Jacobian point).
+	qJac := G1{x: *qx, y: *qy, z: feR}
+	g1CMov(&out, &qJac, feIsZeroMask(&p.z))
+	// Digit zero: the sum is p (covers the both-infinite case too).
+	g1CMov(&out, p, 1^qValid)
+	return out
+}
+
+// MulSecret returns k·p for p in the order-r subgroup without any
+// k-dependent branch or memory access; use it whenever the scalar is
+// secret (signing, possession proofs). k is expected in [0, r) — the
+// scalars SecretKey carries — and out-of-range values are reduced with
+// variable-time arithmetic before the constant-time walk.
+//
+//spin:secret k
+func (p G1) MulSecret(k *big.Int) G1 {
+	if p.IsInfinity() {
+		return p
+	}
+	//spinlint:ignore ctsecret range guard reads only the public sign/bit-length bound of k
+	if k.Sign() < 0 || k.Cmp(rOrder) >= 0 {
+		//spinlint:ignore ctsecret out-of-range scalars are API misuse, reduced vartime by contract
+		k = new(big.Int).Mod(k, rOrder)
+	}
+	var kb [32]byte
+	//spinlint:ignore ctsecret FillBytes pads to a fixed 32-byte width; timing tracks the public limb count
+	k.FillBytes(kb[:])
+
+	// Window table d·P, d = 1..15, in affine form. The point is public:
+	// the fast variable-time Add/affine are fine here.
+	var tax, tay [15]fe
+	jac := p
+	for d := 0; d < 15; d++ {
+		tax[d], tay[d], _ = jac.affine()
+		jac = jac.Add(p)
+	}
+
+	acc := g1Infinity()
+	for w := 0; w < 64; w++ {
+		if w != 0 { // public loop counter, not a secret branch
+			acc = acc.g1DoubleCT()
+			acc = acc.g1DoubleCT()
+			acc = acc.g1DoubleCT()
+			acc = acc.g1DoubleCT()
+		}
+		digit := uint64(kb[w>>1])
+		if w&1 == 0 {
+			digit >>= 4
+		} else {
+			digit &= 0x0f
+		}
+		// Constant-time table scan: touch every entry, keep the match.
+		var qx, qy fe
+		for d := uint64(1); d <= 15; d++ {
+			m := ct64Eq(digit, d)
+			feCMov(&qx, &tax[d-1], m)
+			feCMov(&qy, &tay[d-1], m)
+		}
+		acc = g1AddMixedCT(&acc, &qx, &qy, ctNonzero64(digit))
+	}
+	return acc
+}

@@ -64,7 +64,7 @@ type Provider interface {
 // Client is one user's device.
 type Client struct {
 	user     string
-	pin      string
+	pin      string //spin:secret
 	params   lhe.Params
 	fleet    lhe.Encryptor
 	provider Provider
@@ -74,6 +74,8 @@ type Client struct {
 
 // New creates a client with a fresh random salt. fleet must hold the
 // authentic public keys of all N HSMs (the trust anchor of §2).
+//
+//spin:secret pin
 func New(user, pin string, params lhe.Params, fleet lhe.Encryptor, p Provider) (*Client, error) {
 	c := &Client{user: user, pin: pin, params: params, fleet: fleet, provider: p, rng: rand.Reader}
 	if err := c.refreshSalt(); err != nil {
@@ -137,7 +139,10 @@ var ErrTooFewShares = errors.New("client: too few shares recovered")
 // user typing a guess on a fresh device). Cancelling ctx aborts whichever
 // provider exchange is in flight — including the epoch wait, from which
 // the client is unsubscribed cleanly.
+//
+//spin:secret pin
 func (c *Client) Begin(ctx context.Context, pin string) (*Session, error) {
+	//spinlint:ignore ctsecret empty-string sentinel check: compares length only, not PIN content
 	if pin == "" {
 		pin = c.pin
 	}
@@ -394,6 +399,8 @@ func (s *Session) Finish(ctx context.Context) ([]byte, error) {
 // cluster in parallel, Finish. Individual HSM failures are tolerated as
 // long as t shares come back (Property 3, fault tolerance). The context
 // bounds the whole flow; use BeginRecovery for a resumable session.
+//
+//spin:secret pin
 func (c *Client) Recover(ctx context.Context, pin string) ([]byte, error) {
 	s, err := c.Begin(ctx, pin)
 	if err != nil {

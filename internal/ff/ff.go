@@ -76,6 +76,8 @@ func (e Element) big() *big.Int {
 }
 
 // Add returns e + f mod p.
+//
+//spin:vartime
 func (e Element) Add(f Element) Element {
 	v := new(big.Int).Add(e.big(), f.big())
 	if v.Cmp(p) >= 0 {
@@ -85,6 +87,8 @@ func (e Element) Add(f Element) Element {
 }
 
 // Sub returns e − f mod p.
+//
+//spin:vartime
 func (e Element) Sub(f Element) Element {
 	v := new(big.Int).Sub(e.big(), f.big())
 	if v.Sign() < 0 {
@@ -97,12 +101,16 @@ func (e Element) Sub(f Element) Element {
 func (e Element) Neg() Element { return Zero().Sub(e) }
 
 // Mul returns e · f mod p.
+//
+//spin:vartime
 func (e Element) Mul(f Element) Element {
 	v := new(big.Int).Mul(e.big(), f.big())
 	return Element{v.Mod(v, p)}
 }
 
 // Inv returns the multiplicative inverse of e. It returns an error for zero.
+//
+//spin:vartime
 func (e Element) Inv() (Element, error) {
 	if e.IsZero() {
 		return Element{}, errors.New("ff: inverse of zero")
@@ -111,6 +119,8 @@ func (e Element) Inv() (Element, error) {
 }
 
 // Div returns e / f. It returns an error if f is zero.
+//
+//spin:vartime
 func (e Element) Div(f Element) (Element, error) {
 	fi, err := f.Inv()
 	if err != nil {

@@ -51,17 +51,17 @@ type HSM struct {
 	// its puncture must be atomic with respect to other recoveries, and
 	// rotation swaps the key wholesale.
 	keyMu  sync.Mutex
-	bfeKey *bfe.PrivateKey
+	bfeKey *bfe.PrivateKey //spin:guardedby keyMu
 
 	// stateMu guards the cheap mutable state below.
 	stateMu   sync.RWMutex
-	bfePub    *bfe.PublicKey
-	auditor   *dlog.Auditor
-	keyEpoch  int
-	punctures int64
+	bfePub    *bfe.PublicKey //spin:guardedby stateMu
+	auditor   *dlog.Auditor  //spin:guardedby stateMu
+	keyEpoch  int            //spin:guardedby stateMu
+	punctures int64          //spin:guardedby stateMu
 
 	signer aggsig.Signer
-	oracle securestore.Oracle
+	oracle securestore.Oracle //spin:guardedby stateMu
 	rng    io.Reader
 	m      *meter.Meter
 }

@@ -88,6 +88,8 @@ const SaltSize = 32
 // Select deterministically maps (salt, pin) to the n distinct cluster
 // indices in [N]. Both Backup and Recover call this; it is the only place
 // the PIN enters the cryptosystem.
+//
+//spin:secret pin
 func (p Params) Select(salt []byte, pin string) ([]int, error) {
 	seed := sha256.New()
 	seed.Write(salt)
@@ -145,6 +147,8 @@ func parseSharePlaintext(b []byte, wantUser string) (shamir.Share, error) {
 
 // Encrypt produces a recovery ciphertext for msg under (user, pin), spread
 // over the N public keys held by enc. A fresh salt is drawn from rng.
+//
+//spin:secret pin
 func (p Params) Encrypt(enc Encryptor, user, pin string, msg []byte, rng io.Reader) (*Ciphertext, error) {
 	salt := make([]byte, SaltSize)
 	if _, err := io.ReadFull(rng, salt); err != nil {
@@ -156,6 +160,8 @@ func (p Params) Encrypt(enc Encryptor, user, pin string, msg []byte, rng io.Read
 // EncryptWithSalt is Encrypt with a caller-chosen salt. Clients reuse the
 // salt across a series of backups (§8, "Multiple recovery ciphertexts") so
 // that one puncture revokes all of their earlier ciphertexts at once.
+//
+//spin:secret pin
 func (p Params) EncryptWithSalt(enc Encryptor, user, pin string, salt []byte, msg []byte, rng io.Reader) (*Ciphertext, error) {
 	if len(salt) != SaltSize {
 		return nil, fmt.Errorf("lhe: salt must be %d bytes, got %d", SaltSize, len(salt))

@@ -118,9 +118,9 @@ type escrowBox struct {
 // shard is one lock stripe of per-user state.
 type shard struct {
 	mu       sync.Mutex
-	cts      map[string][][]byte
-	escrow   map[string]*escrowBox
-	attempts map[string]int
+	cts      map[string][][]byte   //spin:guardedby mu
+	escrow   map[string]*escrowBox //spin:guardedby mu
+	attempts map[string]int        //spin:guardedby mu
 }
 
 // Provider is the data-center state.
@@ -132,24 +132,25 @@ type Provider struct {
 	shards []*shard
 
 	fleetMu sync.RWMutex
-	hsms    map[int]HSMHandle
-	oracles map[int]*providerOracle
-	roster  map[int]RosterEntry
+	hsms    map[int]HSMHandle       //spin:guardedby fleetMu
+	oracles map[int]*providerOracle //spin:guardedby fleetMu
+	roster  map[int]RosterEntry     //spin:guardedby fleetMu
 
 	// rosterGen counts roster mutations — live registrations AND journal
 	// replays — so the cached fleet aggregate below can tell whether a
 	// registration landed after it was built. Guarded by fleetMu.
-	rosterGen uint64
+	rosterGen uint64 //spin:guardedby fleetMu
 	scheme    aggsig.Scheme
-	rcache    *aggsig.RosterCache
-	rcacheIDs map[int]int // HSM ID → cache roster position at rcacheGen
-	rcacheGen uint64
+	rcache    *aggsig.RosterCache //spin:guardedby fleetMu
+	// rcacheIDs maps HSM ID → cache roster position at rcacheGen.
+	rcacheIDs map[int]int //spin:guardedby fleetMu
+	rcacheGen uint64      //spin:guardedby fleetMu
 
 	// store is the durability journal (nil = volatile provider).
 	store storage.Engine
 	// durMu guards lastCommit and snapshot construction ordering.
 	durMu      sync.Mutex
-	lastCommit *dlog.CommitMessage
+	lastCommit *dlog.CommitMessage //spin:guardedby durMu
 
 	closeOnce sync.Once
 	closeErr  error

@@ -1,6 +1,7 @@
 package securestore
 
 import (
+	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -24,7 +25,7 @@ type Oracle interface {
 // traffic (and remote OracleGet/OraclePut RPCs) in parallel.
 type MemOracle struct {
 	mu     sync.RWMutex
-	blocks map[uint64][]byte
+	blocks map[uint64][]byte //spin:guardedby mu
 }
 
 // NewMemOracle returns an empty in-memory store.
@@ -72,9 +73,9 @@ func (o *MemOracle) Blocks() map[uint64][]byte {
 // root key is secret; everything else is public parameters.
 type Store struct {
 	oracle  Oracle
-	rootKey []byte
-	height  int // leaves sit at depth height; 2^height leaves
-	numData int // caller-visible block count (may be < 2^height)
+	rootKey []byte //spin:secret
+	height  int    // leaves sit at depth height; 2^height leaves
+	numData int    // caller-visible block count (may be < 2^height)
 	meter   *meter.Meter
 	rng     io.Reader
 }
@@ -84,13 +85,14 @@ type Store struct {
 // occurs with probability 2^-256.
 var deletedKey = make([]byte, aead.KeySize)
 
+// isDeleted reports whether key is the deletion sentinel. Path keys derive
+// from the secret root key, so the scan is a single constant-time
+// comparison, not an early-exit byte loop whose duration tracks the first
+// nonzero byte.
+//
+//spin:secret key
 func isDeleted(key []byte) bool {
-	for _, b := range key {
-		if b != 0 {
-			return false
-		}
-	}
-	return true
+	return subtle.ConstantTimeCompare(key, deletedKey) == 1
 }
 
 // nodeAD binds each ciphertext to its tree address, preventing the provider

@@ -340,3 +340,29 @@ func BenchmarkDeleteWriteCycle4K(b *testing.B) {
 		}
 	}
 }
+
+// TestIsDeletedConstantTime pins the sentinel semantics across the switch
+// from an early-exit byte loop to subtle.ConstantTimeCompare: exactly the
+// KeySize-zero sentinel reads as deleted; live keys (including ones that
+// are zero everywhere but the last byte) and wrong-length slices do not.
+func TestIsDeletedConstantTime(t *testing.T) {
+	if !isDeleted(deletedKey) {
+		t.Fatal("deletedKey sentinel not recognized")
+	}
+	if !isDeleted(make([]byte, aead.KeySize)) {
+		t.Fatal("fresh all-zero key of KeySize not recognized as deleted")
+	}
+	lateBit := make([]byte, aead.KeySize)
+	lateBit[aead.KeySize-1] = 1
+	if isDeleted(lateBit) {
+		t.Fatal("key with a single trailing nonzero byte read as deleted")
+	}
+	earlyBit := make([]byte, aead.KeySize)
+	earlyBit[0] = 1
+	if isDeleted(earlyBit) {
+		t.Fatal("key with a single leading nonzero byte read as deleted")
+	}
+	if isDeleted(make([]byte, aead.KeySize-1)) || isDeleted(nil) {
+		t.Fatal("wrong-length slice read as deleted")
+	}
+}

@@ -12,7 +12,7 @@ import (
 // and must be non-zero; Y = f(X).
 type Share struct {
 	X int
-	Y ff.Element
+	Y ff.Element //spin:secret
 }
 
 // ShareSize is the serialized size of a share: 4-byte big-endian X followed
@@ -49,6 +49,8 @@ func ShareFromBytes(b []byte) (Share, error) {
 // Split shares secret into n shares such that any t reconstruct it. The
 // polynomial's random coefficients are drawn from rng. Shares are issued at
 // X = 1..n.
+//
+//spin:secret secret
 func Split(secret ff.Element, t, n int, rng io.Reader) ([]Share, error) {
 	if t < 1 {
 		return nil, fmt.Errorf("shamir: threshold %d must be at least 1", t)
@@ -75,9 +77,12 @@ func Split(secret ff.Element, t, n int, rng io.Reader) ([]Share, error) {
 
 // eval computes the polynomial with the given coefficients (low-degree first)
 // at x via Horner's rule.
+//
+//spin:secret coeffs
 func eval(coeffs []ff.Element, x ff.Element) ff.Element {
 	acc := ff.Zero()
 	for i := len(coeffs) - 1; i >= 0; i-- {
+		//spinlint:ignore ctsecret ff is big.Int-backed and wholly variable-time; a CT 2^255-19 field is a ROADMAP residual
 		acc = acc.Mul(x).Add(coeffs[i])
 	}
 	return acc
@@ -119,6 +124,7 @@ func Reconstruct(shares []Share, t int) (ff.Element, error) {
 		if err != nil {
 			return ff.Element{}, fmt.Errorf("shamir: degenerate share set: %w", err)
 		}
+		//spinlint:ignore ctsecret ff is big.Int-backed and wholly variable-time; a CT 2^255-19 field is a ROADMAP residual
 		secret = secret.Add(sj.Y.Mul(lj))
 	}
 	return secret, nil
@@ -126,6 +132,8 @@ func Reconstruct(shares []Share, t int) (ff.Element, error) {
 
 // SplitBytes is a convenience wrapper that embeds a short secret (≤ 31
 // bytes) into the field before splitting.
+//
+//spin:secret secret
 func SplitBytes(secret []byte, t, n int, rng io.Reader) ([]Share, error) {
 	e, err := ff.Embed(secret)
 	if err != nil {

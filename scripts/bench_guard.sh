@@ -28,12 +28,17 @@ OUT="${BENCH_JSON_OUT:-BENCH_7.json}"
 BASELINE="scripts/bench_baseline.txt"
 PREV="BENCH_5.json"
 
-BLS_BENCHES='BenchmarkSign$|BenchmarkVerify$|BenchmarkPairing$|BenchmarkG1MulGLV$|BenchmarkG2MulPsi$|BenchmarkG1FromBytes$|BenchmarkG2FromBytes$|BenchmarkAggregatePublicKeys1024$|BenchmarkG2MultiExp$'
+BLS_BENCHES='BenchmarkSign$|BenchmarkVerify$|BenchmarkPairing$|BenchmarkG1MulGLV$|BenchmarkG1MulSecret$|BenchmarkG2MulPsi$|BenchmarkG1FromBytes$|BenchmarkG2FromBytes$|BenchmarkAggregatePublicKeys1024$|BenchmarkG2MultiExp$'
 # Sub-microsecond field ops need a large fixed iteration count or the
 # per-op numbers are timer-resolution noise. The *Loop variants are the
 # retained pre-unroll differential oracles: their ratio to FeMul/FeSquare
 # is the unrolling win itself.
 FIELD_BENCHES='BenchmarkFeMul$|BenchmarkFeSquare$|BenchmarkFeMulLoop$|BenchmarkFeSquareLoop$'
+# Masked constant-time kernels (fp_ct.go): the secret-scalar path. Their
+# ratio to the vartime kernels is the price of the masked selects; the
+# guard catches an accidental fallback to a branching implementation
+# (which would also be flagged by spinlint) or a blow-up in the masking.
+CT_BENCHES='BenchmarkFeAddCT$|BenchmarkFeSubCT$|BenchmarkFeMulCT$|BenchmarkFeSquareCT$'
 AGG_BENCHES='BenchmarkBLSAggregateVerify16$'
 # Cached quorum-key derivation vs the retained full-MSM path (n=1024,
 # 8 missing signers — the ISSUE 7 acceptance shape).
@@ -48,6 +53,7 @@ trap 'rm -f "$raw" "$openloop_json"' EXIT
 echo "== running benchmark set"
 go test -run=NONE -bench="$BLS_BENCHES" -benchtime=20x -count=1 ./internal/bls/ | tee -a "$raw"
 go test -run=NONE -bench="$FIELD_BENCHES" -benchtime=200000x -count=1 ./internal/bls/ | tee -a "$raw"
+go test -run=NONE -bench="$CT_BENCHES" -benchtime=200000x -count=1 ./internal/bls/ | tee -a "$raw"
 go test -run=NONE -bench="$AGG_BENCHES" -benchtime=10x -count=1 ./internal/aggsig/ | tee -a "$raw"
 go test -run=NONE -bench="$QUORUM_BENCHES" -benchtime=10x -count=1 ./internal/aggsig/ | tee -a "$raw"
 go test -run=NONE -bench="$LOAD_BENCHES" -benchtime=1x -count=1 ./internal/experiments/ | tee -a "$raw"

@@ -3,8 +3,9 @@
 # aspirational.
 #
 #  1. go vet over the module.
-#  2. Package-doc coverage: every package under ./internal/... and the
-#     root package must have a package comment (go list's .Doc field).
+#  2. Package-doc coverage: every package under ./internal/... and
+#     ./cmd/... plus the root package must have a package comment
+#     (go list's .Doc field).
 #  3. Markdown link check: every relative link in the repo's markdown
 #     files must point at a file or directory that exists.
 #
@@ -17,7 +18,7 @@ fail=0
 echo "== go vet"
 go vet ./...
 
-echo "== package-doc coverage (./internal/... and root)"
+echo "== package-doc coverage (./internal/..., ./cmd/..., and root)"
 while IFS= read -r line; do
     doc="${line#*$'\t'}"
     pkg="${line%%$'\t'*}"
@@ -25,7 +26,7 @@ while IFS= read -r line; do
         echo "MISSING package comment: $pkg"
         fail=1
     fi
-done < <(go list -f $'{{.ImportPath}}\t{{.Doc}}' . ./internal/...)
+done < <(go list -f $'{{.ImportPath}}\t{{.Doc}}' . ./internal/... ./cmd/...)
 
 echo "== markdown link check"
 # Pull every [text](target) out of tracked markdown files; verify local
