@@ -1,0 +1,144 @@
+package safetypin
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"safetypin/internal/provider"
+	"safetypin/internal/storage"
+)
+
+// attemptlimit_test.go pins the k-guess boundary end to end: with a
+// guess limit of k, the k-th guess is still served (and succeeds or
+// fails on its own merits), the k+1-th is rejected at the provider's
+// front door — across both storage engines and across a kill -9
+// restart between guesses k and k+1.
+//
+// Attempts are burned with BeginRecovery only (no share fan-out), so a
+// wrong guess never contacts an HSM: with cluster 8 of 32 and
+// threshold 5 the tests stay deterministic — there is no chance of a
+// wrong-PIN cluster accidentally puncturing, or reconstructing from,
+// the real shares.
+
+func TestAttemptLimitBoundary(t *testing.T) {
+	const pin = "123456"
+	cases := []struct {
+		k           int
+		engine      string
+		restart     bool // kill -9 between guesses k and k+1
+		lastCorrect bool // the k-th guess is the real PIN
+	}{
+		{k: 1, engine: "mem", restart: false, lastCorrect: true},
+		{k: 1, engine: "wal", restart: true, lastCorrect: false},
+		{k: 2, engine: "mem", restart: true, lastCorrect: true},
+		{k: 2, engine: "wal", restart: false, lastCorrect: false},
+		{k: 5, engine: "mem", restart: false, lastCorrect: false},
+		{k: 5, engine: "wal", restart: true, lastCorrect: true},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("k=%d/%s/restart=%v/lastCorrect=%v", tc.k, tc.engine, tc.restart, tc.lastCorrect)
+		t.Run(name, func(t *testing.T) {
+			var (
+				mem *storage.MemEngine
+				dir string
+				eng storage.Engine
+			)
+			switch tc.engine {
+			case "mem":
+				mem = storage.NewMem()
+				eng = mem
+			case "wal":
+				dir = t.TempDir()
+				fe, err := storage.OpenFile(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng = fe
+			}
+			p := testParams(32)
+			p.ClusterSize = 8
+			p.Threshold = 5
+			p.GuessLimit = tc.k
+			p.Engine = provider.EngineConfig{Storage: eng, SnapshotEvery: -1}
+			d := deploy(t, p)
+			user := "bounded"
+			msg := backupUser(t, d, user, pin)
+
+			// Guesses 1..k-1: wrong PINs, each burning one attempt.
+			guesser, err := d.NewClient(user, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < tc.k-1; i++ {
+				wrong := fmt.Sprintf("%06d", 900000+i)
+				if _, err := guesser.BeginRecovery(tctx, wrong); err != nil {
+					t.Fatalf("guess %d of %d refused early: %v", i+1, tc.k, err)
+				}
+			}
+
+			// Guess k: the last one inside the budget must be served.
+			if tc.lastCorrect {
+				c, err := d.NewClient(user, pin)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := c.Recover(tctx, "")
+				if err != nil {
+					t.Fatalf("k-th guess with the correct PIN failed: %v", err)
+				}
+				if !bytes.Equal(got, msg) {
+					t.Fatal("k-th guess recovered wrong data")
+				}
+			} else {
+				if _, err := guesser.BeginRecovery(tctx, "999999"); err != nil {
+					t.Fatalf("k-th guess refused early: %v", err)
+				}
+			}
+			if n, err := d.Provider.AttemptCount(tctx, user); err != nil || n != tc.k {
+				t.Fatalf("attempt counter = %d (%v), want %d", n, err, tc.k)
+			}
+
+			// Kill -9 between guesses k and k+1: the budget must come back
+			// fully burned.
+			if tc.restart {
+				reopen := p.Engine
+				if tc.engine == "wal" {
+					fe, err := storage.OpenFile(dir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					reopen = provider.EngineConfig{Storage: fe, SnapshotEvery: -1}
+				}
+				if err := d.ReopenProvider(reopen); err != nil {
+					t.Fatalf("reopen: %v", err)
+				}
+				if n, err := d.Provider.AttemptCount(tctx, user); err != nil || n != tc.k {
+					t.Fatalf("restart moved the counter to %d (%v), want %d", n, err, tc.k)
+				}
+			}
+
+			// Guess k+1: rejected at the front door, with the correct PIN
+			// and with a wrong one alike. Clients are created fresh — after
+			// a restart the old ones point at the dead provider.
+			c, err := d.NewClient(user, pin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Recover(tctx, ""); !errors.Is(err, provider.ErrAttemptLimit) {
+				t.Fatalf("k+1-th correct guess returned %v, want ErrAttemptLimit", err)
+			}
+			if _, err := c.BeginRecovery(tctx, "424242"); !errors.Is(err, provider.ErrAttemptLimit) {
+				t.Fatalf("k+1-th wrong guess returned %v, want ErrAttemptLimit", err)
+			}
+			if n, err := d.Provider.AttemptCount(tctx, user); err != nil || n != tc.k {
+				t.Fatalf("rejected guesses moved the counter to %d (%v)", n, err)
+			}
+
+			// The limit is per user: a fresh account still gets its budget.
+			otherMsg := backupUser(t, d, "unrelated", "654321")
+			recoverFresh(t, d, "unrelated", "654321", otherMsg)
+		})
+	}
+}

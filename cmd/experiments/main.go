@@ -11,6 +11,12 @@
 //	experiments -only load -rate 100 -duration 5s -out load.json
 //	                            # open-loop load at one offered rate,
 //	                            # machine-readable report to load.json
+//	experiments -only adversary -pin-dist skewed -duration 2s -out adv.json
+//	                            # adversarial PIN-guessing sweep: every
+//	                            # attack scenario on both storage engines,
+//	                            # security invariants machine-checked,
+//	                            # JSON report to adv.json; exits nonzero
+//	                            # on any invariant violation
 //
 // Times reported as "SoloKey time" are computed by metering every primitive
 // operation the real implementation performs and pricing the counts with
@@ -18,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,7 +39,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	rate := flag.Float64("rate", 0, "load: single open-loop arrival rate (ops/sec); 0 sweeps a rate ladder")
 	duration := flag.Duration("duration", 0, "load: open-loop measurement window per rate (default 2s)")
-	outPath := flag.String("out", "", "load: write the open-loop report as JSON to this file")
+	outPath := flag.String("out", "", "load/adversary: write the machine-readable report as JSON to this file")
+	pinDist := flag.String("pin-dist", "", "adversary: PIN distribution — skewed (default), uniform, uniform4, or a JSON file path")
 	flag.Parse()
 
 	want := func(name string) bool {
@@ -204,6 +212,36 @@ func main() {
 			fail("load", err)
 		}
 		fmt.Println(cmp)
+	}
+	if want("adversary") && *only != "" {
+		// Security sweep, not a performance figure: only runs when asked
+		// for by name, so `experiments` alone still means "regenerate the
+		// paper's evaluation".
+		ran = true
+		report, err := experiments.Adversary(context.Background(), experiments.AdversaryConfig{
+			Dist:     *pinDist,
+			Rate:     *rate,
+			Duration: *duration,
+			Quick:    *quick,
+		})
+		if err != nil {
+			fail("adversary", err)
+		}
+		report.Render(os.Stdout)
+		if *outPath != "" {
+			blob, err := report.JSON()
+			if err != nil {
+				fail("adversary", err)
+			}
+			if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
+				fail("adversary", err)
+			}
+			fmt.Printf("adversary report written to %s\n", *outPath)
+		}
+		if !report.OK() {
+			fmt.Fprintln(os.Stderr, "adversary: invariant violations detected")
+			os.Exit(1)
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)

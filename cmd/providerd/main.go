@@ -52,6 +52,7 @@ func main() {
 	storageKind := flag.String("storage", "mem", "provider state storage engine (mem | wal | blob); mem loses all state on exit, wal journals to -data-dir with crash recovery on restart")
 	dataDir := flag.String("data-dir", "", "directory for the wal engine's journal and snapshots (required with -storage wal)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "compact the journal into a snapshot every N epoch commits (0 → default 8; negative disables)")
+	attemptLimit := flag.Int("attempt-limit", 0, "reject recovery-attempt reservations once a user has burned this many guesses, mirroring the HSM guess limit at the provider (0 → unlimited; typically set equal to -guess-limit)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "how long a graceful shutdown may spend flushing the pending epoch")
 	flag.Parse()
 
@@ -125,6 +126,9 @@ func main() {
 	}
 	if *snapshotEvery != 0 {
 		opts = append(opts, transport.WithSnapshotEvery(*snapshotEvery))
+	}
+	if *attemptLimit > 0 {
+		opts = append(opts, transport.WithAttemptLimit(*attemptLimit))
 	}
 	d, err := transport.NewProviderDaemon(cfg, opts...)
 	if err != nil {

@@ -1,0 +1,99 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzParseDist hammers the distribution codec the way FuzzDecodeFrame
+// hammers the storage frame decoder: anything that parses must
+// validate, sample without panicking, and survive a JSON round-trip.
+func FuzzParseDist(f *testing.F) {
+	if blob, err := Skewed().JSON(); err == nil {
+		f.Add(blob)
+	}
+	if blob, err := Uniform(4).JSON(); err == nil {
+		f.Add(blob)
+	}
+	if blob, err := Targeted([]string{"123456", "000000"}).JSON(); err == nil {
+		f.Add(blob)
+	}
+	f.Add([]byte(`{"name":"x","head":[{"pin":"1234","weight":0}],"tail_digits":4,"tail_mass":1}`))
+	f.Add([]byte(`{"name":"x","head":[{"pin":"12`))                   // truncated
+	f.Add([]byte(`{"name":"x","tail_mass":0.5}`))                     // tail without digits
+	f.Add([]byte(`{"name":"","head":[],"tail_mass":0}`))              // no mass at all
+	f.Add([]byte(`{"name":"x","head":[{"pin":"1","weight":1e309}]}`)) // inf weight
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		d, err := ParseDist(blob)
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("ParseDist accepted an invalid distribution: %v\n%s", err, blob)
+		}
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 8; i++ {
+			if pin := d.Sample(rng); pin == "" {
+				t.Fatalf("valid distribution sampled an empty PIN\n%s", blob)
+			}
+		}
+		for _, pin := range d.Ranked(4) {
+			if pin == "" {
+				t.Fatalf("valid distribution ranked an empty PIN\n%s", blob)
+			}
+		}
+		out, err := d.JSON()
+		if err != nil {
+			t.Fatalf("valid distribution does not re-marshal: %v", err)
+		}
+		if _, err := ParseDist(out); err != nil {
+			t.Fatalf("round-trip does not re-parse: %v\n%s", err, out)
+		}
+	})
+}
+
+// FuzzParseReport covers the report codec: malformed and truncated
+// JSON must error cleanly, and anything accepted must round-trip.
+func FuzzParseReport(f *testing.F) {
+	seed := &Report{
+		Dist:       "skewed",
+		GuessLimit: 4,
+		Guessers:   8,
+		Fleet:      32,
+		Engines:    []string{"mem", "wal"},
+		Scenarios: []ScenarioStats{{
+			Name: "concurrent-guessers", Engine: "mem",
+			Guesses: 40, Granted: 4, Rejected: 36, KPlusOneRejected: true,
+		}},
+		Checked: map[string]int{InvAttemptBounded: 3},
+		Violations: []Violation{{
+			Scenario: "x", Engine: "mem", Invariant: InvNoUnburn, Detail: "counter regressed",
+		}},
+	}
+	if blob, err := seed.JSON(); err == nil {
+		f.Add(blob)
+	}
+	f.Add([]byte(`{"dist":"skewed","guess_limit":-1}`))
+	f.Add([]byte(`{"dist":"x","scenarios":[{"name":"","engine":"mem"}]}`))
+	f.Add([]byte(`{"dist":"x","scenarios":[{"name":"a","guesses":1,"granted":2}]}`))
+	f.Add([]byte(`{"violations":[{"scenario":"a"}]}`))
+	f.Add([]byte(`{}{}`))
+	f.Add([]byte(`{"dist":"x"`))
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		r, err := ParseReport(blob)
+		if err != nil {
+			return
+		}
+		out, err := r.JSON()
+		if err != nil {
+			t.Fatalf("accepted report does not re-marshal: %v", err)
+		}
+		back, err := ParseReport(out)
+		if err != nil {
+			t.Fatalf("round-trip does not re-parse: %v\n%s", err, out)
+		}
+		if back.OK() != r.OK() {
+			t.Fatal("round-trip changed the verdict")
+		}
+	})
+}

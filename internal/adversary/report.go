@@ -1,0 +1,123 @@
+package adversary
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ScenarioStats summarizes one scenario run on one storage engine.
+type ScenarioStats struct {
+	Name   string `json:"name"`
+	Engine string `json:"engine"`
+	// Guesses is how many PIN guesses the attacker issued; Granted how
+	// many the provider reserved an attempt for; Rejected how many hit
+	// the attempt limit at the front door.
+	Guesses  int `json:"guesses"`
+	Granted  int `json:"granted"`
+	Rejected int `json:"rejected"`
+	// Recovered counts successful reconstructions (a guesser that drew
+	// the victim's PIN inside the budget, or the legitimate recovery a
+	// scenario stages on purpose).
+	Recovered int `json:"recovered"`
+	// Resumes counts ResumeRecovery calls the scenario issued.
+	Resumes int `json:"resumes,omitempty"`
+	// Restarts counts provider crash/reopen cycles.
+	Restarts int `json:"restarts,omitempty"`
+	// Punctures is the fleet-wide puncture delta over the scenario.
+	Punctures int64 `json:"punctures"`
+	// KPlusOneRejected records the scenario's explicit end-of-run probe:
+	// with the budget burned, one more reservation was refused.
+	KPlusOneRejected bool  `json:"k_plus_1_rejected"`
+	ElapsedMS        int64 `json:"elapsed_ms"`
+}
+
+// Report is the JSON artifact of one adversarial run: configuration,
+// per-scenario stats, which invariants were asserted how often, and
+// every violation (empty = pass).
+type Report struct {
+	Dist       string          `json:"dist"`
+	GuessLimit int             `json:"guess_limit"`
+	Guessers   int             `json:"guessers"`
+	Fleet      int             `json:"fleet"`
+	Engines    []string        `json:"engines"`
+	Scenarios  []ScenarioStats `json:"scenarios"`
+	Checked    map[string]int  `json:"invariants_checked"`
+	Violations []Violation     `json:"violations"`
+}
+
+// OK reports whether the run held every invariant.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// JSON renders the report for -out files and CI artifacts.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// ParseReport decodes a report strictly: unknown fields, trailing
+// data, and structurally impossible stats all error — this codec is a
+// fuzz surface alongside the storage frame decoder.
+func ParseReport(b []byte) (*Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("adversary: parsing report: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); !errors.Is(err, io.EOF) {
+		return nil, errors.New("adversary: trailing data after report")
+	}
+	if r.GuessLimit < 0 || r.Guessers < 0 || r.Fleet < 0 {
+		return nil, errors.New("adversary: negative configuration in report")
+	}
+	for _, s := range r.Scenarios {
+		if s.Name == "" {
+			return nil, errors.New("adversary: unnamed scenario in report")
+		}
+		if s.Guesses < 0 || s.Granted < 0 || s.Rejected < 0 || s.Recovered < 0 ||
+			s.Resumes < 0 || s.Restarts < 0 || s.Punctures < 0 || s.ElapsedMS < 0 {
+			return nil, fmt.Errorf("adversary: negative counter in scenario %q", s.Name)
+		}
+		if s.Granted > s.Guesses {
+			return nil, fmt.Errorf("adversary: scenario %q granted %d of %d guesses", s.Name, s.Granted, s.Guesses)
+		}
+	}
+	for _, v := range r.Violations {
+		if v.Invariant == "" {
+			return nil, errors.New("adversary: violation without invariant name")
+		}
+	}
+	return &r, nil
+}
+
+// Render writes the human-readable summary the experiments CLI prints.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "adversary: dist=%s k=%d guessers=%d fleet=%d engines=%v\n",
+		r.Dist, r.GuessLimit, r.Guessers, r.Fleet, r.Engines)
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(w, "  %-22s %-4s guesses=%-4d granted=%-3d rejected=%-4d recovered=%d resumes=%d restarts=%d punctures=%-4d k+1-rejected=%v %dms\n",
+			s.Name, s.Engine, s.Guesses, s.Granted, s.Rejected, s.Recovered,
+			s.Resumes, s.Restarts, s.Punctures, s.KPlusOneRejected, s.ElapsedMS)
+	}
+	invs := make([]string, 0, len(r.Checked))
+	for inv := range r.Checked {
+		invs = append(invs, inv)
+	}
+	sort.Strings(invs)
+	fmt.Fprintf(w, "  invariants asserted:")
+	for _, inv := range invs {
+		fmt.Fprintf(w, " %s×%d", inv, r.Checked[inv])
+	}
+	fmt.Fprintln(w)
+	if r.OK() {
+		fmt.Fprintln(w, "  PASS: zero invariant violations")
+		return
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(w, "  VIOLATION %s\n", v)
+	}
+}

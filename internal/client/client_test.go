@@ -23,6 +23,7 @@ type rig struct {
 	prov   *provider.Provider
 	params lhe.Params
 	fleet  *bfe.Fleet
+	hsms   []*hsm.HSM
 }
 
 func newRig(t testing.TB, n int) *rig {
@@ -57,7 +58,7 @@ func newRig(t testing.TB, n int) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &rig{prov: prov, params: params, fleet: bfe.NewFleet(pubs)}
+	return &rig{prov: prov, params: params, fleet: bfe.NewFleet(pubs), hsms: hsms}
 }
 
 func (r *rig) client(t testing.TB, user, pin string) *Client {

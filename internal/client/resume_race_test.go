@@ -1,0 +1,105 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// fleetPunctures sums puncture counters across the rig's HSMs: the
+// ground truth for "how many shares were ever decrypted".
+func (r *rig) fleetPunctures() int64 {
+	var n int64
+	for _, h := range r.hsms {
+		n += h.Punctures()
+	}
+	return n
+}
+
+// TestConcurrentResumeSameToken is the session-resume abuse regression:
+// many devices resuming the same session token at once must not
+// double-replay escrowed shares into fresh HSM decryptions, and must
+// not burn a second attempt. Each cluster position may be punctured at
+// most once for the whole storm, no matter how the resumes interleave.
+// Run under -race: the point is the interleaving, not the happy path.
+func TestConcurrentResumeSameToken(t *testing.T) {
+	r := newRig(t, 8) // cluster 4, threshold 2
+	c := r.client(t, "stormed", "123456")
+	msg := []byte("resume storm payload")
+	if err := c.Backup(tctx, msg); err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.BeginRecovery(tctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	token, err := s.SessionToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partial progress before the crash: one share escrowed.
+	if err := s.RequestShare(tctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	attemptsBefore, err := r.prov.AttemptCount(tctx, "stormed")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const devices = 8
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		recovered int
+	)
+	for i := 0; i < devices; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c2 := r.client(t, "stormed", "123456")
+			s2, err := c2.ResumeRecovery(tctx, token)
+			if err != nil {
+				t.Errorf("resume: %v", err)
+				return
+			}
+			s2.RequestAllShares(tctx) // punctured positions fail; that's fine
+			got, err := s2.Finish(tctx)
+			if err != nil {
+				// A racer that saw only already-cleared escrow and fully
+				// punctured HSMs legitimately comes up short — but it must
+				// fail closed, not reconstruct garbage.
+				if !errors.Is(err, ErrTooFewShares) {
+					t.Errorf("finish failed oddly: %v", err)
+				}
+				return
+			}
+			if !bytes.Equal(got, msg) {
+				t.Error("concurrent resume reconstructed wrong plaintext")
+				return
+			}
+			mu.Lock()
+			recovered++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	if recovered == 0 {
+		t.Fatal("no resuming device reconstructed the backup")
+	}
+	// No double replay: every cluster position decrypted (and punctured)
+	// at most once across the entire storm.
+	if p := r.fleetPunctures(); p > int64(r.params.ClusterSize()) {
+		t.Fatalf("storm drove %d punctures across a cluster of %d: escrowed shares were re-fetched live", p, r.params.ClusterSize())
+	}
+	// No second attempt: resumption is free only in the sense that it
+	// re-uses the already-burned guess.
+	attemptsAfter, err := r.prov.AttemptCount(tctx, "stormed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attemptsAfter != attemptsBefore {
+		t.Fatalf("resume storm burned attempts: %d → %d", attemptsBefore, attemptsAfter)
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"safetypin/internal/adversary"
+)
+
+// AdversaryConfig shapes the `experiments -only adversary` run: the
+// security-invariant sweep rather than a performance measurement.
+type AdversaryConfig struct {
+	// Dist is the -pin-dist flag value: "skewed" (default), "uniform",
+	// "uniform4", or a path to a JSON distribution file.
+	Dist string
+	// Rate throttles each guesser (guesses/sec; 0 → closed loop).
+	Rate float64
+	// Duration bounds each scenario's hammering phase (0 → the driver
+	// default, 3s).
+	Duration time.Duration
+	// Quick shrinks the run for CI smoke: fewer guessers, shorter
+	// hammering.
+	Quick bool
+}
+
+// Adversary runs the full adversarial sweep — every scenario on both
+// storage engines — and returns the invariant report. A non-OK report
+// is not an error: the caller decides how loudly to fail.
+func Adversary(ctx context.Context, cfg AdversaryConfig) (*adversary.Report, error) {
+	dist, err := adversary.LoadDist(cfg.Dist)
+	if err != nil {
+		return nil, err
+	}
+	acfg := adversary.Config{
+		Dist:     dist,
+		Rate:     cfg.Rate,
+		Duration: cfg.Duration,
+	}
+	if cfg.Quick {
+		acfg.Guessers = 4
+		if acfg.Duration == 0 {
+			acfg.Duration = 500 * time.Millisecond
+		}
+	}
+	return adversary.Run(ctx, acfg)
+}

@@ -184,6 +184,17 @@ func (p *Provider) applyRecord(seq uint64, rec storage.Record) error {
 		}
 		s.mu.Unlock()
 
+	case *storage.AttemptRejectRecord:
+		// A rejection was served when the counter stood at Attempt; the
+		// replayed counter must be at least that, even if the records
+		// that advanced it were lost in the unsynced tail.
+		s := p.shardFor(r.User)
+		s.mu.Lock()
+		if int(r.Attempt) > s.attempts[r.User] {
+			s.attempts[r.User] = int(r.Attempt)
+		}
+		s.mu.Unlock()
+
 	case *storage.CiphertextRecord:
 		s := p.shardFor(r.User)
 		s.mu.Lock()

@@ -75,6 +75,15 @@ type EngineConfig struct {
 	RetryBaseDelay time.Duration
 	// RetryMaxDelay caps the backoff growth (0 → 1s).
 	RetryMaxDelay time.Duration
+	// AttemptLimit caps recovery-attempt reservations per user:
+	// ReserveAttempt fails with ErrAttemptLimit once a user's counter
+	// reaches it. This is the provider-side half of the paper's k-guess
+	// budget — the HSMs independently refuse over-limit attempts, so a
+	// malicious provider gains nothing by ignoring it, but an honest
+	// provider rejecting at the front door keeps over-limit guessing
+	// traffic off the fleet. 0 or negative → unlimited (the provider
+	// alone cannot know k; deployments wire it from Params.GuessLimit).
+	AttemptLimit int
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -370,9 +379,18 @@ func (p *Provider) AttemptCount(ctx context.Context, user string) (int, error) {
 	return s.attempts[user], nil
 }
 
+// ErrAttemptLimit reports a recovery-attempt reservation refused because
+// the user's guess budget (EngineConfig.AttemptLimit) is exhausted.
+var ErrAttemptLimit = errors.New("provider: attempt limit reached")
+
 // ReserveAttempt atomically allocates the next attempt number for a user.
 // Two concurrent recoveries of the same user receive distinct indices, so
-// their log insertions never collide.
+// their log insertions never collide. When EngineConfig.AttemptLimit is
+// set, an exhausted user gets ErrAttemptLimit instead of an index — and
+// the rejection itself is journaled and synced before it is served, so
+// the counter that justified it can never regress across a crash (the
+// counter may have been advanced by records still in the unsynced
+// journal tail, e.g. the LogRecoveryAttempt path).
 func (p *Provider) ReserveAttempt(ctx context.Context, user string) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
@@ -380,6 +398,17 @@ func (p *Provider) ReserveAttempt(ctx context.Context, user string) (int, error)
 	s := p.shardFor(user)
 	s.mu.Lock()
 	n := s.attempts[user]
+	if lim := p.engine.AttemptLimit; lim > 0 && n >= lim {
+		err := p.journal(&storage.AttemptRejectRecord{User: user, Attempt: uint32(n)})
+		s.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		if err := p.syncStore(); err != nil {
+			return 0, err
+		}
+		return 0, fmt.Errorf("%w: user %q burned %d of %d guesses", ErrAttemptLimit, user, n, lim)
+	}
 	if err := p.journal(&storage.AttemptRecord{User: user, Attempt: uint32(n)}); err != nil {
 		s.mu.Unlock()
 		return 0, err

@@ -29,6 +29,7 @@ func sampleRecords() []Record {
 		&GCRecord{},
 		&PendingDropRecord{Count: 3},
 		&snapshotMeta{Version: snapshotVersion, BaseSeq: 99, Count: 12},
+		&AttemptRejectRecord{User: "mallory", Attempt: 8},
 	}
 }
 

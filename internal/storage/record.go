@@ -8,18 +8,19 @@ import (
 // Record kinds. The byte value is part of the on-disk format — append
 // new kinds, never renumber.
 const (
-	kindAttempt      byte = 1
-	kindCiphertext   byte = 2
-	kindLogInsert    byte = 3
-	kindEpochCommit  byte = 4
-	kindEscrow       byte = 5
-	kindEscrowClear  byte = 6
-	kindOraclePut    byte = 7
-	kindOracleClear  byte = 8
-	kindRoster       byte = 9
-	kindGC           byte = 10
-	kindPendingDrop  byte = 11
-	kindSnapshotMeta byte = 12
+	kindAttempt       byte = 1
+	kindCiphertext    byte = 2
+	kindLogInsert     byte = 3
+	kindEpochCommit   byte = 4
+	kindEscrow        byte = 5
+	kindEscrowClear   byte = 6
+	kindOraclePut     byte = 7
+	kindOracleClear   byte = 8
+	kindRoster        byte = 9
+	kindGC            byte = 10
+	kindPendingDrop   byte = 11
+	kindSnapshotMeta  byte = 12
+	kindAttemptReject byte = 13
 )
 
 // ErrCorrupt reports a frame or record body that is structurally
@@ -43,6 +44,18 @@ type Record interface {
 // the reservation is acknowledged so a kill -9 can never un-burn a
 // guess.
 type AttemptRecord struct {
+	User    string
+	Attempt uint32
+}
+
+// AttemptRejectRecord journals an over-limit recovery attempt being
+// refused: the user's counter stood at Attempt (≥ the limit) and no
+// reservation was granted. Synced before the rejection is served, it
+// pins the counter across a crash — replay restores the counter to at
+// least Attempt, so a kill -9 right after an observed rejection can
+// never resurrect the guess budget, even if the records that advanced
+// the counter were in the unsynced journal tail.
+type AttemptRejectRecord struct {
 	User    string
 	Attempt uint32
 }
@@ -258,6 +271,18 @@ func (rec *AttemptRecord) decode(b []byte) error {
 	return r.done()
 }
 
+func (rec *AttemptRejectRecord) Kind() byte { return kindAttemptReject }
+func (rec *AttemptRejectRecord) append(dst []byte) []byte {
+	dst = appendStr(dst, rec.User)
+	return appendU32(dst, rec.Attempt)
+}
+func (rec *AttemptRejectRecord) decode(b []byte) error {
+	r := reader{b: b}
+	rec.User = r.str()
+	rec.Attempt = r.u32()
+	return r.done()
+}
+
 func (rec *CiphertextRecord) Kind() byte { return kindCiphertext }
 func (rec *CiphertextRecord) append(dst []byte) []byte {
 	dst = appendStr(dst, rec.User)
@@ -458,6 +483,8 @@ func newRecord(kind byte) (Record, error) {
 		return &PendingDropRecord{}, nil
 	case kindSnapshotMeta:
 		return &snapshotMeta{}, nil
+	case kindAttemptReject:
+		return &AttemptRejectRecord{}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
 	}

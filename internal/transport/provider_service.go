@@ -40,6 +40,7 @@ type DaemonOption func(*daemonConfig)
 type daemonConfig struct {
 	storage       storage.Engine
 	snapshotEvery int
+	attemptLimit  int
 }
 
 // WithStorageEngine journals all provider state through eng, so the
@@ -53,6 +54,14 @@ func WithStorageEngine(eng storage.Engine) DaemonOption {
 // (0 → provider default; negative disables periodic compaction).
 func WithSnapshotEvery(n int) DaemonOption {
 	return func(c *daemonConfig) { c.snapshotEvery = n }
+}
+
+// WithAttemptLimit makes the provider reject ReserveAttempt calls once a
+// user has burned n guesses (provider.ErrAttemptLimit), mirroring the
+// HSM-side guess limit at the front door. 0 → unlimited, the daemon's
+// historical behavior.
+func WithAttemptLimit(n int) DaemonOption {
+	return func(c *daemonConfig) { c.attemptLimit = n }
 }
 
 // NewProviderDaemon builds the daemon state for a fleet of cfg.NumHSMs.
@@ -83,6 +92,7 @@ func NewProviderDaemon(cfg FleetConfig, opts ...DaemonOption) (*ProviderDaemon, 
 		EpochInterval: time.Duration(cfg.EpochIntervalMS) * time.Millisecond,
 		Storage:       dc.storage,
 		SnapshotEvery: dc.snapshotEvery,
+		AttemptLimit:  dc.attemptLimit,
 	}
 	p, err := provider.Open(logCfg, engine)
 	if err != nil {

@@ -199,6 +199,13 @@ func (p Params) withDefaults() (Params, error) {
 	if p.GuessLimit == 0 {
 		p.GuessLimit = 1
 	}
+	// The provider enforces the same k at its front door (rejecting
+	// over-limit ReserveAttempt calls before any HSM is contacted);
+	// Engine.AttemptLimit < 0 opts a deployment out of the provider-side
+	// check, leaving the HSMs as the only enforcement point.
+	if p.Engine.AttemptLimit == 0 {
+		p.Engine.AttemptLimit = p.GuessLimit
+	}
 	if p.Scheme == nil {
 		p.Scheme = aggsig.BLS()
 	}
@@ -339,6 +346,12 @@ func (d *Deployment) RotateHSMKey(i int) error {
 func (d *Deployment) ReopenProvider(eng provider.EngineConfig) error {
 	if eng.Storage == nil {
 		return errors.New("safetypin: ReopenProvider needs a storage engine to recover from")
+	}
+	// Same rule as NewDeployment: the reopened provider enforces the
+	// deployment's guess budget at the front door unless the caller
+	// explicitly opts out with a negative AttemptLimit.
+	if eng.AttemptLimit == 0 {
+		eng.AttemptLimit = d.params.GuessLimit
 	}
 	prov, err := provider.Open(d.logCfg, eng)
 	if err != nil {
