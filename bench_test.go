@@ -387,3 +387,31 @@ func BenchmarkBackupOnly(b *testing.B) {
 		}
 	}
 }
+
+// --- Fleet provisioning (PR 10) ---
+
+// benchConstruct times NewDeployment at fleet size n with the default
+// provisioning pool: batch BLS signing keygen (shared Montgomery batch
+// inversion, constant-time G2 comb), batch BFE keygen, bulk securestore
+// entropy, and the parallel InstallRoster/Register fan-out over a shared
+// pre-warmed roster cache.
+func benchConstruct(b *testing.B, n int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := safetypin.NewDeployment(safetypin.Params{
+			NumHSMs:       n,
+			ClusterSize:   8,
+			Threshold:     4,
+			BFE:           bfe.Params{M: 256, K: 4},
+			MinSignerFrac: 0.5,
+			Scheme:        aggsig.BLS(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.Close()
+	}
+}
+
+func BenchmarkDeploymentConstruct24(b *testing.B)   { benchConstruct(b, 24) }
+func BenchmarkDeploymentConstruct1024(b *testing.B) { benchConstruct(b, 1024) }

@@ -64,6 +64,32 @@ type RosterSerializer interface {
 	RosterBytes(pks []PublicKey) ([][]byte, error)
 }
 
+// BatchKeyGenerator is implemented by schemes that can create many signers
+// more cheaply than n KeyGen calls (the BLS backend converts all public
+// keys to affine with one shared Montgomery batch inversion). Fleet
+// provisioning generates every HSM's roster identity through this.
+type BatchKeyGenerator interface {
+	// KeyGenBatch creates n signers.
+	KeyGenBatch(rng io.Reader, n int) ([]Signer, error)
+}
+
+// KeyGenBatch creates n signers under s, through the scheme's batch path
+// when it has one and by n KeyGen calls otherwise.
+func KeyGenBatch(s Scheme, rng io.Reader, n int) ([]Signer, error) {
+	if bg, ok := s.(BatchKeyGenerator); ok {
+		return bg.KeyGenBatch(rng, n)
+	}
+	out := make([]Signer, n)
+	for i := range out {
+		signer, err := s.KeyGen(rng)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = signer
+	}
+	return out, nil
+}
+
 // Scheme bundles key generation, aggregation, and verification.
 type Scheme interface {
 	// Name identifies the scheme in benchmarks and logs.
@@ -129,6 +155,21 @@ func (s blsScheme) KeyGen(rng io.Reader) (Signer, error) {
 		return nil, err
 	}
 	return &blsSigner{sk: sk, pk: pk, mode: s.mode}, nil
+}
+
+// KeyGenBatch creates n signers with one shared batch inversion across all
+// the public-key affine conversions (bls.GenerateKeyBatch); every secret
+// scalar still runs the constant-time comb individually.
+func (s blsScheme) KeyGenBatch(rng io.Reader, n int) ([]Signer, error) {
+	sks, pks, err := bls.GenerateKeyBatch(rng, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Signer, n)
+	for i := range out {
+		out[i] = &blsSigner{sk: sks[i], pk: pks[i], mode: s.mode}
+	}
+	return out, nil
 }
 
 func (s *blsSigner) Sign(msg []byte) ([]byte, error) {

@@ -131,6 +131,36 @@ func KeyGen(p Params, oracle securestore.Oracle, rng io.Reader, m *meter.Meter) 
 		&PublicKey{Params: p, Points: points}, nil
 }
 
+// KeyGenBatch is KeyGen on the fleet-provisioning fast path: all M secret
+// blocks are sampled up front from one bulk entropy read and the M public
+// points run through the batch fixed-base multiplication
+// (ecgroup.GenerateKeyPairs) instead of M rejection-sampled per-point
+// calls. The naive per-point KeyGen is retained as the differential
+// oracle — both produce keys with pk[i] = sk[i]·G over identical store
+// geometry (bfe_test.go checks one against the other structurally).
+func KeyGenBatch(p Params, oracle securestore.Oracle, rng io.Reader, m *meter.Meter) (*PrivateKey, *PublicKey, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	kps, err := ecgroup.GenerateKeyPairs(rng, p.M)
+	if err != nil {
+		return nil, nil, err
+	}
+	points := make([]ecgroup.Point, p.M)
+	blocks := make([][]byte, p.M)
+	for i, kp := range kps {
+		points[i] = kp.PK
+		blocks[i] = kp.SK.Bytes()
+	}
+	m.Add(meter.OpECMul, int64(p.M))
+	st, err := securestore.Setup(oracle, blocks, rng, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &PrivateKey{Params: p, store: st, meter: m},
+		&PublicKey{Params: p, Points: points}, nil
+}
+
 // KeyGenSecretOnly generates only the outsourced secret array, skipping the
 // M point multiplications for the public key. The evaluation harness uses
 // it to build paper-scale keys (tens of MB) quickly; PublicKeyAt derives

@@ -393,3 +393,64 @@ func TestFleetTagStability(t *testing.T) {
 		t.Fatalf("unrelated-ad ciphertext damaged: %v", err)
 	}
 }
+
+// TestKeyGenBatchDifferential pins the batch provisioning path to the
+// per-point oracle structurally: same store geometry, pk[i] = sk[i]·G for
+// every position, and full encrypt/decrypt/puncture behavior.
+func TestKeyGenBatchDifferential(t *testing.T) {
+	sk, pk, err := KeyGenBatch(testParams, securestore.NewMemOracle(), rand.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pk.Points) != testParams.M {
+		t.Fatalf("got %d public points, want %d", len(pk.Points), testParams.M)
+	}
+	// Every public point matches the stored secret scalar.
+	for i := 0; i < testParams.M; i++ {
+		got, err := sk.PublicKeyAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(pk.Points[i]) {
+			t.Fatalf("position %d: pk != sk·G", i)
+		}
+	}
+	// The keypair behaves exactly like a KeyGen pair end to end.
+	msg := []byte("key share")
+	ad := []byte("user=batch")
+	ct, err := pk.Encrypt(msg, ad, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(ct, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("round-trip mismatch")
+	}
+	if err := sk.Puncture(ct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.Decrypt(ct, ad); err == nil {
+		t.Fatal("decrypt after puncture must fail")
+	}
+}
+
+func BenchmarkKeyGen1024(b *testing.B) {
+	p := Params{M: 1024, K: 8}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := KeyGen(p, securestore.NewMemOracle(), rand.Reader, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKeyGenBatch1024(b *testing.B) {
+	p := Params{M: 1024, K: 8}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := KeyGenBatch(p, securestore.NewMemOracle(), rand.Reader, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -56,19 +56,55 @@ type Signature struct {
 
 // GenerateKey samples a keypair from rng.
 func GenerateKey(rng io.Reader) (*SecretKey, *PublicKey, error) {
+	s, err := sampleScalar(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Constant-time fixed-base comb (g2_ct.go): no doublings, no
+	// scalar-dependent branch or memory access.
+	return &SecretKey{s: s}, &PublicKey{p: G2MulGenSecret(s)}, nil
+}
+
+// sampleScalar rejection-samples a nonzero scalar in [1, r).
+func sampleScalar(rng io.Reader) (*big.Int, error) {
 	for {
 		s, err := rand.Int(rng, rOrder) //spin:secret
 		if err != nil {
-			return nil, nil, fmt.Errorf("bls: sampling key: %w", err)
+			return nil, fmt.Errorf("bls: sampling key: %w", err)
 		}
 		//spinlint:ignore ctsecret rejecting the zero scalar leaks one bit of a key that is then discarded
 		if s.Sign() == 0 {
 			continue
 		}
-		// Fixed-base table walk (fixedbase.go): no doublings at all.
-		//spinlint:ignore ctsecret one-time keygen on a fresh scalar; a CT G2 fixed-base walk is a ROADMAP residual
-		return &SecretKey{s: s}, &PublicKey{p: G2MulGen(s)}, nil
+		return s, nil
 	}
+}
+
+// GenerateKeyBatch samples n keypairs at once: every secret scalar runs
+// the constant-time comb individually, but the resulting public keys are
+// converted to affine with ONE shared Montgomery batch inversion
+// (g2NormalizeBatch) instead of n per-point inversions at serialization
+// time — the fleet-provisioning path, where n is the fleet size.
+func GenerateKeyBatch(rng io.Reader, n int) ([]*SecretKey, []*PublicKey, error) {
+	if n < 0 {
+		return nil, nil, fmt.Errorf("bls: negative batch size %d", n)
+	}
+	sks := make([]*SecretKey, n)
+	ps := make([]G2, n)
+	for i := range sks {
+		s, err := sampleScalar(rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		sks[i] = &SecretKey{s: s}
+		ps[i] = G2MulGenSecret(s)
+	}
+	g2NormalizeBatch(ps)
+	pks := make([]*PublicKey, n)
+	for i := range pks {
+		pks[i] = &PublicKey{p: ps[i]}
+	}
+	return sks, pks, nil
 }
 
 // Sign signs msg under the default (RFC 9380) hash.

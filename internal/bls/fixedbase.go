@@ -74,13 +74,9 @@ func g2GenTableInit() {
 	})
 }
 
-// G1MulGen returns k·G for the G1 generator (k reduced mod r): a pure
-// table walk of at most 64 mixed additions.
-//
-//spin:vartime
-func G1MulGen(k *big.Int) G1 {
-	g1GenTableInit()
-	limbs := scalarToLimbs256(new(big.Int).Mod(k, rOrder))
+// g1GenWalk is the table walk shared by the single-scalar and batch
+// entry points; callers must have run g1GenTableInit.
+func g1GenWalk(limbs [4]uint64) G1 {
 	acc := g1Infinity()
 	for w := 0; w < fixedWindows; w++ {
 		d := limbs[w/16] >> (uint(w%16) * fixedWindow) & 0xf
@@ -92,13 +88,7 @@ func G1MulGen(k *big.Int) G1 {
 	return acc
 }
 
-// G2MulGen returns k·G for the G2 generator (k reduced mod r) — the key
-// generation path.
-//
-//spin:vartime
-func G2MulGen(k *big.Int) G2 {
-	g2GenTableInit()
-	limbs := scalarToLimbs256(new(big.Int).Mod(k, rOrder))
+func g2GenWalk(limbs [4]uint64) G2 {
 	acc := g2Infinity()
 	for w := 0; w < fixedWindows; w++ {
 		d := limbs[w/16] >> (uint(w%16) * fixedWindow) & 0xf
@@ -108,4 +98,56 @@ func G2MulGen(k *big.Int) G2 {
 		}
 	}
 	return acc
+}
+
+// G1MulGen returns k·G for the G1 generator (k reduced mod r): a pure
+// table walk of at most 64 mixed additions.
+//
+//spin:vartime
+func G1MulGen(k *big.Int) G1 {
+	g1GenTableInit()
+	return g1GenWalk(scalarToLimbs256(new(big.Int).Mod(k, rOrder)))
+}
+
+// G2MulGen returns k·G for the G2 generator (k reduced mod r) — the
+// public-scalar generator path and the differential oracle for the
+// constant-time keygen comb (g2_ct.go).
+//
+//spin:vartime
+func G2MulGen(k *big.Int) G2 {
+	g2GenTableInit()
+	return g2GenWalk(scalarToLimbs256(new(big.Int).Mod(k, rOrder)))
+}
+
+// G1MulGenBatch returns ks[i]·G for every scalar, walking the shared
+// window table per scalar and converting the whole batch to affine
+// (Z = 1) with ONE shared Montgomery batch inversion — where n calls to
+// G1MulGen followed by per-point affine() would pay n field inversions.
+// Zero scalars yield infinity entries, which the normalization skips.
+//
+//spin:vartime
+func G1MulGenBatch(ks []*big.Int) []G1 {
+	g1GenTableInit()
+	out := make([]G1, len(ks))
+	tmp := new(big.Int)
+	for i, k := range ks {
+		out[i] = g1GenWalk(scalarToLimbs256(tmp.Mod(k, rOrder)))
+	}
+	g1NormalizeBatch(out)
+	return out
+}
+
+// G2MulGenBatch is G1MulGenBatch on the G2 generator table — the batch
+// public-key path for fleet provisioning with public scalars.
+//
+//spin:vartime
+func G2MulGenBatch(ks []*big.Int) []G2 {
+	g2GenTableInit()
+	out := make([]G2, len(ks))
+	tmp := new(big.Int)
+	for i, k := range ks {
+		out[i] = g2GenWalk(scalarToLimbs256(tmp.Mod(k, rOrder)))
+	}
+	g2NormalizeBatch(out)
+	return out
 }

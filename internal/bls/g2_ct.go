@@ -1,0 +1,115 @@
+package bls
+
+// g2_ct.go is the constant-time G2 fixed-base comb behind key generation:
+// the scalar is cut into the same 64 four-bit windows as the vartime
+// G2MulGen walk (fixedbase.go), the window entry is fetched by scanning
+// all 15 precomputed table points with fe2CMov (no secret-indexed load),
+// and every field operation is a masked fp2_ct.go kernel. Because the
+// table stores digit·2^{4w}·G there are no doublings at all — the comb is
+// 64 complete mixed additions, which also makes it ~2× faster than a
+// doubling CT window walk of MulSecret's shape would be on G2.
+//
+// The branch-free mixed addition is exception-free on this path. After
+// windows 0..w−1 the accumulator holds a·G with a = k mod 2^{4w} and the
+// incoming term is d·2^{4w}·G, d ∈ [1,15], with s = a + d·2^{4w} ≤ k < r.
+// Cancellation (acc = −q) needs s ≡ 0 (mod r) with 0 < s < r: impossible.
+// Doubling (acc = q) needs a ≡ d·2^{4w} (mod r); writing d·2^{4w} = a + jr
+// for some j ≥ 0, j = 0 forces a ≥ 2^{4w} > a, and j ≥ 1 forces
+// s = 2·d·2^{4w} − jr ≥ r, contradicting s < r. The two reachable
+// exceptions — accumulator still at infinity, window digit zero — are
+// resolved by masked selects, exactly as in g1AddMixedCT.
+
+import "math/big"
+
+// g2CMov sets dst = src when cond = 1 and leaves dst unchanged when
+// cond = 0.
+func g2CMov(dst, src *G2, cond uint64) {
+	fe2CMov(&dst.x, &src.x, cond)
+	fe2CMov(&dst.y, &src.y, cond)
+	fe2CMov(&dst.z, &src.z, cond)
+}
+
+// g2AddMixedCT returns p + (qx, qy) with branch-free madd-2007-bl
+// formulas plus masked fixups for the reachable exceptions: qValid = 0
+// (the window digit was zero) returns p, and p at infinity returns the
+// affine point. Callers must guarantee the doubling/cancellation cases
+// cannot occur (see the file comment).
+func g2AddMixedCT(p *G2, qx, qy *fe2, qValid uint64) G2 {
+	var z1z1, u2, s2, h, r fe2
+	fe2SquareCT(&z1z1, &p.z)
+	fe2MulCT(&u2, qx, &z1z1)
+	fe2MulCT(&s2, qy, &p.z)
+	fe2MulCT(&s2, &s2, &z1z1)
+	fe2SubCT(&h, &u2, &p.x)
+	fe2SubCT(&r, &s2, &p.y)
+	var hh, i, j, v fe2
+	fe2SquareCT(&hh, &h)
+	fe2DoubleCT(&i, &hh)
+	fe2DoubleCT(&i, &i)
+	fe2MulCT(&j, &h, &i)
+	fe2DoubleCT(&r, &r)
+	fe2MulCT(&v, &p.x, &i)
+	var out G2
+	fe2SquareCT(&out.x, &r)
+	fe2SubCT(&out.x, &out.x, &j)
+	fe2SubCT(&out.x, &out.x, &v)
+	fe2SubCT(&out.x, &out.x, &v)
+	fe2SubCT(&out.y, &v, &out.x)
+	fe2MulCT(&out.y, &out.y, &r)
+	var t fe2
+	fe2MulCT(&t, &p.y, &j)
+	fe2DoubleCT(&t, &t)
+	fe2SubCT(&out.y, &out.y, &t)
+	fe2AddCT(&out.z, &p.z, &h)
+	fe2SquareCT(&out.z, &out.z)
+	fe2SubCT(&out.z, &out.z, &z1z1)
+	fe2SubCT(&out.z, &out.z, &hh)
+	// p at infinity: the sum is q itself (as a Z = 1 Jacobian point).
+	qJac := g2FromAffine(*qx, *qy)
+	g2CMov(&out, &qJac, fe2IsZeroMask(&p.z))
+	// Digit zero: the sum is p (covers the both-infinite case too).
+	g2CMov(&out, p, 1^qValid)
+	return out
+}
+
+// G2MulGenSecret returns k·G for the G2 generator without any k-dependent
+// branch or memory access — the key-generation path, where k is the
+// freshly sampled signing key. k is expected in [0, r) and out-of-range
+// values are reduced with variable-time arithmetic before the
+// constant-time comb. Differentially bit-identical to the vartime
+// G2MulGen walk (g2_ct_test.go).
+//
+//spin:secret k
+func G2MulGenSecret(k *big.Int) G2 {
+	g2GenTableInit()
+	//spinlint:ignore ctsecret range guard reads only the public sign/bit-length bound of k
+	if k.Sign() < 0 || k.Cmp(rOrder) >= 0 {
+		//spinlint:ignore ctsecret out-of-range scalars are API misuse, reduced vartime by contract
+		k = new(big.Int).Mod(k, rOrder)
+	}
+	var kb [32]byte
+	//spinlint:ignore ctsecret FillBytes pads to a fixed 32-byte width; timing tracks the public limb count
+	k.FillBytes(kb[:])
+
+	acc := g2Infinity()
+	for w := 0; w < fixedWindows; w++ {
+		// Window w covers scalar bits [4w, 4w+4): the little-endian walk
+		// of G2MulGen, read from the fixed-width big-endian buffer. The
+		// window parity is a public loop invariant, not a secret branch.
+		digit := uint64(kb[31-(w>>1)])
+		if w&1 == 0 {
+			digit &= 0x0f
+		} else {
+			digit >>= 4
+		}
+		// Constant-time table scan: touch every entry, keep the match.
+		var qx, qy fe2
+		for d := uint64(1); d <= 15; d++ {
+			m := ct64Eq(digit, d)
+			fe2CMov(&qx, &g2GenTable[w][d-1].x, m)
+			fe2CMov(&qy, &g2GenTable[w][d-1].y, m)
+		}
+		acc = g2AddMixedCT(&acc, &qx, &qy, ctNonzero64(digit))
+	}
+	return acc
+}

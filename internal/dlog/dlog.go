@@ -406,6 +406,21 @@ type Auditor struct {
 // roster must hold every member's aggregate-signature public key in fleet
 // order.
 func NewAuditor(cfg Config, id int, roster []aggsig.PublicKey, signer aggsig.Signer, m *meter.Meter) (*Auditor, error) {
+	return newAuditor(cfg, id, roster, signer, m, nil)
+}
+
+// NewAuditorShared is NewAuditor with a fleet-shared roster cache. With
+// per-auditor caches an n-HSM fleet holds n copies of the roster and
+// rebuilds the same full-roster aggregate n times on its first epoch
+// commit; a single pre-warmed cache (RosterCache is mutex-guarded and
+// safe to share) amortizes both, which is what makes 10k-HSM fleets
+// start in reasonable time. cache must be built over cfg.Scheme and
+// already hold this roster; nil falls back to a private cache.
+func NewAuditorShared(cfg Config, id int, roster []aggsig.PublicKey, signer aggsig.Signer, m *meter.Meter, cache *aggsig.RosterCache) (*Auditor, error) {
+	return newAuditor(cfg, id, roster, signer, m, cache)
+}
+
+func newAuditor(cfg Config, id int, roster []aggsig.PublicKey, signer aggsig.Signer, m *meter.Meter, cache *aggsig.RosterCache) (*Auditor, error) {
 	cfg = cfg.withDefaults()
 	if id < 0 || id >= len(roster) {
 		return nil, fmt.Errorf("dlog: auditor id %d out of roster range %d", id, len(roster))
@@ -426,7 +441,9 @@ func NewAuditor(cfg Config, id int, roster []aggsig.PublicKey, signer aggsig.Sig
 		minSigns: minSigns,
 	}
 	if v, ok := cfg.Scheme.(aggsig.AggregateKeyVerifier); ok {
-		if c := aggsig.NewRosterCache(cfg.Scheme); c != nil {
+		if cache != nil {
+			a.rcache, a.verifier = cache, v
+		} else if c := aggsig.NewRosterCache(cfg.Scheme); c != nil {
 			c.SetRoster(roster)
 			a.rcache, a.verifier = c, v
 		}

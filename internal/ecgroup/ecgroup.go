@@ -1,6 +1,7 @@
 package ecgroup
 
 import (
+	"crypto/ecdh"
 	"crypto/ecdsa"
 	"crypto/elliptic"
 	"crypto/rand"
@@ -223,6 +224,55 @@ func GenerateKeyPair(r io.Reader) (KeyPair, error) {
 		return KeyPair{}, err
 	}
 	return KeyPair{SK: sk, PK: BaseMul(sk)}, nil
+}
+
+// GenerateKeyPairs samples n keypairs in one batch: a single bulk entropy
+// read of 48 bytes per key (reduced mod q, bias < 2^-128, no rejection
+// loop) replaces n rejection-sampled rand.Int calls, and the base
+// multiplications run on the crypto/ecdh fixed-base path, which is
+// constant-time like ScalarBaseMult but skips the legacy curve layer's
+// per-call conversions. The per-key GenerateKeyPair is retained as the
+// differential oracle (baseMulECDH agrees with BaseMul point for point —
+// ecgroup_test.go).
+func GenerateKeyPairs(r io.Reader, n int) ([]KeyPair, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("ecgroup: negative batch size %d", n)
+	}
+	buf := make([]byte, 48*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("ecgroup: sampling batch: %w", err)
+	}
+	out := make([]KeyPair, n)
+	for i := range out {
+		sk := ScalarReduce(buf[i*48 : (i+1)*48])
+		for sk.IsZero() { // probability ~2^-256: resample
+			var err error
+			sk, err = RandomScalar(r)
+			if err != nil {
+				return nil, err
+			}
+		}
+		pk, err := baseMulECDH(sk)
+		if err != nil {
+			return nil, fmt.Errorf("ecgroup: key %d: %w", i, err)
+		}
+		out[i] = KeyPair{SK: sk, PK: pk}
+	}
+	return out, nil
+}
+
+// baseMulECDH computes s·G through crypto/ecdh's nistec-backed fixed-base
+// multiplication; s must be nonzero.
+func baseMulECDH(s Scalar) (Point, error) {
+	priv, err := ecdh.P256().NewPrivateKey(s.Bytes())
+	if err != nil {
+		return Point{}, err
+	}
+	b := priv.PublicKey().Bytes() // uncompressed SEC1: 0x04 ‖ X ‖ Y
+	return Point{
+		new(big.Int).SetBytes(b[1:33]),
+		new(big.Int).SetBytes(b[33:65]),
+	}, nil
 }
 
 // ToECDSA converts the keypair into a crypto/ecdsa private key so the same

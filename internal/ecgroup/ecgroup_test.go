@@ -206,3 +206,57 @@ func BenchmarkPointMul(b *testing.B) {
 		P.Mul(s)
 	}
 }
+
+// TestGenerateKeyPairsDifferential pins the batch path to the per-key
+// oracle: pk = sk·G under BaseMul for every batch entry, and the ecdh
+// fixed-base route agrees with the legacy ScalarBaseMult point for point.
+func TestGenerateKeyPairsDifferential(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64} {
+		kps, err := GenerateKeyPairs(rand.Reader, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(kps) != n {
+			t.Fatalf("GenerateKeyPairs(%d) returned %d keys", n, len(kps))
+		}
+		for i, kp := range kps {
+			if kp.SK.IsZero() {
+				t.Fatalf("batch %d key %d: zero scalar", n, i)
+			}
+			if want := BaseMul(kp.SK); !want.Equal(kp.PK) {
+				t.Fatalf("batch %d key %d: pk != sk·G", n, i)
+			}
+		}
+	}
+	if _, err := GenerateKeyPairs(rand.Reader, -1); err == nil {
+		t.Fatal("negative batch size must error")
+	}
+	// Edge scalars through the ecdh route directly.
+	for _, v := range []int64{1, 2, 3, 0xffff} {
+		s := Scalar{big.NewInt(v)}
+		got, err := baseMulECDH(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := BaseMul(s); !want.Equal(got) {
+			t.Fatalf("baseMulECDH(%d) disagrees with BaseMul", v)
+		}
+	}
+	qm1 := Scalar{new(big.Int).Sub(Order(), big.NewInt(1))}
+	got, err := baseMulECDH(qm1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := BaseMul(qm1); !want.Equal(got) {
+		t.Fatal("baseMulECDH(q-1) disagrees with BaseMul")
+	}
+}
+
+func BenchmarkGenerateKeyPairs64(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateKeyPairs(rand.Reader, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -50,6 +50,9 @@ type LoadConfig struct {
 	// WAL+snapshot file engine rooted there, measuring the durable
 	// provider's steady-state cost against the in-memory baseline.
 	DataDir string
+	// ProvisionWorkers bounds NewDeployment's provisioning pool
+	// (0 → GOMAXPROCS, 1 → sequential); see safetypin.Params.
+	ProvisionWorkers int
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -118,13 +121,14 @@ func (l latencyAPI) RelayRecover(ctx context.Context, req *protocol.RecoveryRequ
 // loadDeployment builds the fleet and enrolled clients for a load run.
 func loadDeployment(cfg LoadConfig) (*safetypin.Deployment, []*client.Client, error) {
 	params := safetypin.Params{
-		NumHSMs:       cfg.NumHSMs,
-		ClusterSize:   cfg.ClusterSize,
-		Threshold:     cfg.Threshold,
-		BFE:           cfg.BFE,
-		MinSignerFrac: 0.5,
-		GuessLimit:    1 << 20,
-		Scheme:        cfg.Scheme,
+		NumHSMs:          cfg.NumHSMs,
+		ClusterSize:      cfg.ClusterSize,
+		Threshold:        cfg.Threshold,
+		BFE:              cfg.BFE,
+		MinSignerFrac:    0.5,
+		GuessLimit:       1 << 20,
+		Scheme:           cfg.Scheme,
+		ProvisionWorkers: cfg.ProvisionWorkers,
 	}
 	if cfg.DataDir != "" {
 		eng, err := storage.OpenFile(cfg.DataDir)

@@ -70,12 +70,15 @@ type OpenLoopConfig struct {
 }
 
 func (c OpenLoopConfig) withDefaults() OpenLoopConfig {
+	bfeSet := c.Load.BFE.M != 0
 	c.Load = c.Load.withDefaults()
-	if c.Load.BFE.M <= 2048 {
+	if !bfeSet {
 		// Recover-heavy open-loop runs puncture BFE filters far faster
 		// than the closed-loop defaults anticipate (MaxPunctures = M/2K);
 		// size generously so filter exhaustion doesn't masquerade as
-		// saturation.
+		// saturation. An explicitly configured Load.BFE is respected:
+		// fleet-scale smokes (N=10000) must cap per-HSM keygen at a small
+		// filter, or construction alone costs N×M point multiplications.
 		c.Load.BFE = bfe.Params{M: 1 << 14, K: 4}
 	}
 	if c.Rate <= 0 {
@@ -111,6 +114,11 @@ type OpenLoopResult struct {
 	Poisson     bool          `json:"poisson"`
 	Duration    time.Duration `json:"duration_ns"`
 	Elapsed     time.Duration `json:"elapsed_ns"`
+
+	// ConstructSeconds is the wall-clock cost of provisioning this run's
+	// fleet (NewDeployment: batch keygen + parallel HSM provisioning),
+	// measured before any load is offered.
+	ConstructSeconds float64 `json:"construct_seconds"`
 
 	Offered   uint64 `json:"offered"`   // scheduled arrivals
 	Issued    uint64 `json:"issued"`    // dispatched (pool had room)
@@ -201,10 +209,12 @@ func pickOp(rng *mrand.Rand, m OpMix) int {
 // backlog as queueing delay instead of omitting it.
 func OpenLoopRun(cfg OpenLoopConfig) (OpenLoopResult, error) {
 	cfg = cfg.withDefaults()
+	buildStart := time.Now()
 	d, clients, err := loadDeployment(cfg.Load)
 	if err != nil {
 		return OpenLoopResult{}, err
 	}
+	construct := time.Since(buildStart)
 	for i, c := range clients {
 		if err := c.Backup(context.Background(), []byte(fmt.Sprintf("disk-image-%d", i))); err != nil {
 			return OpenLoopResult{}, fmt.Errorf("preloading user %d: %w", i, err)
@@ -229,11 +239,12 @@ func OpenLoopRun(cfg OpenLoopConfig) (OpenLoopResult, error) {
 
 	rng := mrand.New(mrand.NewSource(cfg.Seed))
 	res := OpenLoopResult{
-		NumHSMs:     cfg.Load.NumHSMs,
-		ClusterSize: cfg.Load.ClusterSize,
-		Rate:        cfg.Rate,
-		Poisson:     cfg.Poisson,
-		Duration:    cfg.Duration,
+		NumHSMs:          cfg.Load.NumHSMs,
+		ClusterSize:      cfg.Load.ClusterSize,
+		Rate:             cfg.Rate,
+		Poisson:          cfg.Poisson,
+		Duration:         cfg.Duration,
+		ConstructSeconds: construct.Seconds(),
 	}
 	inflight := make(chan struct{}, cfg.MaxInFlight)
 	var wg sync.WaitGroup
@@ -376,9 +387,12 @@ func OpenLoopSweep(cfg OpenLoopConfig, rates []float64) ([]OpenLoopResult, float
 // OpenLoopFleetReport is the machine-readable record of one fleet's
 // sweep — what cmd/experiments -out writes and BENCH_7.json embeds.
 type OpenLoopFleetReport struct {
-	NumHSMs        int              `json:"num_hsms"`
-	SaturationRate float64          `json:"saturation_rate_per_sec"`
-	Sweep          []OpenLoopResult `json:"sweep"`
+	NumHSMs        int     `json:"num_hsms"`
+	SaturationRate float64 `json:"saturation_rate_per_sec"`
+	// ConstructSeconds is the fleet's provisioning time (first sweep
+	// point's deployment construction).
+	ConstructSeconds float64          `json:"construct_seconds"`
+	Sweep            []OpenLoopResult `json:"sweep"`
 }
 
 // OpenLoopReport is the top-level JSON document for a multi-fleet run.

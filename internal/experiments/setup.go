@@ -1,0 +1,154 @@
+package experiments
+
+// setup.go measures fleet construction time: what it costs the provider
+// to provision an N-HSM deployment from nothing. The paper's evaluation
+// treats the fleet as given; at datacenter scale (§9 sketches N = 10^4
+// and beyond) provisioning is itself a workload — N BLS signing keypairs,
+// N puncturable BFE keys of M curve points each, N secure-deletion trees,
+// and an N-entry signing roster installed on every HSM. This experiment
+// sweeps fleet sizes and provisioning-pool widths so the batch-keygen and
+// parallel-provisioning work is visible as a number rather than a claim:
+// on a multi-core host the pool approaches core-count speedup (HSM
+// provisioning is embarrassingly parallel); on a single-core host the two
+// columns coincide and the batch amortizations (one Montgomery inversion
+// per key batch, bulk securestore entropy) are the whole win.
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"safetypin"
+	"safetypin/internal/aggsig"
+	"safetypin/internal/bfe"
+)
+
+// SetupConfig parameterizes a fleet-construction sweep.
+type SetupConfig struct {
+	// Fleets is the list of fleet sizes N to construct (default 64, 256).
+	Fleets []int
+	// Workers lists the provisioning pool widths to compare (default
+	// {1, 0}: sequential baseline vs GOMAXPROCS pool).
+	Workers []int
+	// BFE sizes each HSM's puncturable key (default M=256, K=4 — small
+	// enough that the sweep measures provisioning machinery, not only
+	// P-256 multiplications).
+	BFE bfe.Params
+	// Scheme is the signing scheme (default BLS, the paper's choice and
+	// the batch-keygen beneficiary).
+	Scheme aggsig.Scheme
+}
+
+func (c SetupConfig) withDefaults() SetupConfig {
+	if len(c.Fleets) == 0 {
+		c.Fleets = []int{64, 256}
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 0}
+	}
+	if c.BFE.M == 0 {
+		c.BFE = bfe.Params{M: 256, K: 4}
+	}
+	if c.Scheme == nil {
+		c.Scheme = aggsig.BLS()
+	}
+	return c
+}
+
+// SetupPoint is one (fleet size, pool width) construction measurement.
+type SetupPoint struct {
+	NumHSMs int `json:"num_hsms"`
+	// Workers is the configured pool width; 0 means GOMAXPROCS
+	// (EffectiveWorkers records what that resolved to).
+	Workers          int     `json:"workers"`
+	EffectiveWorkers int     `json:"effective_workers"`
+	ConstructSeconds float64 `json:"construct_seconds"`
+	PerHSMMillis     float64 `json:"per_hsm_ms"`
+}
+
+// SetupReport is the machine-readable record of a construction sweep.
+type SetupReport struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	BFEM       int          `json:"bfe_m"`
+	BFEK       int          `json:"bfe_k"`
+	Points     []SetupPoint `json:"points"`
+}
+
+// JSON renders the report indented.
+func (r SetupReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FleetSetup constructs a deployment per (fleet, workers) pair and times
+// it. Deployments are closed as soon as they are measured; only the
+// timings survive.
+func FleetSetup(cfg SetupConfig) (SetupReport, error) {
+	cfg = cfg.withDefaults()
+	rep := SetupReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BFEM:       cfg.BFE.M,
+		BFEK:       cfg.BFE.K,
+	}
+	for _, n := range cfg.Fleets {
+		cluster := 8
+		if cluster > n/2 {
+			cluster = n / 2
+		}
+		if cluster < 1 {
+			cluster = 1
+		}
+		for _, w := range cfg.Workers {
+			start := time.Now()
+			d, err := safetypin.NewDeployment(safetypin.Params{
+				NumHSMs:          n,
+				ClusterSize:      cluster,
+				Threshold:        (cluster + 1) / 2,
+				BFE:              cfg.BFE,
+				MinSignerFrac:    0.5,
+				Scheme:           cfg.Scheme,
+				ProvisionWorkers: w,
+			})
+			if err != nil {
+				return rep, fmt.Errorf("setup N=%d workers=%d: %w", n, w, err)
+			}
+			elapsed := time.Since(start)
+			d.Close()
+			eff := w
+			if eff <= 0 {
+				eff = rep.GOMAXPROCS
+			}
+			if eff > n {
+				eff = n
+			}
+			rep.Points = append(rep.Points, SetupPoint{
+				NumHSMs:          n,
+				Workers:          w,
+				EffectiveWorkers: eff,
+				ConstructSeconds: elapsed.Seconds(),
+				PerHSMMillis:     elapsed.Seconds() * 1e3 / float64(n),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// RenderSetup renders a construction sweep as a human-readable table.
+func RenderSetup(rep SetupReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet construction time (BFE M=%d K=%d, GOMAXPROCS=%d)\n",
+		rep.BFEM, rep.BFEK, rep.GOMAXPROCS)
+	fmt.Fprintf(&b, "%8s %8s %12s %12s\n", "N", "workers", "construct", "per-HSM")
+	for _, p := range rep.Points {
+		w := fmt.Sprintf("%d", p.EffectiveWorkers)
+		if p.Workers == 0 {
+			w += "*"
+		}
+		fmt.Fprintf(&b, "%8d %8s %12s %12s\n", p.NumHSMs, w,
+			(time.Duration(p.ConstructSeconds * float64(time.Second))).Round(time.Millisecond),
+			(time.Duration(p.PerHSMMillis * float64(time.Millisecond))).Round(10*time.Microsecond))
+	}
+	b.WriteString("(* pool width defaulted to GOMAXPROCS)\n")
+	return b.String()
+}

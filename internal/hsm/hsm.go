@@ -71,11 +71,19 @@ type HSM struct {
 // log auditor is attached later via InstallRoster, once all fleet public
 // keys exist.
 func New(id int, cfg Config, oracle securestore.Oracle, rng io.Reader, m *meter.Meter) (*HSM, error) {
+	return NewWithSigner(id, cfg, oracle, rng, m, nil)
+}
+
+// NewWithSigner is New with a pre-generated signing key — the fleet
+// provisioning path, where all signing keys come from one
+// aggsig.KeyGenBatch (sharing the batch affine conversion) before the
+// per-HSM work fans out. A nil signer makes the HSM generate its own.
+func NewWithSigner(id int, cfg Config, oracle securestore.Oracle, rng io.Reader, m *meter.Meter, signer aggsig.Signer) (*HSM, error) {
 	cfg = cfg.withDefaults()
 	if rng == nil {
 		rng = rand.Reader
 	}
-	sk, pk, err := bfe.KeyGen(cfg.BFE, oracle, rng, m)
+	sk, pk, err := bfe.KeyGenBatch(cfg.BFE, oracle, rng, m)
 	if err != nil {
 		return nil, fmt.Errorf("hsm %d: generating puncturable key: %w", id, err)
 	}
@@ -84,9 +92,11 @@ func New(id int, cfg Config, oracle securestore.Oracle, rng io.Reader, m *meter.
 		scheme = aggsig.BLS()
 		cfg.Log.Scheme = scheme
 	}
-	signer, err := scheme.KeyGen(rng)
-	if err != nil {
-		return nil, fmt.Errorf("hsm %d: generating signing key: %w", id, err)
+	if signer == nil {
+		signer, err = scheme.KeyGen(rng)
+		if err != nil {
+			return nil, fmt.Errorf("hsm %d: generating signing key: %w", id, err)
+		}
 	}
 	return &HSM{
 		id:     id,
@@ -122,7 +132,19 @@ func (h *HSM) Meter() *meter.Meter { return h.m }
 // InstallRoster attaches the distributed-log auditor once the fleet roster
 // is known.
 func (h *HSM) InstallRoster(roster []aggsig.PublicKey) error {
-	a, err := dlog.NewAuditor(h.cfg.Log, h.id, roster, h.signer, h.m)
+	return h.installRoster(roster, nil)
+}
+
+// InstallRosterShared is InstallRoster with a fleet-shared, pre-warmed
+// roster cache (see dlog.NewAuditorShared): at fleet scale, per-auditor
+// caches would copy the roster and rebuild the full aggregate key once
+// per HSM.
+func (h *HSM) InstallRosterShared(roster []aggsig.PublicKey, cache *aggsig.RosterCache) error {
+	return h.installRoster(roster, cache)
+}
+
+func (h *HSM) installRoster(roster []aggsig.PublicKey, cache *aggsig.RosterCache) error {
+	a, err := dlog.NewAuditorShared(h.cfg.Log, h.id, roster, h.signer, h.m, cache)
 	if err != nil {
 		return err
 	}

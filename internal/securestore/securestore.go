@@ -110,6 +110,13 @@ var ErrDeleted = errors.New("securestore: block was securely deleted")
 // Setup encrypts the data array into oracle and returns the HSM-side Store.
 // The array size is padded to the next power of two internally. m may be
 // nil.
+//
+// All 2^(h+1)−1 node keys are drawn with ONE bulk entropy read up front —
+// the per-node aead.NewKey reads used to dominate tree construction at
+// fleet-provisioning scale — consumed in the same recursion order, so the
+// byte→key mapping (and every ciphertext under a deterministic rng) is
+// unchanged. Post-setup operations (rekeying on Delete/Write) still read
+// rng directly: they draw a handful of keys, not a tree's worth.
 func Setup(oracle Oracle, data [][]byte, rng io.Reader, m *meter.Meter) (*Store, error) {
 	if len(data) == 0 {
 		return nil, errors.New("securestore: empty data array")
@@ -119,17 +126,36 @@ func Setup(oracle Oracle, data [][]byte, rng io.Reader, m *meter.Meter) (*Store,
 		height++
 	}
 	s := &Store{oracle: oracle, height: height, numData: len(data), meter: m, rng: rng}
-	rootKey, err := s.setupNode(1, 0, data)
+	numNodes := uint64(2)<<uint(height) - 1
+	keyBuf := make([]byte, numNodes*aead.KeySize)
+	if _, err := io.ReadFull(rng, keyBuf); err != nil {
+		return nil, fmt.Errorf("securestore: sampling node keys: %w", err)
+	}
+	cursor := keyBuf
+	rootKey, err := s.setupNode(1, 0, data, &cursor)
 	if err != nil {
 		return nil, err
 	}
-	s.rootKey = rootKey
+	// Copy the root out and scrub the bulk buffer: only the root key may
+	// survive setup inside the HSM — every other node key exists solely
+	// under its parent's encryption.
+	s.rootKey = append([]byte(nil), rootKey...)
+	for i := range keyBuf {
+		keyBuf[i] = 0
+	}
 	return s, nil
+}
+
+// nextKey consumes the next node key from the bulk setup buffer.
+func nextKey(keyBuf *[]byte) []byte {
+	key := (*keyBuf)[:aead.KeySize:aead.KeySize]
+	*keyBuf = (*keyBuf)[aead.KeySize:]
+	return key
 }
 
 // setupNode recursively builds the subtree rooted at addr (depth levels from
 // the root) and returns its key.
-func (s *Store) setupNode(addr uint64, depth int, data [][]byte) ([]byte, error) {
+func (s *Store) setupNode(addr uint64, depth int, data [][]byte, keyBuf *[]byte) ([]byte, error) {
 	var msg []byte
 	if depth == s.height {
 		// leaf for logical index addr - 2^height
@@ -140,20 +166,17 @@ func (s *Store) setupNode(addr uint64, depth int, data [][]byte) ([]byte, error)
 			msg = []byte{} // padding leaf
 		}
 	} else {
-		left, err := s.setupNode(2*addr, depth+1, data)
+		left, err := s.setupNode(2*addr, depth+1, data, keyBuf)
 		if err != nil {
 			return nil, err
 		}
-		right, err := s.setupNode(2*addr+1, depth+1, data)
+		right, err := s.setupNode(2*addr+1, depth+1, data, keyBuf)
 		if err != nil {
 			return nil, err
 		}
 		msg = append(left, right...)
 	}
-	key, err := aead.NewKey(s.rng)
-	if err != nil {
-		return nil, err
-	}
+	key := nextKey(keyBuf)
 	box, err := aead.Seal(key, msg, nodeAD(addr))
 	if err != nil {
 		return nil, err

@@ -1,0 +1,100 @@
+package safetypin
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"safetypin/internal/provider"
+	"safetypin/internal/storage"
+)
+
+// TestParallelProvisioningDeterministic checks that the worker-pool
+// provisioning path produces the same deterministic fleet shape as the
+// sequential path: HSM i sits at slot i, the signing roster is in index
+// order, and recovery works end to end. Run under -race this also
+// exercises the pool for data races on the shared roster/pubs slots.
+func TestParallelProvisioningDeterministic(t *testing.T) {
+	for _, workers := range []int{1, 0, 8} {
+		p := testParams(16)
+		p.ProvisionWorkers = workers
+		d := deploy(t, p)
+
+		for i, h := range d.HSMs {
+			if h.ID() != i {
+				t.Fatalf("workers=%d: HSM at slot %d has id %d", workers, i, h.ID())
+			}
+			if d.fleet.Key(i) != h.BFEPublicKey() {
+				t.Fatalf("workers=%d: fleet pk %d does not match HSM %d", workers, i, i)
+			}
+		}
+
+		c, err := d.NewClient("pool-user", "314159")
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := []byte("provisioned in parallel")
+		if err := c.Backup(tctx, msg); err != nil {
+			t.Fatalf("workers=%d: backup: %v", workers, err)
+		}
+		got, err := c.Recover(tctx, "314159")
+		if err != nil {
+			t.Fatalf("workers=%d: recover: %v", workers, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("workers=%d: recovered %q, want %q", workers, got, msg)
+		}
+	}
+}
+
+// TestReopenProviderParallelSwap exercises the pooled SwapOracle/Register
+// fan-out in ReopenProvider: after reopening, each HSM must still decrypt
+// through its own (index-matched) oracle.
+func TestReopenProviderParallelSwap(t *testing.T) {
+	mem := storage.NewMem()
+	p := durableParams(16, mem)
+	p.ProvisionWorkers = 4
+	d := deploy(t, p)
+
+	c, err := d.NewClient("reopen-user", "271828")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("survives a provider restart")
+	if err := c.Backup(tctx, msg); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := d.ReopenProvider(provider.EngineConfig{Storage: mem, SnapshotEvery: -1}); err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+
+	got, err := c.Recover(tctx, "271828")
+	if err != nil {
+		t.Fatalf("recover after reopen: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("recovered %q, want %q", got, msg)
+	}
+}
+
+// TestProvisionPoolErrorPropagation checks that a mid-fleet provisioning
+// failure surfaces as an error rather than a partially constructed
+// deployment, at every pool width.
+func TestProvisionPoolErrorPropagation(t *testing.T) {
+	sentinel := errors.New("boom at index 7")
+	for _, workers := range []int{1, 3, 8} {
+		err := provisionPool(16, workers, func(i int) error {
+			if i == 7 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want sentinel", workers, err)
+		}
+	}
+	if err := provisionPool(0, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("empty pool: %v", err)
+	}
+}

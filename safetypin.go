@@ -109,6 +109,9 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"safetypin/internal/aggsig"
 	"safetypin/internal/bfe"
@@ -153,6 +156,11 @@ type Params struct {
 	// Metered attaches a per-HSM operation meter for the evaluation
 	// harness.
 	Metered bool
+	// ProvisionWorkers bounds the fleet-provisioning worker pool used by
+	// NewDeployment and ReopenProvider (0 → GOMAXPROCS, 1 → fully
+	// sequential). Roster order is deterministic regardless of width:
+	// workers write index-addressed slots, never append.
+	ProvisionWorkers int
 	// Engine tunes the provider's concurrency machinery: epoch batching
 	// window, batch-size trigger, standing epoch timer, audit fan-out pool
 	// width, lock striping (zero values → provider defaults).
@@ -257,26 +265,129 @@ func NewDeployment(p Params) (*Deployment, error) {
 	}
 	pubs := make([]*bfe.PublicKey, p.NumHSMs)
 	roster := make([]aggsig.PublicKey, p.NumHSMs)
-	for i := 0; i < p.NumHSMs; i++ {
+	d.HSMs = make([]*hsm.HSM, p.NumHSMs)
+	for i := range d.meters {
 		if p.Metered {
 			d.meters[i] = meter.New()
 		}
-		h, err := hsm.New(i, hsmCfg, d.Provider.OracleFor(i), rand.Reader, d.meters[i])
+	}
+	// Fleet-level signing keygen first: the scheme's batch path (BLS)
+	// shares one Montgomery batch inversion across all public-key affine
+	// conversions instead of one inversion per HSM.
+	signers, err := aggsig.KeyGenBatch(p.Scheme, rand.Reader, p.NumHSMs)
+	if err != nil {
+		return nil, err
+	}
+	// Per-HSM provisioning (dominated by the M puncturable-key base
+	// multiplications) fans out over the bounded pool. Every write lands
+	// in slot i, so the roster order is index-deterministic no matter how
+	// the workers interleave; oracle traffic and rand.Reader are safe for
+	// concurrent use.
+	err = provisionPool(p.NumHSMs, p.ProvisionWorkers, func(i int) error {
+		h, err := hsm.NewWithSigner(i, hsmCfg, d.Provider.OracleFor(i), rand.Reader, d.meters[i], signers[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		d.HSMs = append(d.HSMs, h)
+		d.HSMs[i] = h
 		pubs[i] = h.BFEPublicKey()
 		roster[i] = h.AggSigPublicKey()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, h := range d.HSMs {
-		if err := h.InstallRoster(roster); err != nil {
-			return nil, err
+	// One pre-warmed roster cache shared by every auditor: per-HSM caches
+	// would copy the roster and rebuild the same full aggregate n times on
+	// the first epoch commit (RosterCache is mutex-guarded; sharing is
+	// safe). Then the InstallRoster/Register fan-out reuses the pool.
+	cache := d.prewarmRosterCache(roster)
+	err = provisionPool(p.NumHSMs, p.ProvisionWorkers, func(i int) error {
+		if err := d.HSMs[i].InstallRosterShared(roster, cache); err != nil {
+			return err
 		}
-		d.Provider.Register(h)
+		d.Provider.Register(d.HSMs[i])
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	d.fleet = bfe.NewFleet(pubs)
 	return d, nil
+}
+
+// prewarmRosterCache builds the fleet-shared roster cache and forces the
+// full-roster aggregate once, so no auditor pays the O(n) aggregation on
+// its first epoch commit. Returns nil (auditors build private caches) for
+// schemes without aggregate-key verification.
+func (d *Deployment) prewarmRosterCache(roster []aggsig.PublicKey) *aggsig.RosterCache {
+	if _, ok := d.params.Scheme.(aggsig.AggregateKeyVerifier); !ok {
+		return nil
+	}
+	cache := aggsig.NewRosterCache(d.params.Scheme)
+	if cache == nil {
+		return nil
+	}
+	cache.SetRoster(roster)
+	if _, _, err := cache.FullAggregate(); err != nil {
+		return nil
+	}
+	return cache
+}
+
+// provisionPool runs fn(0)…fn(n−1) on a bounded worker pool; workers ≤ 0
+// selects GOMAXPROCS and workers = 1 degenerates to the sequential loop
+// (the equivalence baseline). The first error stops the pool; indices
+// claimed by an atomic counter keep per-index work exactly-once.
+func provisionPool(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // Params returns the normalized deployment parameters.
@@ -357,9 +468,16 @@ func (d *Deployment) ReopenProvider(eng provider.EngineConfig) error {
 	if err != nil {
 		return err
 	}
-	for i, h := range d.HSMs {
-		h.SwapOracle(prov.OracleFor(i))
-		prov.Register(h)
+	// Reattach through the same bounded pool NewDeployment provisions
+	// with: per-HSM oracle swaps are independent and Register is
+	// mutex-guarded, so the fan-out is order-free.
+	err = provisionPool(len(d.HSMs), d.params.ProvisionWorkers, func(i int) error {
+		d.HSMs[i].SwapOracle(prov.OracleFor(i))
+		prov.Register(d.HSMs[i])
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	d.Provider = prov
 	prov.ResendLastCommit(context.Background())

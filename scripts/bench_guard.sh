@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # bench_guard.sh — the CI benchmark regression guard: runs the BLS
 # scalar/pairing benchmark set plus the PR 7 additions (unrolled feMul,
-# cached quorum-key derivation, open-loop load smoke), compares each
-# ns/op against the checked-in baseline with a slack factor, and emits a
-# BENCH_7.json perf-trajectory snapshot.
+# cached quorum-key derivation, open-loop load smoke) and the PR 10
+# additions (constant-time G2 keygen comb, batch BFE/BLS keygen, fleet
+# construction at 24 and 1024 HSMs), compares each ns/op against the
+# checked-in baseline with a slack factor, and emits a BENCH_10.json
+# perf-trajectory snapshot.
 #
 #  * Baseline: scripts/bench_baseline.txt — "<name> <ns/op>" lines,
 #    recorded on the reference host. Update it deliberately when a PR
@@ -13,20 +15,22 @@
 #    because CI runners are noisy and share cores; the guard exists to
 #    catch order-of-magnitude regressions like an accidental fallback to
 #    a naive path, not 10% drift).
-#  * Output: BENCH_7.json (override with BENCH_JSON_OUT) holding the
-#    measured ns/op, the previous trajectory point (BENCH_5.json,
+#  * Output: BENCH_10.json (override with BENCH_JSON_OUT) holding the
+#    measured ns/op, the previous trajectory point (BENCH_7.json,
 #    embedded verbatim), and — unless BENCH_SKIP_OPENLOOP=1 — the
 #    open-loop load sweep for the 24- and 96-HSM fleets with p50/p95/p99
-#    and the measured saturation knee.
+#    and the measured saturation knee, plus — unless BENCH_SKIP_10K=1 —
+#    a 10000-HSM construction + open-loop smoke (BLS scheme, small BFE
+#    filter; several wall-clock minutes, the point is that it completes).
 #
 # Run from the repository root: ./scripts/bench_guard.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FACTOR="${BENCH_GUARD_FACTOR:-4.0}"
-OUT="${BENCH_JSON_OUT:-BENCH_7.json}"
+OUT="${BENCH_JSON_OUT:-BENCH_10.json}"
 BASELINE="scripts/bench_baseline.txt"
-PREV="BENCH_5.json"
+PREV="BENCH_7.json"
 
 BLS_BENCHES='BenchmarkSign$|BenchmarkVerify$|BenchmarkPairing$|BenchmarkG1MulGLV$|BenchmarkG1MulSecret$|BenchmarkG2MulPsi$|BenchmarkG1FromBytes$|BenchmarkG2FromBytes$|BenchmarkAggregatePublicKeys1024$|BenchmarkG2MultiExp$'
 # Sub-microsecond field ops need a large fixed iteration count or the
@@ -45,10 +49,21 @@ AGG_BENCHES='BenchmarkBLSAggregateVerify16$'
 QUORUM_BENCHES='BenchmarkQuorumKeyCached1024$|BenchmarkQuorumKeyFullMSM1024$'
 # One short open-loop burst: catches harness hangs and setup blow-ups.
 LOAD_BENCHES='BenchmarkOpenLoopSmoke$'
+# PR 10: the constant-time G2 fixed-base comb (secret-scalar keygen) and
+# the batch keygen paths it feeds — 64 BLS keypairs per op, one shared
+# batch inversion; the BFE pair is 1024 P-256 keys per op, batch vs
+# rejection-sampling loop.
+KEYGEN_BENCHES='BenchmarkG2MulGenSecret$|BenchmarkKeyGenBatch$'
+BFE_BENCHES='BenchmarkKeyGen1024$|BenchmarkKeyGenBatch1024$'
+# Fleet construction end to end (batch keygen + provisioning pool +
+# shared roster cache); the 1024-HSM point is the ISSUE 10 acceptance
+# shape.
+PROVISION_BENCHES='BenchmarkDeploymentConstruct24$|BenchmarkDeploymentConstruct1024$'
 
 raw="$(mktemp)"
 openloop_json="$(mktemp)"
-trap 'rm -f "$raw" "$openloop_json"' EXIT
+tenk_json="$(mktemp)"
+trap 'rm -f "$raw" "$openloop_json" "$tenk_json"' EXIT
 
 echo "== running benchmark set"
 go test -run=NONE -bench="$BLS_BENCHES" -benchtime=20x -count=1 ./internal/bls/ | tee -a "$raw"
@@ -57,6 +72,9 @@ go test -run=NONE -bench="$CT_BENCHES" -benchtime=200000x -count=1 ./internal/bl
 go test -run=NONE -bench="$AGG_BENCHES" -benchtime=10x -count=1 ./internal/aggsig/ | tee -a "$raw"
 go test -run=NONE -bench="$QUORUM_BENCHES" -benchtime=10x -count=1 ./internal/aggsig/ | tee -a "$raw"
 go test -run=NONE -bench="$LOAD_BENCHES" -benchtime=1x -count=1 ./internal/experiments/ | tee -a "$raw"
+go test -run=NONE -bench="$KEYGEN_BENCHES" -benchtime=20x -count=1 ./internal/bls/ | tee -a "$raw"
+go test -run=NONE -bench="$BFE_BENCHES" -benchtime=3x -count=1 ./internal/bfe/ | tee -a "$raw"
+go test -run=NONE -bench="$PROVISION_BENCHES" -benchtime=3x -count=1 . | tee -a "$raw"
 
 # Parse "BenchmarkName(-N)  iters  12345 ns/op" lines into "name ns" pairs.
 measured="$(awk '/^Benchmark/ && /ns\/op/ {
@@ -97,11 +115,27 @@ if [ "${BENCH_SKIP_OPENLOOP:-0}" != 1 ]; then
 	openloop_ran=1
 fi
 
+# 10000-HSM smoke: the fleet the paper sketches for datacenter scale must
+# actually construct (batch keygen + provisioning pool) and serve a short
+# open-loop burst. BLS scheme (O(1) per-HSM audit verification via the
+# shared roster cache) and a deliberately small BFE filter — otherwise
+# construction alone is N×16384 P-256 multiplications. The report records
+# construct_seconds alongside the burst's completion rate.
+tenk_ran=0
+if [ "${BENCH_SKIP_10K:-0}" != 1 ]; then
+	echo "== 10000-HSM construction + open-loop smoke (BENCH_SKIP_10K=1 to skip)"
+	go run ./cmd/experiments -only load -fleet 10000 -scheme bls \
+		-bfe-m 64 -bfe-k 4 -users 4 \
+		-rate "${BENCH_10K_RATE:-2}" -duration "${BENCH_10K_DURATION:-1s}" \
+		-out "$tenk_json"
+	tenk_ran=1
+fi
+
 echo "== writing $OUT"
 {
 	echo '{'
 	echo '  "schema": "safetypin-bench-trajectory",'
-	echo '  "pr": 7,'
+	echo '  "pr": 10,'
 	echo "  \"guard_factor\": ${FACTOR},"
 	echo '  "unit": "ns/op",'
 	echo '  "benchmarks": {'
@@ -118,6 +152,11 @@ echo "== writing $OUT"
 	if [ "$openloop_ran" = 1 ]; then
 		echo '  "open_loop":'
 		sed 's/^/  /' "$openloop_json"
+		echo '  ,'
+	fi
+	if [ "$tenk_ran" = 1 ]; then
+		echo '  "smoke_10k":'
+		sed 's/^/  /' "$tenk_json"
 		echo '  ,'
 	fi
 	if [ -f "$PREV" ]; then
